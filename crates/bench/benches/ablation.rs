@@ -1,0 +1,172 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. **Doorbell batching** — per-command vs batched submission on a real
+//!    queue pair against a live device thread.
+//! 2. **Control-plane placement** — CAM's CPU plane vs a BaM-style in-GPU
+//!    plane executing the same functional batch.
+//! 3. **Sync wrapper cost** — `prefetch`/`prefetch_synchronize` vs the raw
+//!    ticket API for the same batches.
+//! 4. **Data-path staging** — direct (CAM) vs bounce-buffered (SPDK)
+//!    functional batches.
+
+use cam_core::{CamBackend, CamConfig, CamContext, ChannelOp};
+use cam_iostacks::{BamBackend, IoRequest, Rig, RigConfig, SpdkBackend, StorageBackend};
+use cam_nvme::spec::Sqe;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn doorbell_batching(c: &mut Criterion) {
+    let rig = Rig::new(RigConfig {
+        n_ssds: 1,
+        ..RigConfig::default()
+    });
+    let qp = rig.devices()[0].add_queue_pair(512);
+    let drain = |expect: usize| {
+        let mut done = 0;
+        while done < expect {
+            if qp.poll_cqe().is_some() {
+                done += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    };
+    let mut g = c.benchmark_group("ablation_doorbell");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(128));
+    g.bench_function("per_command_doorbell", |b| {
+        b.iter(|| {
+            for i in 0..128u16 {
+                qp.submit(Sqe::read(i, i as u64, 1, (i as u64) * 4096)).unwrap();
+            }
+            drain(128);
+        })
+    });
+    g.bench_function("one_doorbell_per_batch", |b| {
+        b.iter(|| {
+            for i in 0..128u16 {
+                qp.push_sqe(Sqe::read(i, i as u64, 1, (i as u64) * 4096)).unwrap();
+            }
+            qp.ring_doorbell();
+            drain(128);
+        })
+    });
+    g.finish();
+}
+
+fn control_plane_placement(c: &mut Criterion) {
+    let rig = Rig::new(RigConfig {
+        n_ssds: 2,
+        ..RigConfig::default()
+    });
+    let cam_ctx = CamContext::attach(&rig, CamConfig::default());
+    let cam = CamBackend::new(cam_ctx.device(), 4096);
+    let bam = BamBackend::new(&rig, 2);
+    let buf = rig.gpu().alloc(64 * 4096).unwrap();
+    let reads: Vec<IoRequest> = (0..64u64)
+        .map(|i| IoRequest::read(i, 1, buf.addr() + i * 4096))
+        .collect();
+    let mut g = c.benchmark_group("ablation_control_plane");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(64 * 4096));
+    g.bench_function("cpu_managed_cam", |b| {
+        b.iter(|| cam.execute_batch(&reads).unwrap())
+    });
+    g.bench_function("gpu_managed_bam", |b| {
+        b.iter(|| bam.execute_batch(&reads).unwrap())
+    });
+    g.finish();
+}
+
+fn sync_wrapper(c: &mut Criterion) {
+    let rig = Rig::new(RigConfig {
+        n_ssds: 2,
+        ..RigConfig::default()
+    });
+    let ctx = CamContext::attach(&rig, CamConfig { n_channels: 3, ..CamConfig::default() });
+    let dev = ctx.device();
+    let buf = ctx.alloc(64 * 4096).unwrap();
+    let lbas: Vec<u64> = (0..64).collect();
+    let mut g = c.benchmark_group("ablation_sync_wrapper");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(64 * 4096));
+    g.bench_function("cam_sync_api", |b| {
+        b.iter(|| {
+            dev.prefetch(&lbas, buf.addr()).unwrap();
+            dev.prefetch_synchronize().unwrap();
+        })
+    });
+    g.bench_function("cam_async_api", |b| {
+        b.iter(|| {
+            let t = dev.submit(2, ChannelOp::Read, &lbas, buf.addr()).unwrap();
+            t.wait().unwrap();
+        })
+    });
+    g.finish();
+}
+
+fn data_path_staging(c: &mut Criterion) {
+    let rig = Rig::new(RigConfig {
+        n_ssds: 2,
+        ..RigConfig::default()
+    });
+    let ctx = CamContext::attach(&rig, CamConfig::default());
+    let cam = CamBackend::new(ctx.device(), 4096);
+    let spdk = SpdkBackend::new(&rig);
+    let buf = rig.gpu().alloc(128 * 4096).unwrap();
+    let reads: Vec<IoRequest> = (0..128u64)
+        .map(|i| IoRequest::read(i, 1, buf.addr() + i * 4096))
+        .collect();
+    let mut g = c.benchmark_group("ablation_data_path");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(128 * 4096));
+    g.bench_function("direct_ssd_to_gpu", |b| {
+        b.iter(|| cam.execute_batch(&reads).unwrap())
+    });
+    g.bench_function("staged_via_cpu_bounce", |b| {
+        b.iter(|| spdk.execute_batch(&reads).unwrap())
+    });
+    g.finish();
+}
+
+fn dynamic_scaling(c: &mut Criterion) {
+    // Static full worker pool vs the dynamic N/4..N/2 controller under a
+    // compute-heavy loop: the dynamic plane should cost (nearly) nothing in
+    // time while using fewer cores.
+    let mut g = c.benchmark_group("ablation_dynamic_scaling");
+    g.sample_size(10);
+    for (name, dynamic) in [("static_workers", false), ("dynamic_workers", true)] {
+        g.bench_function(name, |b| {
+            let rig = Rig::new(RigConfig {
+                n_ssds: 4,
+                ..RigConfig::default()
+            });
+            let ctx = CamContext::attach(
+                &rig,
+                CamConfig {
+                    dynamic_scaling: dynamic,
+                    ..CamConfig::default()
+                },
+            );
+            let dev = ctx.device();
+            let buf = ctx.alloc(16 * 4096).unwrap();
+            let lbas: Vec<u64> = (0..16).collect();
+            b.iter(|| {
+                dev.prefetch(&lbas, buf.addr()).unwrap();
+                dev.prefetch_synchronize().unwrap();
+                // Compute-heavy phase.
+                std::hint::black_box(buf.to_vec().iter().map(|&x| x as u64).sum::<u64>());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    doorbell_batching,
+    control_plane_placement,
+    sync_wrapper,
+    data_path_staging,
+    dynamic_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion benches over the DES microbenchmark engine — one per figure
+//! family (Figs. 2, 8, 12, 15, 16). Criterion measures the *simulator's*
+//! wall time; the figures' model outputs come from `repro`, which shares
+//! these exact configurations.
+
+use cam_hostos::IoDir;
+use cam_iostacks::des::{run_microbench, Engine, MicrobenchConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn fig2_kernel_stacks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_kernel_stacks_4k_read");
+    g.sample_size(10);
+    for engine in [
+        Engine::Posix,
+        Engine::Libaio,
+        Engine::IoUringInt,
+        Engine::IoUringPoll,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(engine.name()),
+            &engine,
+            |b, &engine| {
+                b.iter(|| {
+                    let mut cfg = MicrobenchConfig::new(engine, 1, IoDir::Read);
+                    cfg.requests = 2_000;
+                    std::hint::black_box(run_microbench(cfg).kiops)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn fig8_ssd_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_cam_read_scaling");
+    g.sample_size(10);
+    for n in [1usize, 4, 12] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut cfg = MicrobenchConfig::new(Engine::Cam, n, IoDir::Read);
+                cfg.requests = (n as u64) * 2_000;
+                std::hint::black_box(run_microbench(cfg).gbps)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig12_threads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_ssds_per_thread");
+    g.sample_size(10);
+    for threads in [12usize, 6, 3] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut cfg = MicrobenchConfig::new(Engine::Cam, 12, IoDir::Read);
+                    cfg.cam_threads = threads;
+                    cfg.requests = 12 * 2_000;
+                    std::hint::black_box(run_microbench(cfg).gbps)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn fig15_fig16_staging(c: &mut Criterion) {
+    let mut g = c.benchmark_group("staging_limits");
+    g.sample_size(10);
+    g.bench_function("fig15_spdk_2_channels", |b| {
+        b.iter(|| {
+            let mut cfg = MicrobenchConfig::new(Engine::Spdk, 12, IoDir::Read);
+            cfg.mem_channels = 2;
+            cfg.requests = 12 * 2_000;
+            std::hint::black_box(run_microbench(cfg).gbps)
+        })
+    });
+    g.bench_function("fig16_spdk_noncontig_4k", |b| {
+        b.iter(|| {
+            let mut cfg = MicrobenchConfig::new(Engine::Spdk, 12, IoDir::Read);
+            cfg.noncontig_dest = true;
+            cfg.requests = 12 * 2_000;
+            std::hint::black_box(run_microbench(cfg).gbps)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig2_kernel_stacks,
+    fig8_ssd_scaling,
+    fig12_threads,
+    fig15_fig16_staging
+);
+criterion_main!(benches);

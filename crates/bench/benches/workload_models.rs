@@ -1,0 +1,108 @@
+//! Criterion benches for the workload layer: the analytic epoch/sort/GEMM
+//! models (Figs. 1, 9, 10, 11) and the functional sampler/sorter at small
+//! scale.
+
+use cam_core::{CamBackend, CamConfig, CamContext};
+use cam_iostacks::{Rig, RigConfig, StorageBackend};
+use cam_simkit::dist::seeded_rng;
+use cam_workloads::gemm::{model_gemm, GemmEngine};
+use cam_workloads::gnn::{model_epoch, sample_neighborhood, GnnConfig, GnnModel, GnnSystem};
+use cam_workloads::graph::{Graph, GraphSpec};
+use cam_workloads::sort::{model_sort, out_of_core_sort, OocSortConfig, SortEngine};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+
+fn fig9_epoch_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_epoch_model");
+    for model in GnnModel::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(model.name()),
+            &model,
+            |b, &model| {
+                b.iter(|| {
+                    let spec = GraphSpec::igb_full();
+                    let cfg = GnnConfig::default();
+                    let gids = model_epoch(GnnSystem::Gids, &spec, model, &cfg, 12);
+                    let cam = model_epoch(GnnSystem::Cam, &spec, model, &cfg, 12);
+                    std::hint::black_box((gids.step, cam.step))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn fig10_11_sort_gemm_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_11_models");
+    g.bench_function("sort_model_sweep", |b| {
+        b.iter(|| {
+            for e in [SortEngine::Posix, SortEngine::Spdk, SortEngine::CamSync] {
+                for gi in [2u64, 8] {
+                    std::hint::black_box(model_sort(e, gi << 30, 12));
+                }
+            }
+        })
+    });
+    g.bench_function("gemm_model_sweep", |b| {
+        b.iter(|| {
+            for e in [GemmEngine::Cam, GemmEngine::Bam, GemmEngine::Gds] {
+                std::hint::black_box(model_gemm(e, 65_536, 4_096, 12));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn sampler(c: &mut Criterion) {
+    let graph = Graph::generate(100_000, 15.0, 128, 11);
+    let seeds: Vec<u32> = (0..512).collect();
+    let mut g = c.benchmark_group("gnn_sampler");
+    g.bench_function("two_hop_25x10_512_seeds", |b| {
+        let mut rng = seeded_rng(3);
+        b.iter(|| std::hint::black_box(sample_neighborhood(&graph, &seeds, &[25, 10], &mut rng)))
+    });
+    g.finish();
+}
+
+fn functional_sort(c: &mut Criterion) {
+    let rig = Rig::new(RigConfig {
+        n_ssds: 2,
+        blocks_per_ssd: 8192,
+        ..RigConfig::default()
+    });
+    let cam = CamContext::attach(&rig, CamConfig::default());
+    let backend = CamBackend::new(cam.device(), 4096);
+    let elems: u64 = 16 * 1024;
+    let cfg = OocSortConfig {
+        total_elems: elems,
+        run_elems: 4 * 1024,
+        block_size: 4096,
+        data_lba: 0,
+        scratch_lba: 64,
+    };
+    let mut g = c.benchmark_group("functional_sort");
+    g.sample_size(10);
+    g.bench_function("sort_16k_keys_cam", |b| {
+        b.iter(|| {
+            // Reload shuffled data, then sort.
+            let mut rng = seeded_rng(5);
+            let data: Vec<u8> = (0..elems).flat_map(|_| rng.gen::<u32>().to_le_bytes()).collect();
+            let buf = rig.gpu().alloc(data.len()).unwrap();
+            buf.write(0, &data);
+            backend
+                .execute_batch(&[cam_iostacks::IoRequest::write(0, 16, buf.addr())])
+                .unwrap();
+            std::hint::black_box(out_of_core_sort(&backend, rig.gpu(), &cfg).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig9_epoch_models,
+    fig10_11_sort_gemm_models,
+    sampler,
+    functional_sort
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro all          # everything, in paper order
+//! repro list         # available experiment ids
+//! repro fig8 fig9    # a subset
+//! ```
+
+use std::process::ExitCode;
+
+use cam_bench::figures::registry;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let reg = registry();
+    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
+        eprintln!("usage: repro [all|list|<experiment id>...]");
+        eprintln!("experiments:");
+        for (id, desc, _) in &reg {
+            eprintln!("  {id:<6} {desc}");
+        }
+        return ExitCode::from(2);
+    }
+    if args[0] == "list" {
+        for (id, desc, _) in &reg {
+            println!("{id:<6} {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let wanted: Vec<&str> = if args[0] == "all" {
+        reg.iter().map(|(id, _, _)| *id).collect()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    for want in &wanted {
+        let Some((_, desc, gen)) = reg.iter().find(|(id, _, _)| id == want) else {
+            eprintln!("unknown experiment '{want}' (try 'repro list')");
+            return ExitCode::FAILURE;
+        };
+        println!("######## {want}: {desc}\n");
+        for table in gen() {
+            println!("{table}");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,625 @@
+//! One generator per table/figure of the paper's evaluation. Each returns
+//! the same rows/series the paper reports, computed from the calibrated
+//! models and the DES microbenchmark engine (see `DESIGN.md` for the
+//! experiment index and `EXPERIMENTS.md` for paper-vs-measured values).
+
+use cam_gpu::GpuSpec;
+use cam_hostos::{CpuModel, IoDir, IoStackKind, MemoryModel};
+use cam_iostacks::des::{run_microbench, Engine, MicrobenchConfig};
+use cam_nvme::spec::Opcode;
+use cam_nvme::SsdModel;
+use cam_workloads::gemm::{model_gemm, GemmEngine};
+use cam_workloads::gnn::{fig9_speedup, model_epoch, GnnConfig, GnnModel, GnnSystem};
+use cam_workloads::graph::GraphSpec;
+use cam_workloads::sort::{model_sort, model_sort_read_gbps, SortEngine};
+
+use crate::table::{f1, f2, pct, Table};
+
+/// An experiment generator: produces the figure/table's row data.
+pub type Generator = fn() -> Vec<Table>;
+
+/// Every experiment, in paper order: `(id, description, generator)`.
+pub fn registry() -> Vec<(&'static str, &'static str, Generator)> {
+    vec![
+        ("tab1", "Architectural design comparison", tab1),
+        ("fig1", "GIDS GNN training time breakdown (Paper100M)", fig1),
+        ("fig2", "4KB random I/O throughput of software I/O stacks", fig2),
+        ("fig3", "Read/write I/O time breakdown of software I/O stacks", fig3),
+        ("fig4", "A100 SM utilization for BaM to saturate N SSDs", fig4),
+        ("tab3", "Experimental platform", tab3),
+        ("tab4", "Real-world datasets", tab4),
+        ("tab5", "GNN experiment configuration", tab5),
+        ("fig8", "I/O throughput: CAM vs BaM, SPDK, POSIX", fig8),
+        ("fig9", "GNN training epoch time: CAM vs GIDS", fig9),
+        ("fig10", "Sort and GEMM end-to-end comparison", fig10),
+        ("tab6", "Lines of code in real-world applications", tab6),
+        ("fig11", "CAM-Sync vs CAM-Async vs SPDK (sort)", fig11),
+        ("fig12", "One CPU thread controlling multiple SSDs", fig12),
+        ("fig13", "CPU instructions/cycles per request", fig13),
+        ("fig14", "CPU memory bandwidth usage vs SSD bandwidth", fig14),
+        ("fig15", "Throughput at 2 vs 16 memory channels", fig15),
+        ("fig16", "SPDK staging throughput vs access granularity", fig16),
+        ("issue2", "ANNS: cudaMemcpyAsync share of staged-path time", issue2),
+        ("motiv", "Section II motivation: DLRM / LLM-offload baselines", motiv),
+    ]
+}
+
+fn tab1() -> Vec<Table> {
+    let mut t = Table::new(
+        "Table I: Architectural design comparison",
+        &["system", "initiated by", "control plane", "data plane"],
+    );
+    t.row(vec![
+        "POSIX I/O".into(),
+        "CPU".into(),
+        "CPU OS kernel".into(),
+        "SSD - CPU memory - GPU memory".into(),
+    ]);
+    t.row(vec![
+        "BaM".into(),
+        "GPU".into(),
+        "GPU user I/O queue".into(),
+        "SSD - GPU memory".into(),
+    ]);
+    t.row(vec![
+        "CAM".into(),
+        "GPU".into(),
+        "CPU user I/O queue".into(),
+        "SSD - GPU memory".into(),
+    ]);
+    vec![t]
+}
+
+fn fig1() -> Vec<Table> {
+    let spec = GraphSpec::paper100m();
+    let cfg = GnnConfig::default();
+    let mut t = Table::new(
+        "Fig. 1: GIDS (BaM-based) step breakdown, Paper100M, 12 SSDs",
+        &["model", "sample ms", "extract ms", "train ms", "extract %", "train %"],
+    );
+    for model in GnnModel::ALL {
+        let b = model_epoch(GnnSystem::Gids, &spec, model, &cfg, 12);
+        t.row(vec![
+            model.name().into(),
+            f1(b.sample.as_secs_f64() * 1e3),
+            f1(b.extract.as_secs_f64() * 1e3),
+            f1(b.train.as_secs_f64() * 1e3),
+            pct(b.extract_fraction()),
+            pct(b.train_fraction()),
+        ]);
+    }
+    t.note("paper: extraction 40-65% of step time, training 16-44%");
+    vec![t]
+}
+
+fn fig2() -> Vec<Table> {
+    let m = SsdModel::p5510();
+    let mut out = Vec::new();
+    for (dir, op, label) in [
+        (IoDir::Read, Opcode::Read, "(a) 4KB random read"),
+        (IoDir::Write, Opcode::Write, "(b) 4KB random write"),
+    ] {
+        let mut t = Table::new(
+            format!("Fig. 2{label}, single P5510, KIOPS"),
+            &["stack", "KIOPS"],
+        );
+        for engine in [
+            Engine::Posix,
+            Engine::Libaio,
+            Engine::IoUringInt,
+            Engine::IoUringPoll,
+        ] {
+            let mut cfg = MicrobenchConfig::new(engine, 1, dir);
+            cfg.requests = 8_000;
+            let r = run_microbench(cfg);
+            t.row(vec![engine.name().into(), f1(r.kiops)]);
+        }
+        t.note(format!(
+            "SSD maximum (dashed line): {:.1} KIOPS",
+            m.peak_iops_4k(op) / 1e3
+        ));
+        out.push(t);
+    }
+    out
+}
+
+fn fig3() -> Vec<Table> {
+    let mut out = Vec::new();
+    for dir in [IoDir::Read, IoDir::Write] {
+        let mut t = Table::new(
+            format!("Fig. 3: per-request time by layer, {dir:?}"),
+            &["stack", "user ns", "filesystem ns", "io_map ns", "block I/O ns", "fs+io_map %"],
+        );
+        for stack in [
+            IoStackKind::Posix,
+            IoStackKind::Libaio,
+            IoStackKind::IoUringInt,
+            IoStackKind::IoUringPoll,
+        ] {
+            let c = stack.layer_costs(dir);
+            t.row(vec![
+                stack.name().into(),
+                c.user.as_ns().to_string(),
+                c.filesystem.as_ns().to_string(),
+                c.io_map.as_ns().to_string(),
+                c.block_io.as_ns().to_string(),
+                pct(c.avoidable_fraction()),
+            ]);
+        }
+        t.note("paper: >34% of request time in io_map + LBA retrieval");
+        out.push(t);
+    }
+    out
+}
+
+fn fig4() -> Vec<Table> {
+    let g = GpuSpec::a100_80g();
+    let mut t = Table::new(
+        "Fig. 4: A100 SM utilization for BaM to saturate N SSDs",
+        &["SSDs", "SM utilization", "CAM (for reference)"],
+    );
+    for n in 1..=12u32 {
+        t.row(vec![
+            n.to_string(),
+            pct(g.bam_sm_utilization(n)),
+            pct(0.0),
+        ]);
+    }
+    t.note("paper: \"when the number of SSDs exceeds five, BaM engages nearly all available SMs\"");
+    vec![t]
+}
+
+fn tab3() -> Vec<Table> {
+    let mut t = Table::new(
+        "Table III: Experimental platform (simulated)",
+        &["component", "specification"],
+    );
+    for (c, s) in [
+        ("CPU", "Intel Xeon Gold 5320 (2 x 52 threads) @ 2.20 GHz [CpuModel]"),
+        ("CPU memory", "768 GB, 16 DDR4-3200 channels [MemoryModel]"),
+        ("GPU", "80GB-PCIe-A100: 108 SMs, 2048 thr/SM [GpuSpec::a100_80g]"),
+        ("SSD", "12 x 3.84TB Intel P5510 [SsdModel::p5510]"),
+        ("PCIe", "Gen4 x16, 21 GB/s measured ceiling"),
+        ("S/W", "this reproduction: simulated NVMe/GPU substrate in Rust"),
+    ] {
+        t.row(vec![c.into(), s.into()]);
+    }
+    vec![t]
+}
+
+fn tab4() -> Vec<Table> {
+    let mut t = Table::new(
+        "Table IV: Datasets",
+        &["dataset", "nodes", "edges", "feature dim", "feature size"],
+    );
+    for spec in [GraphSpec::paper100m(), GraphSpec::igb_full()] {
+        t.row(vec![
+            spec.name.into(),
+            spec.nodes.to_string(),
+            spec.edges.to_string(),
+            spec.feature_dim.to_string(),
+            format!("{:.1} GB", spec.feature_store_bytes() as f64 / 1e9),
+        ]);
+    }
+    t.note("synthetic scale-downs preserve avg degree, skew, and record size");
+    vec![t]
+}
+
+fn tab5() -> Vec<Table> {
+    let cfg = GnnConfig::default();
+    let mut t = Table::new("Table V: GNN experiment configuration", &["parameter", "setting"]);
+    t.row(vec!["GNN task".into(), "node classification".into()]);
+    t.row(vec![
+        "sampling method".into(),
+        "2-hop random neighbor sampling".into(),
+    ]);
+    t.row(vec![
+        "sampling fan-outs".into(),
+        format!("{}, {}", cfg.fanouts[0], cfg.fanouts[1]),
+    ]);
+    t.row(vec![
+        "hidden layer dimension".into(),
+        cfg.hidden_dim.to_string(),
+    ]);
+    t.row(vec!["batch size".into(), cfg.batch_size.to_string()]);
+    vec![t]
+}
+
+fn fig8() -> Vec<Table> {
+    let engines = [Engine::Cam, Engine::Spdk, Engine::Bam, Engine::Posix];
+    let mut out = Vec::new();
+    // (a)/(c): 4 KiB throughput vs number of SSDs.
+    for dir in [IoDir::Read, IoDir::Write] {
+        let sub = if dir == IoDir::Read { "(a)" } else { "(c)" };
+        let mut t = Table::new(
+            format!("Fig. 8{sub}: 4KB random {dir:?} GB/s vs SSD count"),
+            &["SSDs", "CAM", "SPDK", "BaM", "POSIX I/O"],
+        );
+        for n in [1usize, 2, 4, 8, 12] {
+            let mut row = vec![n.to_string()];
+            for e in engines {
+                let mut cfg = MicrobenchConfig::new(e, n, dir);
+                cfg.requests = (n as u64) * 6_000;
+                row.push(f2(run_microbench(cfg).gbps));
+            }
+            t.row(row);
+        }
+        out.push(t);
+    }
+    // (b)/(d): throughput vs access granularity at 12 SSDs.
+    for dir in [IoDir::Read, IoDir::Write] {
+        let sub = if dir == IoDir::Read { "(b)" } else { "(d)" };
+        let mut t = Table::new(
+            format!("Fig. 8{sub}: {dir:?} GB/s vs granularity, 12 SSDs"),
+            &["granularity", "CAM", "SPDK", "BaM", "POSIX I/O"],
+        );
+        for shift in [9u32, 10, 12, 14, 17] {
+            let gran = 1u64 << shift;
+            let mut row = vec![format!("{} B", gran)];
+            for e in engines {
+                let mut cfg = MicrobenchConfig::new(e, 12, dir);
+                cfg.granularity = gran;
+                cfg.requests = 12 * 1_500;
+                row.push(f2(run_microbench(cfg).gbps));
+            }
+            t.row(row);
+        }
+        out.push(t);
+    }
+    out
+}
+
+fn fig9() -> Vec<Table> {
+    let cfg = GnnConfig::default();
+    let mut out = Vec::new();
+    for spec in [GraphSpec::paper100m(), GraphSpec::igb_full()] {
+        let mut t = Table::new(
+            format!("Fig. 9: GNN epoch time on {}, 12 SSDs", spec.name),
+            &["model", "GIDS s/epoch", "CAM s/epoch", "speedup"],
+        );
+        for model in GnnModel::ALL {
+            let gids = model_epoch(GnnSystem::Gids, &spec, model, &cfg, 12);
+            let cam = model_epoch(GnnSystem::Cam, &spec, model, &cfg, 12);
+            t.row(vec![
+                model.name().into(),
+                f1(gids.epoch().as_secs_f64()),
+                f1(cam.epoch().as_secs_f64()),
+                format!("{:.2}x", fig9_speedup(&spec, model, &cfg, 12)),
+            ]);
+        }
+        out.push(t);
+    }
+    out
+}
+
+fn fig10() -> Vec<Table> {
+    let mut out = Vec::new();
+    // (a) mergesort.
+    let mut t = Table::new(
+        "Fig. 10(a): mergesort time, 8Gi int32 (32 GB), 12 SSDs",
+        &["system", "time s", "vs CAM"],
+    );
+    let cam = model_sort(SortEngine::CamSync, 8 << 30, 12).as_secs_f64();
+    for (e, name) in [
+        (SortEngine::CamSync, "CAM"),
+        (SortEngine::Spdk, "SPDK"),
+        (SortEngine::Posix, "POSIX I/O"),
+    ] {
+        let s = model_sort(e, 8 << 30, 12).as_secs_f64();
+        t.row(vec![name.into(), f1(s), format!("{:.2}x", s / cam)]);
+    }
+    t.note("paper: CAM up to 1.5x faster than POSIX, similar to SPDK");
+    out.push(t);
+    // (b)+(c) GEMM.
+    let mut t = Table::new(
+        "Fig. 10(b,c): GEMM 65536^2 f32, 4096^2 tiles, 12 SSDs",
+        &["system", "I/O GB/s", "time s", "vs CAM"],
+    );
+    let camr = model_gemm(GemmEngine::Cam, 65_536, 4_096, 12);
+    for (e, name) in [
+        (GemmEngine::Cam, "CAM"),
+        (GemmEngine::Bam, "BaM"),
+        (GemmEngine::Gds, "GDS"),
+        (GemmEngine::Spdk, "SPDK"),
+    ] {
+        let r = model_gemm(e, 65_536, 4_096, 12);
+        t.row(vec![
+            name.into(),
+            f2(r.io_gbps),
+            f1(r.time.as_secs_f64()),
+            format!("{:.2}x", r.time.as_secs_f64() / camr.time.as_secs_f64()),
+        ]);
+    }
+    t.note("paper: GDS only 0.8 GB/s with 12 SSDs; CAM nearly 20 GB/s; CAM up to 1.84x vs BaM");
+    out.push(t);
+    out
+}
+
+fn tab6() -> Vec<Table> {
+    let mut t = Table::new(
+        "Table VI: lines of code per workload",
+        &["workload", "paper baseline LoC", "paper CAM LoC", "this repo's CAM example LoC"],
+    );
+    let gnn = crate::count_loc(include_str!("../../../examples/gnn_training.rs"));
+    let sort = crate::count_loc(include_str!("../../../examples/out_of_core_sort.rs"));
+    let gemm = crate::count_loc(include_str!("../../../examples/out_of_core_gemm.rs"));
+    t.row(vec![
+        "GNN training".into(),
+        "BaM: 65".into(),
+        "66".into(),
+        gnn.to_string(),
+    ]);
+    t.row(vec![
+        "Sort".into(),
+        "POSIX: 644".into(),
+        "510".into(),
+        sort.to_string(),
+    ]);
+    t.row(vec![
+        "GEMM".into(),
+        "GDS: 158 / BaM: 165".into(),
+        "130".into(),
+        gemm.to_string(),
+    ]);
+    t.note("our examples include dataset generation and verification; the paper counts only the I/O core loop");
+    vec![t]
+}
+
+fn fig11() -> Vec<Table> {
+    let mut out = Vec::new();
+    let mut t = Table::new(
+        "Fig. 11(a): sort-phase read throughput GB/s vs SSD count",
+        &["SSDs", "SPDK", "CAM-Async", "CAM-Sync"],
+    );
+    for n in [2usize, 4, 8, 12] {
+        t.row(vec![
+            n.to_string(),
+            f2(model_sort_read_gbps(SortEngine::Spdk, n)),
+            f2(model_sort_read_gbps(SortEngine::CamAsync, n)),
+            f2(model_sort_read_gbps(SortEngine::CamSync, n)),
+        ]);
+    }
+    out.push(t);
+    let mut t = Table::new(
+        "Fig. 11(b): sort execution time (s) vs dataset size, 12 SSDs",
+        &["elements", "SPDK", "CAM-Async", "CAM-Sync"],
+    );
+    for gi in [2u64, 4, 8, 16] {
+        let elems = gi << 30;
+        t.row(vec![
+            format!("{gi} Gi"),
+            f1(model_sort(SortEngine::Spdk, elems, 12).as_secs_f64()),
+            f1(model_sort(SortEngine::CamAsync, elems, 12).as_secs_f64()),
+            f1(model_sort(SortEngine::CamSync, elems, 12).as_secs_f64()),
+        ]);
+    }
+    t.note("paper: CAM-Sync achieves nearly the same performance as CAM-Async/SPDK");
+    out.push(t);
+    out
+}
+
+fn fig12() -> Vec<Table> {
+    let mut out = Vec::new();
+    for dir in [IoDir::Read, IoDir::Write] {
+        let mut t = Table::new(
+            format!("Fig. 12: {dir:?} GB/s, 12 SSDs, varying threads"),
+            &["threads", "SSDs/thread", "GB/s", "vs 12 threads"],
+        );
+        let mut base = 0.0;
+        for threads in [12usize, 6, 4, 3, 2, 1] {
+            let mut cfg = MicrobenchConfig::new(Engine::Cam, 12, dir);
+            cfg.cam_threads = threads;
+            cfg.requests = 12 * 6_000;
+            let g = run_microbench(cfg).gbps;
+            if threads == 12 {
+                base = g;
+            }
+            t.row(vec![
+                threads.to_string(),
+                format!("{:.0}", 12.0 / threads as f64),
+                f2(g),
+                pct(g / base),
+            ]);
+        }
+        t.note("paper: 2 SSDs/thread free; 4 SSDs/thread ~75%");
+        out.push(t);
+    }
+    out
+}
+
+fn fig13() -> Vec<Table> {
+    let cpu = CpuModel::xeon_gold_5320();
+    let m = SsdModel::p5510();
+    let mut out = Vec::new();
+    for (dir, op) in [(IoDir::Read, Opcode::Read), (IoDir::Write, Opcode::Write)] {
+        let device_rate = m.peak_iops_4k(op);
+        let mut t = Table::new(
+            format!("Fig. 13: CPU cost per 4KB {dir:?} request"),
+            &["stack", "instructions", "cycles", "IPC"],
+        );
+        for stack in [IoStackKind::Cam, IoStackKind::Spdk, IoStackKind::Libaio] {
+            let rate = stack.max_rate_per_core(dir).min(device_rate);
+            let c = cpu.per_request(stack, dir, rate);
+            t.row(vec![
+                stack.name().into(),
+                c.instructions.to_string(),
+                c.cycles.to_string(),
+                f2(c.instructions as f64 / c.cycles as f64),
+            ]);
+        }
+        t.note("paper: CAM/SPDK fewer instructions and far fewer cycles than libaio; polling has high IPC");
+        out.push(t);
+    }
+    out
+}
+
+fn fig14() -> Vec<Table> {
+    let mem = MemoryModel::xeon_16ch();
+    let mut t = Table::new(
+        "Fig. 14: CPU memory traffic (GB/s) vs delivered SSD bandwidth",
+        &["SSDs", "SSD GB/s", "SPDK mem GB/s", "CAM mem GB/s"],
+    );
+    for n in [1usize, 2, 4, 8, 12] {
+        let mut cfg = MicrobenchConfig::new(Engine::Cam, n, IoDir::Read);
+        cfg.requests = (n as u64) * 4_000;
+        let ssd = run_microbench(cfg).gbps;
+        t.row(vec![
+            n.to_string(),
+            f2(ssd),
+            f2(mem.traffic_gbps(ssd, true)),
+            f2(mem.traffic_gbps(ssd, false)),
+        ]);
+    }
+    t.note("paper: SPDK's memory traffic is ~2x the SSD bandwidth; CAM's grows much slower");
+    vec![t]
+}
+
+fn fig15() -> Vec<Table> {
+    let mut out = Vec::new();
+    for dir in [IoDir::Read, IoDir::Write] {
+        let mut t = Table::new(
+            format!("Fig. 15: {dir:?} GB/s at limited memory channels, 12 SSDs"),
+            &["system", "2 channels", "16 channels"],
+        );
+        for e in [Engine::Spdk, Engine::Cam] {
+            let mut row = vec![e.name().to_string()];
+            for ch in [2u32, 16] {
+                let mut cfg = MicrobenchConfig::new(e, 12, dir);
+                cfg.mem_channels = ch;
+                cfg.requests = 12 * 4_000;
+                row.push(f2(run_microbench(cfg).gbps));
+            }
+            t.row(row);
+        }
+        t.note("paper: SPDK degrades when memory bandwidth is limited; CAM is unaffected");
+        out.push(t);
+    }
+    out
+}
+
+fn fig16() -> Vec<Table> {
+    let mut t = Table::new(
+        "Fig. 16: staged (SPDK) GB/s vs granularity, non-contiguous destination, 12 SSDs",
+        &["granularity", "SPDK", "CAM"],
+    );
+    for (gran, reqs) in [
+        (4u64 << 10, 24_000u64),
+        (64 << 10, 12_000),
+        (1 << 20, 2_400),
+        (16 << 20, 600),
+        (128 << 20, 240),
+    ] {
+        let mut spdk = MicrobenchConfig::new(Engine::Spdk, 12, IoDir::Read);
+        spdk.granularity = gran;
+        spdk.requests = reqs;
+        spdk.noncontig_dest = true;
+        let mut cam = MicrobenchConfig::new(Engine::Cam, 12, IoDir::Read);
+        cam.granularity = gran.min(1 << 20); // CAM scatters at block granularity
+        cam.requests = reqs.max(2_400);
+        t.row(vec![
+            if gran >= 1 << 20 {
+                format!("{} MB", gran >> 20)
+            } else {
+                format!("{} KB", gran >> 10)
+            },
+            f2(run_microbench(spdk).gbps),
+            f2(run_microbench(cam).gbps),
+        ]);
+    }
+    t.note("paper: at 4KB the staged path delivers 1.3 GB/s, 93.5% below CAM");
+    vec![t]
+}
+
+fn issue2() -> Vec<Table> {
+    let mut t = Table::new(
+        "Issue 2 (§ II-A): cudaMemcpyAsync share of staged ANNS time, 12 SSDs",
+        &["granularity", "copy share"],
+    );
+    for gran in [4u64 << 10, 16 << 10, 64 << 10, 1 << 20, 16 << 20] {
+        t.row(vec![
+            format!("{} B", gran),
+            pct(cam_workloads::anns::staged_copy_fraction(gran, 12)),
+        ]);
+    }
+    t.note("paper: \"cudaMemcpyAsync costs 78% of the total time\" at 4KB; CAM's direct path pays none");
+    vec![t]
+}
+
+fn motiv() -> Vec<Table> {
+    use cam_workloads::dlrm::{model_iteration, DlrmSystem};
+    use cam_workloads::llm::{model_step, LlmSystem};
+    let mut t = Table::new(
+        "Section II motivation: storage-bound training baselines, 12 SSDs",
+        &["system", "I/O phase share", "baseline time", "CAM time", "speedup"],
+    );
+    let d_base = model_iteration(DlrmSystem::TorchRec, 4096, 26, 20, 128, 12);
+    let d_cam = model_iteration(DlrmSystem::Cam, 4096, 26, 20, 128, 12);
+    t.row(vec![
+        "DLRM (TorchRec-style)".into(),
+        pct(d_base.embedding_fraction()),
+        format!("{:.1} ms/iter", d_base.iteration.as_secs_f64() * 1e3),
+        format!("{:.1} ms/iter", d_cam.iteration.as_secs_f64() * 1e3),
+        format!(
+            "{:.2}x",
+            d_base.iteration.as_ns() as f64 / d_cam.iteration.as_ns() as f64
+        ),
+    ]);
+    let l_base = model_step(LlmSystem::ZeroInfinity, 100.0, 12);
+    let l_cam = model_step(LlmSystem::Cam, 100.0, 12);
+    t.row(vec![
+        "LLM 100B (ZeRO-Infinity-style)".into(),
+        pct(l_base.update_fraction()),
+        format!("{:.1} s/step", l_base.step.as_secs_f64()),
+        format!("{:.1} s/step", l_cam.step.as_secs_f64()),
+        format!(
+            "{:.2}x",
+            l_base.step.as_ns() as f64 / l_cam.step.as_ns() as f64
+        ),
+    ]);
+    t.note("paper: TorchRec spends 75% of each iteration on embedding access at ~64% bandwidth;");
+    t.note("ZeRO-Infinity spends >80% of time in the update phase at ~70% bandwidth");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_table_and_figure() {
+        let ids: Vec<&str> = registry().iter().map(|(id, _, _)| *id).collect();
+        for want in [
+            "tab1", "fig1", "fig2", "fig3", "fig4", "tab3", "tab4", "tab5", "fig8", "fig9",
+            "fig10", "tab6", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+            "issue2", "motiv",
+        ] {
+            assert!(ids.contains(&want), "missing {want}");
+        }
+    }
+
+    #[test]
+    fn cheap_generators_produce_rows() {
+        // The non-sweep generators are fast enough for unit tests.
+        for id in ["tab1", "fig1", "fig3", "fig4", "tab3", "tab4", "tab5", "fig9", "fig10",
+                   "fig11", "fig13", "fig15"] {
+            let gen = registry()
+                .into_iter()
+                .find(|(i, _, _)| *i == id)
+                .map(|(_, _, g)| g)
+                .unwrap();
+            for t in gen() {
+                assert!(!t.is_empty(), "{id}: empty table {}", t.title());
+            }
+        }
+    }
+
+    #[test]
+    fn fig4_table_hits_full_utilization_by_five() {
+        let tables = fig4();
+        let t = &tables[0];
+        // Row 4 = 5 SSDs (1-indexed SSD count in col 0).
+        assert_eq!(t.cell(4, 0), "5");
+        let u: f64 = t.cell(4, 1).trim_end_matches('%').parse().unwrap();
+        assert!(u > 90.0, "5-SSD utilization {u}%");
+    }
+}

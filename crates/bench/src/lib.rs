@@ -1,0 +1,41 @@
+//! # cam-bench — the evaluation harness
+//!
+//! [`figures`] contains one generator per table/figure of the paper's
+//! evaluation (§ IV); each returns a [`Table`] of the same rows/series the
+//! paper reports. The `repro` binary prints them:
+//!
+//! ```text
+//! cargo run -p cam-bench --release --bin repro -- all
+//! cargo run -p cam-bench --release --bin repro -- fig8 fig9 tab6
+//! ```
+//!
+//! `EXPERIMENTS.md` at the workspace root records paper-vs-measured values
+//! for every entry.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod figures;
+mod table;
+
+pub use table::Table;
+
+/// Counts meaningful lines of code (non-empty, not comment-only) — used by
+/// Table VI's programmability comparison.
+pub fn count_loc(src: &str) -> usize {
+    src.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//") && !l.starts_with("/*") && *l != "*/")
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loc_counter_skips_blank_and_comments() {
+        let src = "fn main() {\n\n// a comment\n    let x = 1; // trailing is fine\n}\n";
+        assert_eq!(count_loc(src), 3);
+    }
+}

@@ -1,0 +1,130 @@
+//! [`Table`] — a minimal aligned-text table for the `repro` harness.
+
+use std::fmt;
+
+/// A titled table of string cells.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a footnote printed under the table.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// The table's title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Cell accessor for tests: `(row, col)`.
+    pub fn cell(&self, row: usize, col: usize) -> &str {
+        &self.rows[row][col]
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut first = true;
+            for (w, c) in widths.iter().zip(cells) {
+                if !first {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{c:<w$}", w = *w)?;
+                first = false;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 2 decimals (throughput, times).
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "22222".into()]);
+        t.note("a note");
+        let s = t.to_string();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("alpha"));
+        assert!(s.contains("note: a note"));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.cell(1, 1), "22222");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,180 @@
+//! [`FaultyStore`] — deterministic fault injection for failure-path tests.
+//!
+//! Wraps any [`BlockStore`] and fails a configurable subset of accesses.
+//! Used to verify that every storage management surfaces device errors
+//! instead of silently corrupting data, and that CAM's channels recover
+//! after a failed batch (`CamError::Io` then clean subsequent batches).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::lba::{BlockGeometry, Lba};
+use crate::store::{BlockError, BlockStore};
+
+/// Which operations a fault rule applies to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultKind {
+    /// Fail reads only.
+    Read,
+    /// Fail writes only.
+    Write,
+    /// Fail both directions.
+    Both,
+}
+
+/// Deterministic fault policy.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPolicy {
+    /// Operations affected.
+    pub kind: FaultKind,
+    /// Fail every access whose first LBA falls in `[from, to)`.
+    pub lba_range: (u64, u64),
+    /// Additionally fail every `every`-th matching access (1 = all).
+    pub every: u64,
+}
+
+impl FaultPolicy {
+    /// Fails every read in the LBA range.
+    pub fn reads_in(from: u64, to: u64) -> Self {
+        FaultPolicy {
+            kind: FaultKind::Read,
+            lba_range: (from, to),
+            every: 1,
+        }
+    }
+
+    /// Fails every write in the LBA range.
+    pub fn writes_in(from: u64, to: u64) -> Self {
+        FaultPolicy {
+            kind: FaultKind::Write,
+            lba_range: (from, to),
+            every: 1,
+        }
+    }
+}
+
+/// A [`BlockStore`] wrapper that injects [`BlockError::OutOfRange`]-class
+/// failures per a [`FaultPolicy`]. Counts injected faults.
+pub struct FaultyStore {
+    inner: Arc<dyn BlockStore>,
+    policy: FaultPolicy,
+    matches: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl FaultyStore {
+    /// Wraps `inner` with the policy.
+    pub fn new(inner: Arc<dyn BlockStore>, policy: FaultPolicy) -> Self {
+        assert!(policy.every >= 1);
+        FaultyStore {
+            inner,
+            policy,
+            matches: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    fn should_fail(&self, lba: Lba, is_read: bool) -> bool {
+        let dir_match = match self.policy.kind {
+            FaultKind::Read => is_read,
+            FaultKind::Write => !is_read,
+            FaultKind::Both => true,
+        };
+        if !dir_match || lba.index() < self.policy.lba_range.0 || lba.index() >= self.policy.lba_range.1
+        {
+            return false;
+        }
+        let n = self.matches.fetch_add(1, Ordering::Relaxed);
+        if n.is_multiple_of(self.policy.every) {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn fault(&self, lba: Lba, len: usize) -> BlockError {
+        // Media error surfaced as an addressing failure: the command layer
+        // maps any BlockError to a failed completion status.
+        BlockError::OutOfRange {
+            lba,
+            count: (len / self.inner.geometry().block_size as usize) as u64,
+            blocks: self.inner.geometry().blocks,
+        }
+    }
+}
+
+impl BlockStore for FaultyStore {
+    fn geometry(&self) -> BlockGeometry {
+        self.inner.geometry()
+    }
+
+    fn read(&self, lba: Lba, buf: &mut [u8]) -> Result<(), BlockError> {
+        if self.should_fail(lba, true) {
+            return Err(self.fault(lba, buf.len()));
+        }
+        self.inner.read(lba, buf)
+    }
+
+    fn write(&self, lba: Lba, buf: &[u8]) -> Result<(), BlockError> {
+        if self.should_fail(lba, false) {
+            return Err(self.fault(lba, buf.len()));
+        }
+        self.inner.write(lba, buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::SparseMemStore;
+
+    fn wrapped(policy: FaultPolicy) -> FaultyStore {
+        let inner: Arc<dyn BlockStore> =
+            Arc::new(SparseMemStore::new(BlockGeometry::new(512, 1024)));
+        FaultyStore::new(inner, policy)
+    }
+
+    #[test]
+    fn reads_fail_in_range_writes_pass() {
+        let s = wrapped(FaultPolicy::reads_in(10, 20));
+        let mut buf = vec![0u8; 512];
+        s.write(Lba(15), &buf).unwrap();
+        assert!(s.read(Lba(15), &mut buf).is_err());
+        assert!(s.read(Lba(9), &mut buf).is_ok());
+        assert!(s.read(Lba(20), &mut buf).is_ok());
+        assert_eq!(s.injected(), 1);
+    }
+
+    #[test]
+    fn every_nth_failure() {
+        let s = wrapped(FaultPolicy {
+            kind: FaultKind::Read,
+            lba_range: (0, 1024),
+            every: 3,
+        });
+        let mut buf = vec![0u8; 512];
+        let mut failures = 0;
+        for i in 0..9 {
+            if s.read(Lba(i), &mut buf).is_err() {
+                failures += 1;
+            }
+        }
+        assert_eq!(failures, 3);
+        assert_eq!(s.injected(), 3);
+    }
+
+    #[test]
+    fn write_faults_do_not_corrupt_media() {
+        let s = wrapped(FaultPolicy::writes_in(0, 5));
+        let mut buf = vec![7u8; 512];
+        assert!(s.write(Lba(2), &buf).is_err());
+        s.read(Lba(2), &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0), "failed write must not land");
+    }
+}

@@ -1,0 +1,261 @@
+//! The [`BlockStore`] trait and the sparse in-memory implementation that
+//! stands in for multi-terabyte SSD media.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use parking_lot::Mutex;
+
+use crate::lba::{BlockGeometry, Lba};
+
+/// Errors from block-store operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BlockError {
+    /// The addressed range falls outside the store.
+    OutOfRange {
+        /// First block of the attempted access.
+        lba: Lba,
+        /// Number of blocks in the attempted access.
+        count: u64,
+        /// Store capacity in blocks.
+        blocks: u64,
+    },
+    /// The buffer length is not a nonzero multiple of the block size.
+    BadBuffer {
+        /// Buffer length supplied.
+        len: usize,
+        /// Store block size.
+        block_size: u32,
+    },
+}
+
+impl fmt::Display for BlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockError::OutOfRange { lba, count, blocks } => {
+                write!(f, "{count} blocks at {lba} exceed capacity {blocks}")
+            }
+            BlockError::BadBuffer { len, block_size } => {
+                write!(
+                    f,
+                    "buffer of {len} bytes is not a nonzero multiple of block size {block_size}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BlockError {}
+
+/// Raw block storage: whole-block reads and writes, no filesystem.
+///
+/// Implementations must be thread-safe; simulated NVMe devices service
+/// queues from their own threads while workloads touch other ranges.
+pub trait BlockStore: Send + Sync {
+    /// Block size and capacity.
+    fn geometry(&self) -> BlockGeometry;
+
+    /// Reads `buf.len() / block_size` blocks starting at `lba`.
+    /// Blocks never written read as zeroes.
+    fn read(&self, lba: Lba, buf: &mut [u8]) -> Result<(), BlockError>;
+
+    /// Writes `buf.len() / block_size` blocks starting at `lba`.
+    fn write(&self, lba: Lba, buf: &[u8]) -> Result<(), BlockError>;
+
+    /// Validates an access and returns its block count.
+    fn check_access(&self, lba: Lba, len: usize) -> Result<u64, BlockError> {
+        let g = self.geometry();
+        if len == 0 || !len.is_multiple_of(g.block_size as usize) {
+            return Err(BlockError::BadBuffer {
+                len,
+                block_size: g.block_size,
+            });
+        }
+        let count = (len / g.block_size as usize) as u64;
+        if !g.contains(lba, count) {
+            return Err(BlockError::OutOfRange {
+                lba,
+                count,
+                blocks: g.blocks,
+            });
+        }
+        Ok(count)
+    }
+}
+
+/// A sparse, sharded, thread-safe in-memory block store.
+///
+/// Only blocks that have been written consume memory, so a simulated
+/// 3.84 TB P5510 namespace costs nothing until data lands on it. Shard
+/// locks keep concurrent device threads off each other's necks.
+pub struct SparseMemStore {
+    geometry: BlockGeometry,
+    shards: Vec<Mutex<HashMap<u64, Box<[u8]>>>>,
+    shard_mask: u64,
+}
+
+impl SparseMemStore {
+    /// Default number of lock shards (power of two).
+    const SHARDS: usize = 64;
+
+    /// Creates an empty store with the given geometry.
+    pub fn new(geometry: BlockGeometry) -> Self {
+        let shards = (0..Self::SHARDS).map(|_| Mutex::new(HashMap::new())).collect();
+        SparseMemStore {
+            geometry,
+            shards,
+            shard_mask: (Self::SHARDS - 1) as u64,
+        }
+    }
+
+    /// Convenience constructor: 4 KiB blocks, `bytes` total capacity.
+    pub fn with_capacity_bytes(bytes: u64) -> Self {
+        Self::new(BlockGeometry::with_capacity_bytes(4096, bytes))
+    }
+
+    #[inline]
+    fn shard(&self, block: u64) -> &Mutex<HashMap<u64, Box<[u8]>>> {
+        // Mix the low bits a little so striped access doesn't hammer one shard.
+        &self.shards[((block ^ (block >> 7)) & self.shard_mask) as usize]
+    }
+
+    /// Number of blocks currently materialized in memory.
+    pub fn resident_blocks(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+impl BlockStore for SparseMemStore {
+    fn geometry(&self) -> BlockGeometry {
+        self.geometry
+    }
+
+    fn read(&self, lba: Lba, buf: &mut [u8]) -> Result<(), BlockError> {
+        let count = self.check_access(lba, buf.len())?;
+        let bs = self.geometry.block_size as usize;
+        for i in 0..count {
+            let block = lba.0 + i;
+            let dst = &mut buf[i as usize * bs..(i as usize + 1) * bs];
+            match self.shard(block).lock().get(&block) {
+                Some(data) => dst.copy_from_slice(data),
+                None => dst.fill(0),
+            }
+        }
+        Ok(())
+    }
+
+    fn write(&self, lba: Lba, buf: &[u8]) -> Result<(), BlockError> {
+        let count = self.check_access(lba, buf.len())?;
+        let bs = self.geometry.block_size as usize;
+        for i in 0..count {
+            let block = lba.0 + i;
+            let src = &buf[i as usize * bs..(i as usize + 1) * bs];
+            self.shard(block)
+                .lock()
+                .insert(block, src.to_vec().into_boxed_slice());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn store() -> SparseMemStore {
+        SparseMemStore::new(BlockGeometry::new(512, 1000))
+    }
+
+    #[test]
+    fn unwritten_blocks_read_zero() {
+        let s = store();
+        let mut buf = vec![0xAAu8; 1024];
+        s.read(Lba(0), &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+        assert_eq!(s.resident_blocks(), 0);
+    }
+
+    #[test]
+    fn read_after_write_round_trips() {
+        let s = store();
+        let data: Vec<u8> = (0..1536).map(|i| (i % 251) as u8).collect();
+        s.write(Lba(10), &data).unwrap();
+        let mut out = vec![0u8; 1536];
+        s.read(Lba(10), &mut out).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(s.resident_blocks(), 3);
+    }
+
+    #[test]
+    fn partial_overwrite_is_block_granular() {
+        let s = store();
+        s.write(Lba(0), &[1u8; 1024]).unwrap();
+        s.write(Lba(1), &[2u8; 512]).unwrap();
+        let mut out = vec![0u8; 1024];
+        s.read(Lba(0), &mut out).unwrap();
+        assert!(out[..512].iter().all(|&b| b == 1));
+        assert!(out[512..].iter().all(|&b| b == 2));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let s = store();
+        let mut buf = vec![0u8; 1024];
+        assert_eq!(
+            s.read(Lba(999), &mut buf),
+            Err(BlockError::OutOfRange {
+                lba: Lba(999),
+                count: 2,
+                blocks: 1000
+            })
+        );
+    }
+
+    #[test]
+    fn misaligned_buffer_rejected() {
+        let s = store();
+        let mut buf = vec![0u8; 100];
+        assert!(matches!(
+            s.read(Lba(0), &mut buf),
+            Err(BlockError::BadBuffer { len: 100, .. })
+        ));
+        assert!(matches!(
+            s.write(Lba(0), &[]),
+            Err(BlockError::BadBuffer { len: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn concurrent_disjoint_writes() {
+        let s = Arc::new(SparseMemStore::new(BlockGeometry::new(512, 4096)));
+        let mut handles = Vec::new();
+        for t in 0u64..8 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                let pattern = vec![t as u8 + 1; 512];
+                for b in (t * 512)..(t * 512 + 512) {
+                    s.write(Lba(b), &pattern).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut buf = vec![0u8; 512];
+        for t in 0u64..8 {
+            s.read(Lba(t * 512 + 100), &mut buf).unwrap();
+            assert!(buf.iter().all(|&b| b == t as u8 + 1));
+        }
+        assert_eq!(s.resident_blocks(), 8 * 512);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = BlockError::BadBuffer {
+            len: 7,
+            block_size: 512,
+        };
+        assert!(e.to_string().contains("7 bytes"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for block-storage invariants.
+
+use std::sync::Arc;
+
+use cam_blockdev::{BlockGeometry, BlockStore, Extent, ExtentAllocator, Lba, Raid0, SparseMemStore};
+use proptest::prelude::*;
+
+proptest! {
+    /// Read-after-write returns exactly what was written, for arbitrary
+    /// interleavings of block-aligned writes.
+    #[test]
+    fn store_read_after_write(
+        writes in proptest::collection::vec((0u64..512, 1u64..8, 0u8..255), 1..40)
+    ) {
+        let s = SparseMemStore::new(BlockGeometry::new(512, 1024));
+        // Model: byte-accurate shadow of the store.
+        let mut shadow = vec![0u8; 1024 * 512];
+        for (lba, count, fill) in &writes {
+            let lba = *lba % (1024 - *count); // keep in range
+            let buf = vec![*fill; (*count * 512) as usize];
+            s.write(Lba(lba), &buf).unwrap();
+            shadow[(lba * 512) as usize..((lba + count) * 512) as usize].fill(*fill);
+        }
+        let mut out = vec![0u8; shadow.len()];
+        s.read(Lba(0), &mut out).unwrap();
+        prop_assert_eq!(out, shadow);
+    }
+
+    /// The RAID-0 address map is a bijection: distinct array LBAs never map
+    /// to the same (member, member-LBA) pair, and mapped LBAs stay in range.
+    #[test]
+    fn raid0_map_bijective(n in 1usize..8, stripe in 1u64..16) {
+        let children: Vec<Arc<dyn BlockStore>> = (0..n)
+            .map(|_| Arc::new(SparseMemStore::new(BlockGeometry::new(512, 256)))
+                as Arc<dyn BlockStore>)
+            .collect();
+        let r = Raid0::new(children, stripe);
+        let blocks = r.geometry().blocks.min(2048);
+        let mut seen = std::collections::HashSet::new();
+        for lba in 0..blocks {
+            let (child, clba) = r.map(Lba(lba));
+            prop_assert!(child < n);
+            prop_assert!(clba.index() < 256);
+            prop_assert!(seen.insert((child, clba.index())), "collision at {}", lba);
+        }
+    }
+
+    /// RAID-0 behaves exactly like one flat store for any aligned access.
+    #[test]
+    fn raid0_equals_flat_store(
+        n in 1usize..5,
+        stripe in 1u64..8,
+        ops in proptest::collection::vec((0u64..256, 1u64..16, 0u8..255), 1..30)
+    ) {
+        let children: Vec<Arc<dyn BlockStore>> = (0..n)
+            .map(|_| Arc::new(SparseMemStore::new(BlockGeometry::new(512, 512)))
+                as Arc<dyn BlockStore>)
+            .collect();
+        let r = Raid0::new(children, stripe);
+        let flat = SparseMemStore::new(BlockGeometry::new(512, r.geometry().blocks));
+        let cap = r.geometry().blocks;
+        for (lba, count, fill) in &ops {
+            let count = (*count).min(cap - 1);
+            let lba = *lba % (cap - count);
+            let buf = vec![*fill; (count * 512) as usize];
+            r.write(Lba(lba), &buf).unwrap();
+            flat.write(Lba(lba), &buf).unwrap();
+            let mut a = vec![0u8; buf.len()];
+            let mut b = vec![0u8; buf.len()];
+            r.read(Lba(lba), &mut a).unwrap();
+            flat.read(Lba(lba), &mut b).unwrap();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// The extent allocator never hands out overlapping extents and its
+    /// accounting (allocated + free = total) always balances.
+    #[test]
+    fn extents_never_overlap(ops in proptest::collection::vec(prop_oneof![
+        (1u64..64).prop_map(|n| (true, n)),   // alloc of size n
+        (0u64..32).prop_map(|i| (false, i)),  // free the i-th live extent
+    ], 1..100)) {
+        let mut a = ExtentAllocator::new(1024);
+        let mut live: Vec<Extent> = Vec::new();
+        for (is_alloc, arg) in ops {
+            if is_alloc {
+                if let Some(e) = a.alloc(arg) {
+                    for other in &live {
+                        prop_assert!(!e.overlaps(other), "{:?} overlaps {:?}", e, other);
+                    }
+                    live.push(e);
+                }
+            } else if !live.is_empty() {
+                let e = live.swap_remove(arg as usize % live.len());
+                a.free(e);
+            }
+            let live_blocks: u64 = live.iter().map(|e| e.blocks).sum();
+            prop_assert_eq!(a.allocated_blocks(), live_blocks);
+            prop_assert_eq!(a.free_blocks() + a.allocated_blocks(), a.total_blocks());
+        }
+        // Freeing everything restores a single fully-coalesced run.
+        for e in live.drain(..) {
+            a.free(e);
+        }
+        prop_assert_eq!(a.fragments(), 1);
+        prop_assert!(a.alloc(1024).is_some());
+    }
+}

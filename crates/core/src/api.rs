@@ -1,0 +1,300 @@
+//! The CAM API of Table II: host-side setup ([`CamContext`]) and the
+//! device-side calls ([`CamDevice`]) kernels use to overlap computation
+//! with SSD I/O while keeping a synchronous programming experience.
+
+use std::fmt;
+use std::sync::Arc;
+
+use cam_gpu::{Gpu, GpuBuffer, OutOfMemory};
+use cam_iostacks::Rig;
+
+use crate::control::{ControlConfig, ControlPlane, ControlStats};
+use crate::regions::{Channel, ChannelOp, PublishError};
+
+/// Configuration for [`CamContext::attach`] (`CAM_init`).
+#[derive(Clone, Copy, Debug)]
+pub struct CamConfig {
+    /// Region-1 capacity: maximum requests per batch.
+    pub max_batch: usize,
+    /// Channels (independent batch streams). The default 2 carries
+    /// prefetch on channel 0 and write-back on channel 1, as Fig. 7 uses.
+    pub n_channels: usize,
+    /// NVMe queue depth per worker per SSD.
+    pub queue_depth: usize,
+    /// Dynamic core adjustment (§ III-A). When off, all workers stay
+    /// active.
+    pub dynamic_scaling: bool,
+    /// Worker threads to spawn; defaults to `ceil(N/2)` for `N` SSDs
+    /// (Fig. 12: one thread drives two SSDs without degradation).
+    pub workers: Option<usize>,
+}
+
+impl Default for CamConfig {
+    fn default() -> Self {
+        CamConfig {
+            max_batch: 4096,
+            n_channels: 2,
+            queue_depth: 1024,
+            dynamic_scaling: false,
+            workers: None,
+        }
+    }
+}
+
+/// CAM errors.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CamError {
+    /// The batch exceeds region-1 capacity — split it.
+    BatchTooLarge {
+        /// Requests in the attempted batch.
+        requested: usize,
+        /// Region-1 capacity.
+        capacity: usize,
+    },
+    /// A batch is still outstanding on the channel; call the matching
+    /// `*_synchronize` first.
+    ChannelBusy,
+    /// Commands failed on the device.
+    Io {
+        /// Number of failed commands since the last synchronize.
+        failed: u64,
+    },
+    /// No such channel.
+    BadChannel(usize),
+}
+
+impl fmt::Display for CamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CamError::BatchTooLarge {
+                requested,
+                capacity,
+            } => write!(f, "batch of {requested} exceeds capacity {capacity}"),
+            CamError::ChannelBusy => write!(f, "channel busy: synchronize first"),
+            CamError::Io { failed } => write!(f, "{failed} command(s) failed"),
+            CamError::BadChannel(ch) => write!(f, "no such channel {ch}"),
+        }
+    }
+}
+
+impl std::error::Error for CamError {}
+
+/// The host-side context (`CAM_init`): owns the shared channels and the CPU
+/// control plane. Stops the control plane on drop.
+pub struct CamContext {
+    gpu: Arc<Gpu>,
+    channels: Arc<Vec<Channel>>,
+    control: ControlPlane,
+    block_size: u32,
+}
+
+impl CamContext {
+    /// `CAM_init`: sets up the four memory regions per channel, registers
+    /// queue pairs on every SSD, and starts the persistent CPU polling
+    /// thread and worker pool.
+    pub fn attach(rig: &Rig, cfg: CamConfig) -> Self {
+        assert!(cfg.n_channels >= 1 && cfg.n_channels <= 64);
+        let channels = Arc::new(
+            (0..cfg.n_channels)
+                .map(|_| Channel::new(cfg.max_batch))
+                .collect::<Vec<_>>(),
+        );
+        let max_workers = cfg
+            .workers
+            .unwrap_or_else(|| rig.n_ssds().div_ceil(2))
+            .max(1);
+        let control = ControlPlane::start(
+            rig.devices(),
+            Arc::clone(&channels),
+            ControlConfig {
+                queue_depth: cfg.queue_depth,
+                dynamic_scaling: cfg.dynamic_scaling,
+                max_workers,
+                stripe_blocks: rig.stripe_blocks(),
+                block_size: rig.block_size(),
+            },
+        );
+        CamContext {
+            gpu: Arc::clone(rig.gpu()),
+            channels,
+            control,
+            block_size: rig.block_size(),
+        }
+    }
+
+    /// `CAM_alloc`: pinned GPU memory SSDs can DMA into directly.
+    pub fn alloc(&self, bytes: usize) -> Result<GpuBuffer, OutOfMemory> {
+        self.gpu.alloc(bytes)
+    }
+
+    /// The device-side handle to pass into kernels.
+    pub fn device(&self) -> CamDevice {
+        CamDevice {
+            channels: Arc::clone(&self.channels),
+            block_size: self.block_size,
+        }
+    }
+
+    /// Control-plane counters (batches, errors, worker activity, compute
+    /// vs. I/O time estimates).
+    pub fn stats(&self) -> ControlStats {
+        self.control.stats()
+    }
+
+    /// Worker threads spawned (the dynamic scaler works within these).
+    pub fn max_workers(&self) -> usize {
+        self.control.max_workers()
+    }
+
+    /// Array block size in bytes.
+    pub fn block_size(&self) -> u32 {
+        self.block_size
+    }
+}
+
+/// A handle to one asynchronous batch (the raw CAM-Async interface).
+#[derive(Clone)]
+pub struct BatchTicket {
+    channels: Arc<Vec<Channel>>,
+    channel: usize,
+    seq: u64,
+}
+
+impl BatchTicket {
+    /// Whether the batch has retired.
+    pub fn is_done(&self) -> bool {
+        self.channels[self.channel].retired(self.seq)
+    }
+
+    /// Blocks until the batch retires; reports command failures.
+    pub fn wait(&self) -> Result<(), CamError> {
+        let ch = &self.channels[self.channel];
+        while !ch.retired(self.seq) {
+            std::thread::yield_now();
+        }
+        let failed = ch.take_new_errors();
+        if failed > 0 {
+            Err(CamError::Io { failed })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// The device-side API (Table II's `Run On: Device` rows). Cloneable and
+/// thread-safe: pass it into kernels; its methods are what the *leading
+/// thread* of a block executes.
+#[derive(Clone)]
+pub struct CamDevice {
+    channels: Arc<Vec<Channel>>,
+    block_size: u32,
+}
+
+/// Channel conventions matching Fig. 7's usage.
+const READ_CHANNEL: usize = 0;
+const WRITE_CHANNEL: usize = 1;
+
+impl CamDevice {
+    /// Array block size in bytes.
+    pub fn block_size(&self) -> u32 {
+        self.block_size
+    }
+
+    /// Number of channels.
+    pub fn n_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Raw asynchronous submit (CAM-Async): publishes a batch of
+    /// single-block requests on `channel`; request `i` reads/writes array
+    /// block `lbas[i]` at `dest_addr + i * block_size`. Returns immediately
+    /// with a ticket.
+    pub fn submit(
+        &self,
+        channel: usize,
+        op: ChannelOp,
+        lbas: &[u64],
+        dest_addr: u64,
+    ) -> Result<BatchTicket, CamError> {
+        let bs = self.block_size as u64;
+        self.submit_scatter(channel, op, lbas, |i| dest_addr + i as u64 * bs, 1)
+    }
+
+    /// Raw asynchronous submit with explicit per-request addresses and a
+    /// uniform per-request block count.
+    pub fn submit_scatter(
+        &self,
+        channel: usize,
+        op: ChannelOp,
+        lbas: &[u64],
+        addrs: impl Fn(usize) -> u64,
+        blocks_per_req: u32,
+    ) -> Result<BatchTicket, CamError> {
+        let ch = self
+            .channels
+            .get(channel)
+            .ok_or(CamError::BadChannel(channel))?;
+        let seq = ch
+            .try_publish(op, lbas, addrs, blocks_per_req)
+            .map_err(|e| match e {
+                PublishError::Busy => CamError::ChannelBusy,
+                PublishError::TooLarge => CamError::BatchTooLarge {
+                    requested: lbas.len(),
+                    capacity: ch.capacity(),
+                },
+            })?;
+        Ok(BatchTicket {
+            channels: Arc::clone(&self.channels),
+            channel,
+            seq,
+        })
+    }
+
+    /// `prefetch`: asynchronously fetch `lbas` from the SSDs into pinned
+    /// GPU memory at `dest_addr` (block `i` lands at offset `i *
+    /// block_size`). Only the leading thread does work; returns without
+    /// blocking so computation on previously-fetched data proceeds.
+    pub fn prefetch(&self, lbas: &[u64], dest_addr: u64) -> Result<(), CamError> {
+        self.submit(READ_CHANNEL, ChannelOp::Read, lbas, dest_addr)
+            .map(|_| ())
+    }
+
+    /// `prefetch_synchronize`: blocks until the last `prefetch` completed
+    /// and its data is visible in GPU memory.
+    pub fn prefetch_synchronize(&self) -> Result<(), CamError> {
+        self.synchronize_channel(READ_CHANNEL)
+    }
+
+    /// `write_back`: asynchronously write pinned GPU memory at `src_addr`
+    /// back to `lbas` on the SSDs.
+    pub fn write_back(&self, lbas: &[u64], src_addr: u64) -> Result<(), CamError> {
+        self.submit(WRITE_CHANNEL, ChannelOp::Write, lbas, src_addr)
+            .map(|_| ())
+    }
+
+    /// `write_back_synchronize`: blocks until the last `write_back` is
+    /// durable on the SSDs.
+    pub fn write_back_synchronize(&self) -> Result<(), CamError> {
+        self.synchronize_channel(WRITE_CHANNEL)
+    }
+
+    /// Synchronizes an arbitrary channel (multi-stream kernels).
+    pub fn synchronize_channel(&self, channel: usize) -> Result<(), CamError> {
+        let ch = self
+            .channels
+            .get(channel)
+            .ok_or(CamError::BadChannel(channel))?;
+        // "All threads are blocked and wait for the leading thread to check
+        // if the fourth region has been written."
+        let seq = ch.current_seq();
+        while !ch.retired(seq) {
+            std::thread::yield_now();
+        }
+        let failed = ch.take_new_errors();
+        if failed > 0 {
+            Err(CamError::Io { failed })
+        } else {
+            Ok(())
+        }
+    }
+}

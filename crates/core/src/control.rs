@@ -1,0 +1,391 @@
+//! The CPU user-space control plane (§ III-A).
+//!
+//! One persistent **polling thread** watches every channel's doorbell
+//! ("CAM does not require persistent threads on the GPU. Instead, it
+//! requires a persistent thread on the CPU"). When a batch arrives it is
+//! split by stripe across SSDs and dispatched to **worker threads**; each
+//! worker owns a private queue pair per SSD (SPDK's no-locks-in-the-I/O-path
+//! discipline), stages the whole group, rings one doorbell, and polls
+//! completions. The last worker of a batch retires it by writing region 4
+//! and feeds the [`DynamicScaler`] with the batch's compute/I/O times.
+//!
+//! [`DynamicScaler`]: crate::DynamicScaler
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use cam_nvme::spec::{Sqe, Status};
+use cam_nvme::{NvmeDevice, QueuePair};
+use cam_simkit::Dur;
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use crate::regions::{Channel, ChannelOp};
+use crate::scaler::DynamicScaler;
+
+/// Control-plane configuration (subset of [`CamConfig`]).
+///
+/// [`CamConfig`]: crate::CamConfig
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ControlConfig {
+    pub queue_depth: usize,
+    pub dynamic_scaling: bool,
+    /// Worker threads spawned (= the scaler's upper bound).
+    pub max_workers: usize,
+    pub stripe_blocks: u64,
+    pub block_size: u32,
+}
+
+/// A point-in-time snapshot of control-plane counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ControlStats {
+    /// Batches retired.
+    pub batches: u64,
+    /// Requests completed.
+    pub requests: u64,
+    /// Commands that failed.
+    pub errors: u64,
+    /// Workers currently active (≤ spawned workers).
+    pub active_workers: usize,
+    /// Mean I/O time per batch (doorbell → region-4 write).
+    pub mean_io: Dur,
+    /// Mean GPU-side gap between batches (retire → next doorbell), the
+    /// control plane's estimate of computation time.
+    pub mean_compute: Dur,
+}
+
+struct WorkItem {
+    ssd: usize,
+    op: ChannelOp,
+    /// (device LBA, pinned address, blocks) — stripe-contiguous runs.
+    reqs: Vec<(u64, u64, u32)>,
+    batch: Arc<BatchState>,
+}
+
+struct BatchState {
+    channel: usize,
+    seq: u64,
+    remaining: AtomicUsize,
+    errors: AtomicU64,
+    requests: u64,
+    dispatched: Instant,
+    compute_gap: Dur,
+}
+
+struct Shared {
+    channels: Arc<Vec<Channel>>,
+    /// `qps[ssd][worker]` — each worker's private queue pair per SSD.
+    qps: Vec<Vec<Arc<QueuePair>>>,
+    n_ssds: usize,
+    stripe_blocks: u64,
+    block_size: u32,
+    active_workers: AtomicUsize,
+    stop: AtomicBool,
+    scaler: Mutex<DynamicScaler>,
+    dynamic: bool,
+    // Stats.
+    batches: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    io_ns: AtomicU64,
+    compute_ns: AtomicU64,
+    compute_samples: AtomicU64,
+    last_retire: Mutex<Vec<Option<Instant>>>,
+}
+
+impl Shared {
+    fn map(&self, lba: u64) -> (usize, u64) {
+        let n = self.n_ssds as u64;
+        let stripe = lba / self.stripe_blocks;
+        let within = lba % self.stripe_blocks;
+        (
+            (stripe % n) as usize,
+            (stripe / n) * self.stripe_blocks + within,
+        )
+    }
+}
+
+/// The running control plane. Stops and joins its threads on drop.
+pub(crate) struct ControlPlane {
+    shared: Arc<Shared>,
+    senders: Vec<Sender<WorkItem>>,
+    poller: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ControlPlane {
+    pub(crate) fn start(
+        devices: &[NvmeDevice],
+        channels: Arc<Vec<Channel>>,
+        cfg: ControlConfig,
+    ) -> Self {
+        let n_ssds = devices.len();
+        assert!(n_ssds >= 1);
+        let max_workers = cfg.max_workers.max(1);
+        let qps: Vec<Vec<Arc<QueuePair>>> = devices
+            .iter()
+            .map(|d| {
+                (0..max_workers)
+                    .map(|_| d.add_queue_pair(cfg.queue_depth))
+                    .collect()
+            })
+            .collect();
+        let scaler = if cfg.dynamic_scaling {
+            DynamicScaler::for_ssds(n_ssds)
+        } else {
+            DynamicScaler::with_bounds(max_workers, max_workers)
+        };
+        let initial = scaler.active().min(max_workers);
+        let shared = Arc::new(Shared {
+            channels,
+            qps,
+            n_ssds,
+            stripe_blocks: cfg.stripe_blocks,
+            block_size: cfg.block_size,
+            active_workers: AtomicUsize::new(initial),
+            stop: AtomicBool::new(false),
+            scaler: Mutex::new(scaler),
+            dynamic: cfg.dynamic_scaling,
+            batches: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            io_ns: AtomicU64::new(0),
+            compute_ns: AtomicU64::new(0),
+            compute_samples: AtomicU64::new(0),
+            last_retire: Mutex::new(vec![None; 64]),
+        });
+
+        let mut senders = Vec::with_capacity(max_workers);
+        let mut workers = Vec::with_capacity(max_workers);
+        for wid in 0..max_workers {
+            let (tx, rx) = crossbeam::channel::unbounded::<WorkItem>();
+            senders.push(tx);
+            let sh = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("cam-worker{wid}"))
+                    .spawn(move || worker_loop(&sh, wid, rx))
+                    .expect("spawn CAM worker"),
+            );
+        }
+        let poller = {
+            let sh = Arc::clone(&shared);
+            let senders = senders.clone();
+            std::thread::Builder::new()
+                .name("cam-poller".to_string())
+                .spawn(move || poller_loop(&sh, &senders))
+                .expect("spawn CAM poller")
+        };
+        ControlPlane {
+            shared,
+            senders,
+            poller: Some(poller),
+            workers,
+        }
+    }
+
+    pub(crate) fn stats(&self) -> ControlStats {
+        let sh = &self.shared;
+        let batches = sh.batches.load(Ordering::Relaxed);
+        let samples = sh.compute_samples.load(Ordering::Relaxed);
+        ControlStats {
+            batches,
+            requests: sh.requests.load(Ordering::Relaxed),
+            errors: sh.errors.load(Ordering::Relaxed),
+            active_workers: sh.active_workers.load(Ordering::Relaxed),
+            mean_io: Dur::ns(
+                sh.io_ns.load(Ordering::Relaxed).checked_div(batches).unwrap_or(0),
+            ),
+            mean_compute: Dur::ns(
+                sh.compute_ns
+                    .load(Ordering::Relaxed)
+                    .checked_div(samples)
+                    .unwrap_or(0),
+            ),
+        }
+    }
+
+    /// Number of worker threads spawned (scaling happens within these).
+    pub(crate) fn max_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    pub(crate) fn stop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.senders.clear(); // disconnect worker queues
+        if let Some(p) = self.poller.take() {
+            let _ = p.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ControlPlane {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn poller_loop(sh: &Shared, senders: &[Sender<WorkItem>]) {
+    let mut last_seen = vec![0u64; sh.channels.len()];
+    let mut groups: Vec<Vec<(u64, u64, u32)>> = vec![Vec::new(); sh.n_ssds];
+    while !sh.stop.load(Ordering::Acquire) {
+        let mut progress = false;
+        for (ch_idx, ch) in sh.channels.iter().enumerate() {
+            let Some(seq) = ch.pending(last_seen[ch_idx]) else {
+                continue;
+            };
+            progress = true;
+            last_seen[ch_idx] = seq;
+            let (op, blocks, reqs) = ch.snapshot();
+            let now = Instant::now();
+            let compute_gap = {
+                let mut lr = sh.last_retire.lock();
+                match lr.get_mut(ch_idx).and_then(|o| o.take()) {
+                    Some(t) => Dur::from_secs_f64(now.duration_since(t).as_secs_f64()),
+                    None => Dur::ZERO,
+                }
+            };
+            if reqs.is_empty() {
+                ch.retire(seq, 0);
+                continue;
+            }
+            // Split the batch by stripe across SSDs. Requests that cross a
+            // stripe boundary become several stripe-contiguous runs — the
+            // CPU control plane owns the striping, so GPU code never needs
+            // to know the array layout.
+            for g in &mut groups {
+                g.clear();
+            }
+            let bs = sh.block_size as u64;
+            let mut total_requests = 0u64;
+            for (lba, addr) in &reqs {
+                let mut done = 0u64;
+                while done < blocks as u64 {
+                    let cur = lba + done;
+                    let left = sh.stripe_blocks - cur % sh.stripe_blocks;
+                    let run = left.min(blocks as u64 - done) as u32;
+                    let (ssd, dev_lba) = sh.map(cur);
+                    groups[ssd].push((dev_lba, addr + done * bs, run));
+                    total_requests += 1;
+                    done += run as u64;
+                }
+            }
+            let _ = total_requests;
+            let n_groups = groups.iter().filter(|g| !g.is_empty()).count();
+            let batch = Arc::new(BatchState {
+                channel: ch_idx,
+                seq,
+                remaining: AtomicUsize::new(n_groups),
+                errors: AtomicU64::new(0),
+                requests: reqs.len() as u64,
+                dispatched: now,
+                compute_gap,
+            });
+            let active = sh
+                .active_workers
+                .load(Ordering::Relaxed)
+                .clamp(1, senders.len());
+            for (ssd, g) in groups.iter_mut().enumerate() {
+                if g.is_empty() {
+                    continue;
+                }
+                let item = WorkItem {
+                    ssd,
+                    op,
+                    reqs: std::mem::take(g),
+                    batch: Arc::clone(&batch),
+                };
+                // An SSD is always handled by the worker `ssd % active`, so
+                // one SSD's queue pairs are never polled by two threads at
+                // once within an active-count epoch.
+                let _ = senders[ssd % active].send(item);
+            }
+        }
+        if !progress {
+            std::thread::yield_now();
+        }
+    }
+}
+
+fn worker_loop(sh: &Shared, wid: usize, rx: Receiver<WorkItem>) {
+    loop {
+        let item = match rx.recv_timeout(std::time::Duration::from_millis(5)) {
+            Ok(item) => item,
+            Err(RecvTimeoutError::Timeout) => {
+                if sh.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        let qp = &sh.qps[item.ssd][wid];
+        let mut submitted = 0usize;
+        let mut completed = 0usize;
+        let mut errors = 0u64;
+        // Stage the whole group; one doorbell unless the ring fills
+        // (batched submission is the point of the CPU control plane).
+        while submitted < item.reqs.len() {
+            let (dev_lba, addr, run_blocks) = item.reqs[submitted];
+            let cid = (submitted % u16::MAX as usize) as u16;
+            let sqe = match item.op {
+                ChannelOp::Read => Sqe::read(cid, dev_lba, run_blocks, addr),
+                ChannelOp::Write => Sqe::write(cid, dev_lba, run_blocks, addr),
+            };
+            if qp.push_sqe(sqe).is_ok() {
+                submitted += 1;
+            } else {
+                qp.ring_doorbell();
+                // Ring full: reap a few completions to make room.
+                while let Some(cqe) = qp.poll_cqe() {
+                    completed += 1;
+                    if cqe.status != Status::Success {
+                        errors += 1;
+                    }
+                }
+                std::thread::yield_now();
+            }
+        }
+        qp.ring_doorbell();
+        while completed < item.reqs.len() {
+            match qp.poll_cqe() {
+                Some(cqe) => {
+                    completed += 1;
+                    if cqe.status != Status::Success {
+                        errors += 1;
+                    }
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+        if errors > 0 {
+            item.batch.errors.fetch_add(errors, Ordering::Relaxed);
+        }
+        // Last group retires the batch: region-4 write + bookkeeping.
+        if item.batch.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let b = &item.batch;
+            let batch_errors = b.errors.load(Ordering::Relaxed);
+            let io = Dur::from_secs_f64(b.dispatched.elapsed().as_secs_f64());
+            sh.channels[b.channel].retire(b.seq, batch_errors);
+            sh.last_retire.lock()[b.channel] = Some(Instant::now());
+            sh.batches.fetch_add(1, Ordering::Relaxed);
+            sh.requests.fetch_add(b.requests, Ordering::Relaxed);
+            sh.errors.fetch_add(batch_errors, Ordering::Relaxed);
+            sh.io_ns.fetch_add(io.as_ns(), Ordering::Relaxed);
+            if b.compute_gap > Dur::ZERO {
+                sh.compute_ns
+                    .fetch_add(b.compute_gap.as_ns(), Ordering::Relaxed);
+                sh.compute_samples.fetch_add(1, Ordering::Relaxed);
+            }
+            if sh.dynamic && b.compute_gap > Dur::ZERO {
+                let active = sh.scaler.lock().observe(b.compute_gap, io);
+                sh.active_workers.store(active, Ordering::Relaxed);
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! [`DoubleBuffer`] — the read/compute buffer rotation of Fig. 7.
+//!
+//! The kernel loop keeps two pinned buffers: the CPU prefetches the next
+//! batch into one while the GPU computes on the other, then the roles swap
+//! after `prefetch_synchronize`. This helper owns the pair and the swap.
+
+use cam_gpu::{GpuBuffer, OutOfMemory};
+
+use crate::api::CamContext;
+
+/// A pair of pinned GPU buffers rotated between "being prefetched into"
+/// and "being computed on".
+pub struct DoubleBuffer {
+    bufs: [GpuBuffer; 2],
+    front: usize,
+}
+
+impl DoubleBuffer {
+    /// Allocates two `bytes`-sized pinned buffers (`CAM_alloc` twice,
+    /// as in Fig. 7's host function).
+    pub fn new(cam: &CamContext, bytes: usize) -> Result<Self, OutOfMemory> {
+        Ok(DoubleBuffer {
+            bufs: [cam.alloc(bytes)?, cam.alloc(bytes)?],
+            front: 0,
+        })
+    }
+
+    /// The buffer the kernel computes on this iteration.
+    pub fn compute_buf(&self) -> &GpuBuffer {
+        &self.bufs[self.front]
+    }
+
+    /// The buffer the next `prefetch` should target.
+    pub fn read_buf(&self) -> &GpuBuffer {
+        &self.bufs[1 - self.front]
+    }
+
+    /// Rotates the pair (`compute_buffer ← read_buffer`, Fig. 7 lines 5–6).
+    pub fn swap(&mut self) {
+        self.front = 1 - self.front;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CamConfig;
+    use cam_iostacks::{Rig, RigConfig};
+
+    #[test]
+    fn swap_rotates_roles() {
+        let rig = Rig::new(RigConfig::default());
+        let cam = CamContext::attach(&rig, CamConfig::default());
+        let mut db = DoubleBuffer::new(&cam, 8192).unwrap();
+        let a = db.compute_buf().addr();
+        let b = db.read_buf().addr();
+        assert_ne!(a, b);
+        db.swap();
+        assert_eq!(db.compute_buf().addr(), b);
+        assert_eq!(db.read_buf().addr(), a);
+        db.swap();
+        assert_eq!(db.compute_buf().addr(), a);
+    }
+
+    #[test]
+    fn oom_propagates() {
+        let rig = Rig::new(RigConfig {
+            gpu_mem: 1 << 20,
+            ..RigConfig::default()
+        });
+        let cam = CamContext::attach(&rig, CamConfig::default());
+        assert!(DoubleBuffer::new(&cam, 1 << 20).is_err());
+    }
+}

@@ -1,0 +1,147 @@
+//! [`DynamicScaler`] — the dynamic CPU-core adjustment of § III-A.
+//!
+//! "If computation takes a longer time, the total execution time is bounded
+//! by computation because I/O time completely overlaps with computation
+//! time. Less I/O throughput may also be no longer than the computation
+//! time, allowing CAM to dynamically reduce the CPU cores without affecting
+//! performance. CAM records computation and I/O time [and] adjusts the
+//! number of cores for CPU-based SSD control according to the relative time
+//! of computation and I/O in the last batch."
+//!
+//! With `N` SSDs the active-worker count ranges over `[ceil(N/4),
+//! ceil(N/2)]` — the upper bound because one thread drives two SSDs for
+//! free (Fig. 12), the lower bound because ~4 SSDs/thread costs ~25%, which
+//! only pays off when computation dominates anyway.
+
+use cam_simkit::Dur;
+
+/// Hysteresis thresholds: shrink when I/O (including slack) would still fit
+/// under computation; grow as soon as I/O is the critical path.
+const SHRINK_MARGIN: f64 = 1.3;
+
+/// Adaptive controller for the number of active I/O worker threads.
+#[derive(Clone, Copy, Debug)]
+pub struct DynamicScaler {
+    min: usize,
+    max: usize,
+    current: usize,
+}
+
+impl DynamicScaler {
+    /// Creates a scaler for `n_ssds` SSDs, starting at the maximum
+    /// (`ceil(N/2)`) so cold-start batches aren't I/O-starved.
+    pub fn for_ssds(n_ssds: usize) -> Self {
+        assert!(n_ssds >= 1);
+        let min = n_ssds.div_ceil(4).max(1);
+        let max = n_ssds.div_ceil(2).max(1);
+        DynamicScaler {
+            min,
+            max,
+            current: max,
+        }
+    }
+
+    /// Creates a scaler with explicit bounds (for experiments).
+    pub fn with_bounds(min: usize, max: usize) -> Self {
+        assert!(1 <= min && min <= max);
+        DynamicScaler {
+            min,
+            max,
+            current: max,
+        }
+    }
+
+    /// Current active worker count.
+    pub fn active(&self) -> usize {
+        self.current
+    }
+
+    /// Lower bound (`ceil(N/4)`).
+    pub fn min(&self) -> usize {
+        self.min
+    }
+
+    /// Upper bound (`ceil(N/2)`).
+    pub fn max(&self) -> usize {
+        self.max
+    }
+
+    /// Feeds the last batch's observed computation and I/O durations and
+    /// returns the (possibly updated) active worker count.
+    ///
+    /// * I/O slower than computation → the pipeline is I/O-bound: grow.
+    /// * I/O faster than computation by a safety margin → even a slower
+    ///   I/O plane would hide under compute: shrink.
+    pub fn observe(&mut self, compute: Dur, io: Dur) -> usize {
+        let c = compute.as_ns() as f64;
+        let i = io.as_ns() as f64;
+        if i > c {
+            if self.current < self.max {
+                self.current += 1;
+            }
+        } else if i * SHRINK_MARGIN < c && self.current > self.min {
+            // Losing one worker multiplies per-request cost modestly; the
+            // margin guarantees the slower I/O still hides under compute.
+            self.current -= 1;
+        }
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_follow_the_paper() {
+        let s = DynamicScaler::for_ssds(12);
+        assert_eq!(s.min(), 3); // N/4
+        assert_eq!(s.max(), 6); // N/2
+        assert_eq!(s.active(), 6);
+        let s = DynamicScaler::for_ssds(1);
+        assert_eq!((s.min(), s.max()), (1, 1));
+    }
+
+    #[test]
+    fn compute_bound_batches_shrink_to_min() {
+        let mut s = DynamicScaler::for_ssds(12);
+        for _ in 0..10 {
+            s.observe(Dur::ms(10), Dur::ms(2));
+        }
+        assert_eq!(s.active(), s.min());
+    }
+
+    #[test]
+    fn io_bound_batches_grow_to_max() {
+        let mut s = DynamicScaler::with_bounds(3, 6);
+        s.current = 3;
+        for _ in 0..10 {
+            s.observe(Dur::ms(2), Dur::ms(10));
+        }
+        assert_eq!(s.active(), 6);
+    }
+
+    #[test]
+    fn balanced_batches_hold_steady() {
+        let mut s = DynamicScaler::for_ssds(12);
+        let before = s.active();
+        for _ in 0..10 {
+            // I/O just under compute but inside the margin: no change.
+            s.observe(Dur::ms(10), Dur::ms(9));
+        }
+        assert_eq!(s.active(), before);
+    }
+
+    #[test]
+    fn oscillating_workload_tracks() {
+        let mut s = DynamicScaler::for_ssds(8);
+        for _ in 0..6 {
+            s.observe(Dur::ms(10), Dur::ms(1));
+        }
+        assert_eq!(s.active(), s.min());
+        for _ in 0..6 {
+            s.observe(Dur::ms(1), Dur::ms(10));
+        }
+        assert_eq!(s.active(), s.max());
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests of the CAM protocol: arbitrary batch sequences
+//! through the full stack (regions → control plane → NVMe → media) must
+//! behave exactly like a flat shadow model of the array.
+
+use std::collections::HashMap;
+
+use cam_core::{CamConfig, CamContext};
+use cam_iostacks::{Rig, RigConfig};
+use proptest::prelude::*;
+
+/// One protocol operation in a generated scenario.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Write `count` blocks at `lba`, filled with `fill`.
+    WriteBack { lba: u64, count: u8, fill: u8 },
+    /// Read `count` blocks at `lba` and check against the shadow.
+    Prefetch { lba: u64, count: u8 },
+}
+
+fn op_strategy(max_lba: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..max_lba, 1u8..16, 1u8..255).prop_map(|(lba, count, fill)| Op::WriteBack {
+            lba,
+            count,
+            fill
+        }),
+        (0..max_lba, 1u8..16).prop_map(|(lba, count)| Op::Prefetch { lba, count }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // each case spins up real device/control threads
+        .. ProptestConfig::default()
+    })]
+
+    /// Any interleaving of write_back and prefetch batches agrees with a
+    /// block-granular shadow model, across SSD counts and stripe widths.
+    #[test]
+    fn cam_matches_shadow_model(
+        n_ssds in 1usize..4,
+        stripe in 1u64..4,
+        ops in proptest::collection::vec(op_strategy(192), 1..12),
+    ) {
+        let rig = Rig::new(RigConfig {
+            n_ssds,
+            blocks_per_ssd: 256,
+            stripe_blocks: stripe,
+            ..RigConfig::default()
+        });
+        let cam = CamContext::attach(&rig, CamConfig::default());
+        let dev = cam.device();
+        let bs = rig.block_size() as usize;
+        let buf = cam.alloc(16 * bs).unwrap();
+        let mut shadow: HashMap<u64, u8> = HashMap::new();
+        let cap = rig.array_blocks();
+
+        for op in &ops {
+            match *op {
+                Op::WriteBack { lba, count, fill } => {
+                    let count = count as u64;
+                    let lba = lba.min(cap.saturating_sub(count + 1));
+                    // Fill the staging buffer: block i gets `fill + i`.
+                    for i in 0..count {
+                        buf.write(i as usize * bs, &vec![fill.wrapping_add(i as u8); bs]);
+                    }
+                    let lbas: Vec<u64> = (lba..lba + count).collect();
+                    dev.write_back(&lbas, buf.addr()).unwrap();
+                    dev.write_back_synchronize().unwrap();
+                    for i in 0..count {
+                        shadow.insert(lba + i, fill.wrapping_add(i as u8));
+                    }
+                }
+                Op::Prefetch { lba, count } => {
+                    let count = count as u64;
+                    let lba = lba.min(cap.saturating_sub(count + 1));
+                    let lbas: Vec<u64> = (lba..lba + count).collect();
+                    dev.prefetch(&lbas, buf.addr()).unwrap();
+                    dev.prefetch_synchronize().unwrap();
+                    let data = buf.to_vec();
+                    for i in 0..count {
+                        let want = shadow.get(&(lba + i)).copied().unwrap_or(0);
+                        let got = &data[i as usize * bs..(i as usize + 1) * bs];
+                        prop_assert!(
+                            got.iter().all(|&b| b == want),
+                            "block {} expected {want}, got {:?}...",
+                            lba + i,
+                            &got[..4]
+                        );
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(cam.stats().errors, 0);
+    }
+
+    /// Scattered single-block batches with arbitrary (deduplicated) LBA
+    /// sets land each block at exactly its own destination slot.
+    #[test]
+    fn scattered_prefetch_preserves_request_order(
+        mut lbas in proptest::collection::hash_set(0u64..128, 1..32),
+    ) {
+        let lbas: Vec<u64> = {
+            let mut v: Vec<u64> = lbas.drain().collect();
+            v.sort_unstable();
+            v.reverse(); // arbitrary, non-monotone submission order
+            v
+        };
+        let rig = Rig::new(RigConfig {
+            n_ssds: 3,
+            blocks_per_ssd: 128,
+            ..RigConfig::default()
+        });
+        // Tag every block with its own LBA via the raid view.
+        let raid = rig.raid_view();
+        let bs = rig.block_size() as usize;
+        for b in 0..128u64 {
+            cam_blockdev::BlockStore::write(
+                &raid,
+                cam_blockdev::Lba(b),
+                &vec![(b % 251) as u8 + 1; bs],
+            )
+            .unwrap();
+        }
+        let cam = CamContext::attach(&rig, CamConfig::default());
+        let dev = cam.device();
+        let buf = cam.alloc(lbas.len() * bs).unwrap();
+        dev.prefetch(&lbas, buf.addr()).unwrap();
+        dev.prefetch_synchronize().unwrap();
+        let data = buf.to_vec();
+        for (i, &lba) in lbas.iter().enumerate() {
+            let want = (lba % 251) as u8 + 1;
+            prop_assert!(
+                data[i * bs..(i + 1) * bs].iter().all(|&b| b == want),
+                "slot {i} (lba {lba})"
+            );
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Property-based tests for GPU memory-allocator invariants.
+
+use cam_gpu::{Gpu, GpuBuffer, GpuSpec};
+use proptest::prelude::*;
+
+proptest! {
+    /// Live buffers never overlap, stay inside the region, and freeing
+    /// everything restores the full pool.
+    #[test]
+    fn buffers_never_overlap(ops in proptest::collection::vec(prop_oneof![
+        (1usize..200_000).prop_map(|sz| (true, sz)),   // alloc of sz bytes
+        (0usize..32).prop_map(|i| (false, i)),         // free i-th live buffer
+    ], 1..60)) {
+        let gpu = Gpu::new(GpuSpec::a100_80g(), 2 << 20);
+        let total_free = gpu.memory().free_bytes();
+        let mut live: Vec<GpuBuffer> = Vec::new();
+        for (is_alloc, arg) in ops {
+            if is_alloc {
+                if let Ok(buf) = gpu.alloc(arg) {
+                    let (a0, a1) = (buf.addr(), buf.addr() + buf.capacity() as u64);
+                    for other in &live {
+                        let (b0, b1) = (other.addr(), other.addr() + other.capacity() as u64);
+                        prop_assert!(a1 <= b0 || b1 <= a0,
+                            "overlap: [{a0:#x},{a1:#x}) vs [{b0:#x},{b1:#x})");
+                    }
+                    prop_assert!(buf.capacity() >= buf.len());
+                    live.push(buf);
+                }
+            } else if !live.is_empty() {
+                let idx = arg % live.len();
+                live.swap_remove(idx);
+            }
+            // Accounting always balances.
+            let used: usize = live.iter().map(|b| b.capacity()).sum();
+            prop_assert_eq!(gpu.memory().allocated_bytes(), used);
+            prop_assert_eq!(gpu.memory().free_bytes(), total_free - used);
+        }
+        live.clear();
+        prop_assert_eq!(gpu.memory().free_bytes(), total_free);
+        // After full free, the whole pool is allocatable again.
+        prop_assert!(gpu.alloc(total_free).is_ok());
+    }
+
+    /// Writes through one buffer never bleed into another.
+    #[test]
+    fn buffer_isolation(sizes in proptest::collection::vec(1usize..20_000, 2..8)) {
+        let gpu = Gpu::new(GpuSpec::a100_80g(), 4 << 20);
+        let bufs: Vec<GpuBuffer> = sizes.iter().map(|&s| gpu.alloc(s).unwrap()).collect();
+        for (i, b) in bufs.iter().enumerate() {
+            b.write(0, &vec![i as u8 + 1; b.len()]);
+        }
+        for (i, b) in bufs.iter().enumerate() {
+            prop_assert!(b.to_vec().iter().all(|&x| x == i as u8 + 1), "buffer {i}");
+        }
+    }
+}

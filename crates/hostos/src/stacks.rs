@@ -1,0 +1,254 @@
+//! [`IoStackKind`] — calibrated per-request CPU costs of the software I/O
+//! stacks, split by the paper's four layers.
+//!
+//! Fig. 3 divides each request's host-side time into **User**, **file
+//! system** (LBA retrieval), **I/O mapping** (page pin/unpin + add to bio),
+//! and **Block I/O** (request-queue handling + device notification). The
+//! kernel stacks pay all four per request; SPDK and CAM run entirely in user
+//! space and pay only a (small) user-layer cost. The constants below are
+//! calibrated so that the derived maximum 4 KiB command rates reproduce
+//! Fig. 2's ordering and magnitudes against the P5510 model:
+//!
+//! | stack         | 4 KiB read CPU/req | max rate vs device 427 K |
+//! |---------------|--------------------|--------------------------|
+//! | POSIX pread   | ~4.5 µs            | ~222 K — far below       |
+//! | libaio        | ~2.8 µs            | ~357 K — below           |
+//! | io_uring int  | ~2.4 µs            | ~417 K — just below      |
+//! | io_uring poll | ~1.9 µs            | device-bound (~427 K)    |
+//! | SPDK          | ~0.45 µs           | device-bound             |
+//! | CAM           | ~0.50 µs           | device-bound             |
+//!
+//! and the fs + io_map share of the kernel stacks exceeds the paper's
+//! "more than 34%" observation.
+
+use cam_simkit::Dur;
+
+/// Transfer direction (writes cost slightly more in the kernel layers:
+/// dirty-page bookkeeping and stricter pinning).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum IoDir {
+    /// Device → memory.
+    Read,
+    /// Memory → device.
+    Write,
+}
+
+/// Per-request CPU time in each of the paper's four layers.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LayerCosts {
+    /// Application + syscall entry/exit.
+    pub user: Dur,
+    /// File system: logical-block-address retrieval.
+    pub filesystem: Dur,
+    /// I/O mapping: pin kernel pages, build the bio.
+    pub io_map: Dur,
+    /// Block I/O: request queue + SSD notification (+ interrupt handling).
+    pub block_io: Dur,
+}
+
+impl LayerCosts {
+    /// Total CPU time per request.
+    pub fn total(&self) -> Dur {
+        self.user + self.filesystem + self.io_map + self.block_io
+    }
+
+    /// Fraction of the total spent in filesystem + io_map (the share the
+    /// paper singles out as avoidable for batched fixed-layout access).
+    pub fn avoidable_fraction(&self) -> f64 {
+        let t = self.total().as_ns() as f64;
+        if t == 0.0 {
+            return 0.0;
+        }
+        (self.filesystem + self.io_map).as_ns() as f64 / t
+    }
+}
+
+/// The software I/O stacks compared throughout the evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum IoStackKind {
+    /// POSIX `pread`/`pwrite` with `O_DIRECT` (synchronous, per-call kernel
+    /// traversal).
+    Posix,
+    /// Linux native AIO (`io_submit`/`io_getevents`), interrupt completion.
+    Libaio,
+    /// `io_uring`, interrupt-driven completion.
+    IoUringInt,
+    /// `io_uring` with kernel-side polling (`IORING_SETUP_IOPOLL`).
+    IoUringPoll,
+    /// SPDK user-space driver (kernel bypass, polled completions, data
+    /// staged through CPU memory when feeding a GPU).
+    Spdk,
+    /// CAM's CPU user-space control plane (kernel bypass, polled, direct
+    /// SSD↔GPU data path).
+    Cam,
+}
+
+impl IoStackKind {
+    /// All stacks, in the order the paper's figures list them.
+    pub const ALL: [IoStackKind; 6] = [
+        IoStackKind::Posix,
+        IoStackKind::Libaio,
+        IoStackKind::IoUringInt,
+        IoStackKind::IoUringPoll,
+        IoStackKind::Spdk,
+        IoStackKind::Cam,
+    ];
+
+    /// Display name matching the paper's labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            IoStackKind::Posix => "POSIX I/O",
+            IoStackKind::Libaio => "libaio",
+            IoStackKind::IoUringInt => "io_uring int",
+            IoStackKind::IoUringPoll => "io_uring poll",
+            IoStackKind::Spdk => "SPDK",
+            IoStackKind::Cam => "CAM",
+        }
+    }
+
+    /// Whether the stack goes through the OS kernel per request.
+    pub fn uses_kernel(self) -> bool {
+        !matches!(self, IoStackKind::Spdk | IoStackKind::Cam)
+    }
+
+    /// Whether completions are interrupt-driven (vs. polled).
+    pub fn interrupt_driven(self) -> bool {
+        matches!(
+            self,
+            IoStackKind::Posix | IoStackKind::Libaio | IoStackKind::IoUringInt
+        )
+    }
+
+    /// Per-request CPU cost by layer (Fig. 3's bars).
+    pub fn layer_costs(self, dir: IoDir) -> LayerCosts {
+        let c = match self {
+            IoStackKind::Posix => LayerCosts {
+                user: Dur::ns(400),
+                filesystem: Dur::ns(900),
+                io_map: Dur::ns(1600),
+                block_io: Dur::ns(1600),
+            },
+            IoStackKind::Libaio => LayerCosts {
+                user: Dur::ns(300),
+                filesystem: Dur::ns(700),
+                io_map: Dur::ns(1000),
+                block_io: Dur::ns(800),
+            },
+            IoStackKind::IoUringInt => LayerCosts {
+                user: Dur::ns(250),
+                filesystem: Dur::ns(650),
+                io_map: Dur::ns(900),
+                block_io: Dur::ns(600),
+            },
+            IoStackKind::IoUringPoll => LayerCosts {
+                user: Dur::ns(250),
+                filesystem: Dur::ns(600),
+                io_map: Dur::ns(700),
+                block_io: Dur::ns(350),
+            },
+            IoStackKind::Spdk => LayerCosts {
+                user: Dur::ns(450),
+                ..LayerCosts::default()
+            },
+            IoStackKind::Cam => LayerCosts {
+                user: Dur::ns(500),
+                ..LayerCosts::default()
+            },
+        };
+        match dir {
+            IoDir::Read => c,
+            // Writes pin pages for reading and mark them dirty; kernel
+            // layers cost ~15% more. User-space stacks are symmetric.
+            IoDir::Write => LayerCosts {
+                user: c.user,
+                filesystem: scale(c.filesystem, 1.15),
+                io_map: scale(c.io_map, 1.15),
+                block_io: scale(c.block_io, 1.15),
+            },
+        }
+    }
+
+    /// Total submit-side CPU time per request.
+    pub fn cpu_per_request(self, dir: IoDir) -> Dur {
+        self.layer_costs(dir).total()
+    }
+
+    /// Maximum request rate one submitting core sustains (requests/s).
+    pub fn max_rate_per_core(self, dir: IoDir) -> f64 {
+        1e9 / self.cpu_per_request(dir).as_ns() as f64
+    }
+}
+
+fn scale(d: Dur, f: f64) -> Dur {
+    Dur::from_ns_f64(d.as_ns() as f64 * f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_fig2() {
+        // POSIX < libaio < io_uring int < io_uring poll < SPDK≈CAM.
+        let rates: Vec<f64> = IoStackKind::ALL
+            .iter()
+            .map(|s| s.max_rate_per_core(IoDir::Read))
+            .collect();
+        assert!(rates[0] < rates[1]);
+        assert!(rates[1] < rates[2]);
+        assert!(rates[2] < rates[3]);
+        assert!(rates[3] < rates[4]);
+        // SPDK and CAM are within 15% of each other.
+        assert!((rates[4] - rates[5]).abs() / rates[4] < 0.15);
+    }
+
+    #[test]
+    fn kernel_stacks_spend_over_34_percent_in_fs_plus_iomap() {
+        for s in [
+            IoStackKind::Posix,
+            IoStackKind::Libaio,
+            IoStackKind::IoUringInt,
+            IoStackKind::IoUringPoll,
+        ] {
+            for d in [IoDir::Read, IoDir::Write] {
+                let f = s.layer_costs(d).avoidable_fraction();
+                assert!(f > 0.34, "{} {:?}: {f}", s.name(), d);
+            }
+        }
+    }
+
+    #[test]
+    fn user_space_stacks_have_no_kernel_layers() {
+        for s in [IoStackKind::Spdk, IoStackKind::Cam] {
+            let c = s.layer_costs(IoDir::Read);
+            assert_eq!(c.filesystem, Dur::ZERO);
+            assert_eq!(c.io_map, Dur::ZERO);
+            assert_eq!(c.block_io, Dur::ZERO);
+            assert!(!s.uses_kernel());
+            assert!(!s.interrupt_driven());
+        }
+        assert!(IoStackKind::Posix.uses_kernel());
+        assert!(IoStackKind::Libaio.interrupt_driven());
+        assert!(!IoStackKind::IoUringPoll.interrupt_driven());
+    }
+
+    #[test]
+    fn writes_cost_more_in_kernel_layers_only() {
+        let r = IoStackKind::Libaio.layer_costs(IoDir::Read);
+        let w = IoStackKind::Libaio.layer_costs(IoDir::Write);
+        assert_eq!(r.user, w.user);
+        assert!(w.io_map > r.io_map);
+        let sr = IoStackKind::Spdk.cpu_per_request(IoDir::Read);
+        let sw = IoStackKind::Spdk.cpu_per_request(IoDir::Write);
+        assert_eq!(sr, sw);
+    }
+
+    #[test]
+    fn posix_cannot_reach_p5510_read_rate() {
+        // Device 4 KiB read ≈ 427 K IOPS; POSIX tops out well below.
+        let r = IoStackKind::Posix.max_rate_per_core(IoDir::Read);
+        assert!(r < 300_000.0, "posix rate {r}");
+        let p = IoStackKind::IoUringPoll.max_rate_per_core(IoDir::Read);
+        assert!(p > 427_000.0, "io_uring poll rate {p}");
+    }
+}

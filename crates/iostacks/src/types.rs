@@ -1,0 +1,135 @@
+//! Request/trait vocabulary shared by all functional storage backends.
+
+use std::fmt;
+
+use cam_hostos::{FsError, IoDir};
+use cam_nvme::spec::Status;
+use cam_nvme::{DmaError, QueueError};
+
+/// One block-granular transfer between the striped SSD array and pinned
+/// (GPU) memory.
+#[derive(Clone, Copy, Debug)]
+pub struct IoRequest {
+    /// Direction: `Read` = SSD → memory, `Write` = memory → SSD.
+    pub dir: IoDir,
+    /// Starting LBA in the *array* address space (striped across SSDs).
+    pub lba: u64,
+    /// Length in blocks (> 0).
+    pub blocks: u32,
+    /// Pinned-memory physical address of the data buffer.
+    pub addr: u64,
+}
+
+impl IoRequest {
+    /// A read of `blocks` array blocks at `lba` into pinned memory `addr`.
+    pub fn read(lba: u64, blocks: u32, addr: u64) -> Self {
+        IoRequest {
+            dir: IoDir::Read,
+            lba,
+            blocks,
+            addr,
+        }
+    }
+
+    /// A write of `blocks` array blocks at `lba` from pinned memory `addr`.
+    pub fn write(lba: u64, blocks: u32, addr: u64) -> Self {
+        IoRequest {
+            dir: IoDir::Write,
+            lba,
+            blocks,
+            addr,
+        }
+    }
+}
+
+/// Errors surfaced by functional backends.
+#[derive(Debug)]
+pub enum BackendError {
+    /// A queue-pair operation failed.
+    Queue(QueueError),
+    /// A device completed a command with a failure status.
+    Command(Status),
+    /// The POSIX path's filesystem failed.
+    Fs(FsError),
+    /// A staging copy failed.
+    Dma(DmaError),
+    /// The batch didn't fit backend limits (e.g. bounce-buffer capacity).
+    BatchTooLarge {
+        /// Bytes the batch needs at once.
+        needed: usize,
+        /// Bytes the backend can stage.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::Queue(e) => write!(f, "queue error: {e}"),
+            BackendError::Command(s) => write!(f, "command failed: {s:?}"),
+            BackendError::Fs(e) => write!(f, "filesystem error: {e}"),
+            BackendError::Dma(e) => write!(f, "dma error: {e}"),
+            BackendError::BatchTooLarge { needed, capacity } => {
+                write!(f, "batch of {needed} bytes exceeds staging capacity {capacity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+impl From<QueueError> for BackendError {
+    fn from(e: QueueError) -> Self {
+        BackendError::Queue(e)
+    }
+}
+
+impl From<FsError> for BackendError {
+    fn from(e: FsError) -> Self {
+        BackendError::Fs(e)
+    }
+}
+
+impl From<DmaError> for BackendError {
+    fn from(e: DmaError) -> Self {
+        BackendError::Dma(e)
+    }
+}
+
+/// Splits a multi-block array request at stripe boundaries and calls
+/// `f(array_lba, run_blocks, block_offset)` for each stripe-contiguous run.
+/// Runs never cross a stripe, so `map(array_lba)` resolves each run to a
+/// single `(ssd, device LBA)` placement. Backends that submit NVMe commands
+/// per SSD must use this; sending a boundary-crossing request whole to one
+/// device would silently de-stripe the array.
+pub fn for_each_stripe_run(
+    lba: u64,
+    blocks: u32,
+    stripe_blocks: u64,
+    mut f: impl FnMut(u64, u32, u32),
+) {
+    let mut done = 0u64;
+    let total = blocks as u64;
+    while done < total {
+        let cur = lba + done;
+        let left_in_stripe = stripe_blocks - cur % stripe_blocks;
+        let run = left_in_stripe.min(total - done) as u32;
+        f(cur, run, done as u32);
+        done += run as u64;
+    }
+}
+
+/// A complete SSD management: executes batches of block transfers between
+/// the array and pinned memory. Implementations differ in who controls the
+/// SSDs (kernel, CPU user space, GPU) and how data travels (bounced through
+/// CPU memory or direct) — exactly Table I's axes.
+pub trait StorageBackend: Send + Sync {
+    /// Human-readable name (matches the paper's labels).
+    fn name(&self) -> &'static str;
+
+    /// Executes a batch, blocking until every request is durable/visible.
+    fn execute_batch(&self, reqs: &[IoRequest]) -> Result<(), BackendError>;
+
+    /// Whether the data path stages through CPU memory.
+    fn staged_data_path(&self) -> bool;
+}

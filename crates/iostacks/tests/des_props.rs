@@ -1,0 +1,89 @@
+//! Property-based tests of the DES microbenchmark engine: physical sanity
+//! must hold for *every* configuration, not just the figure sweeps.
+
+use cam_hostos::IoDir;
+use cam_iostacks::des::{run_microbench, Engine, MicrobenchConfig};
+use proptest::prelude::*;
+
+fn small_cfg(engine: Engine, n_ssds: usize, dir: IoDir, gran: u64, qd: u32) -> MicrobenchConfig {
+    let mut cfg = MicrobenchConfig::new(engine, n_ssds, dir);
+    cfg.granularity = gran;
+    cfg.queue_depth = qd;
+    cfg.requests = (n_ssds as u64) * 1_500;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// Delivered throughput never exceeds the PCIe ceiling or the aggregate
+    /// device capability, for any engine/direction/granularity.
+    #[test]
+    fn throughput_respects_physical_caps(
+        engine_idx in 0usize..8,
+        n_ssds in 1usize..13,
+        read in proptest::bool::ANY,
+        shift in 9u32..18,
+    ) {
+        let engine = Engine::ALL[engine_idx];
+        let dir = if read { IoDir::Read } else { IoDir::Write };
+        let r = run_microbench(small_cfg(engine, n_ssds, dir, 1u64 << shift, 128));
+        prop_assert!(r.gbps > 0.0);
+        prop_assert!(r.gbps <= 21.0 + 1e-6, "{:?}: {}", engine, r.gbps);
+        // KIOPS and GB/s must be consistent.
+        let implied_gbps = r.kiops * 1e3 * (1u64 << shift) as f64 / 1e9;
+        prop_assert!((implied_gbps - r.gbps).abs() / r.gbps < 0.01);
+        // SM utilization only for BaM; CPU cores only for CPU-managed.
+        if engine == Engine::Bam {
+            prop_assert!(r.sm_utilization > 0.0 && r.cpu_cores == 0.0);
+        } else {
+            prop_assert_eq!(r.sm_utilization, 0.0);
+        }
+    }
+
+    /// More SSDs never deliver less (same engine/direction/granularity).
+    #[test]
+    fn throughput_monotone_in_ssds(
+        read in proptest::bool::ANY,
+        shift in 10u32..16,
+    ) {
+        let dir = if read { IoDir::Read } else { IoDir::Write };
+        let mut last = 0.0;
+        for n in [1usize, 2, 4, 8, 12] {
+            let r = run_microbench(small_cfg(Engine::Cam, n, dir, 1u64 << shift, 128));
+            prop_assert!(r.gbps >= last * 0.99, "{n} SSDs: {} < {last}", r.gbps);
+            last = r.gbps;
+        }
+    }
+
+    /// Deeper queues never hurt (work conservation).
+    #[test]
+    fn deeper_queues_do_not_hurt(read in proptest::bool::ANY) {
+        let dir = if read { IoDir::Read } else { IoDir::Write };
+        let shallow = run_microbench(small_cfg(Engine::Cam, 4, dir, 4096, 2));
+        let deep = run_microbench(small_cfg(Engine::Cam, 4, dir, 4096, 256));
+        prop_assert!(deep.gbps >= shallow.gbps * 0.99,
+            "deep {} < shallow {}", deep.gbps, shallow.gbps);
+    }
+
+    /// Staged engines always generate ~2x memory traffic; direct ones ~0.
+    #[test]
+    fn memory_traffic_accounting(engine_idx in 0usize..8, n in 1usize..13) {
+        let engine = Engine::ALL[engine_idx];
+        let r = run_microbench(small_cfg(engine, n, IoDir::Read, 4096, 64));
+        if engine.staged() {
+            prop_assert!((r.mem_traffic_gbps - 2.0 * r.gbps).abs() < 1e-9);
+        } else {
+            prop_assert!(r.mem_traffic_gbps < 0.05 * r.gbps.max(0.1));
+        }
+    }
+
+    /// Reads are never slower than writes at the same configuration
+    /// (the P5510's asymmetry).
+    #[test]
+    fn read_write_asymmetry(n in 1usize..13, shift in 9u32..15) {
+        let rd = run_microbench(small_cfg(Engine::Cam, n, IoDir::Read, 1u64 << shift, 128));
+        let wr = run_microbench(small_cfg(Engine::Cam, n, IoDir::Write, 1u64 << shift, 128));
+        prop_assert!(rd.gbps >= wr.gbps * 0.99, "read {} < write {}", rd.gbps, wr.gbps);
+    }
+}

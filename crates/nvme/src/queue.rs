@@ -1,0 +1,306 @@
+//! [`QueuePair`] — a submission queue + completion queue with doorbell
+//! semantics.
+//!
+//! The queue pair is the unit of lock-free parallelism in both SPDK and CAM:
+//! "dedicate a single NVMe queue pair to each NVMe device [per thread] —
+//! the NVMe driver takes no locks in the I/O path" (§ III-A). Submission and
+//! completion rings here are `crossbeam` array queues (single producer /
+//! single consumer by convention), and submissions become visible to the
+//! device only when the doorbell is rung, so batched submission — one
+//! doorbell for a whole batch of SQEs, the key control-plane saving CAM
+//! inherits from SPDK — is observable in the [`QpStats`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::queue::ArrayQueue;
+use parking_lot::Mutex;
+
+use crate::spec::{Cqe, Sqe};
+
+/// Errors from queue-pair operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QueueError {
+    /// The submission queue is full (in-flight commands == queue depth).
+    SqFull,
+}
+
+impl std::fmt::Display for QueueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueueError::SqFull => write!(f, "submission queue full"),
+        }
+    }
+}
+
+impl std::error::Error for QueueError {}
+
+/// Counters exported by a queue pair.
+#[derive(Default)]
+pub struct QpStats {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    doorbells: AtomicU64,
+}
+
+impl QpStats {
+    /// Commands submitted (made visible to the device).
+    pub fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Completions consumed by the host.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Doorbell rings. `submitted / doorbells` is the mean batch size.
+    pub fn doorbells(&self) -> u64 {
+        self.doorbells.load(Ordering::Relaxed)
+    }
+}
+
+/// A submission/completion ring pair of fixed depth.
+///
+/// Host-side methods ([`push_sqe`](Self::push_sqe), [`ring_doorbell`](Self::ring_doorbell),
+/// [`poll_cqe`](Self::poll_cqe)) are meant to be called from one thread;
+/// device-side methods ([`take_sqe`](Self::take_sqe), [`post_cqe`](Self::post_cqe))
+/// from the device's service thread.
+pub struct QueuePair {
+    id: u16,
+    depth: usize,
+    /// Host-staged SQEs not yet visible to the device.
+    staged: Mutex<Vec<Sqe>>,
+    sq: ArrayQueue<Sqe>,
+    cq: ArrayQueue<Cqe>,
+    stats: QpStats,
+}
+
+impl QueuePair {
+    /// Creates a queue pair with the given id and depth (≥ 1).
+    pub fn new(id: u16, depth: usize) -> Arc<Self> {
+        assert!(depth >= 1, "queue depth must be >= 1");
+        Arc::new(QueuePair {
+            id,
+            depth,
+            staged: Mutex::new(Vec::new()),
+            sq: ArrayQueue::new(depth),
+            cq: ArrayQueue::new(depth),
+            stats: QpStats::default(),
+        })
+    }
+
+    /// Queue pair identifier.
+    pub fn id(&self) -> u16 {
+        self.id
+    }
+
+    /// Ring depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Commands submitted but not yet reaped.
+    pub fn in_flight(&self) -> u64 {
+        self.stats.submitted() - self.stats.completed()
+    }
+
+    /// Exported counters.
+    pub fn stats(&self) -> &QpStats {
+        &self.stats
+    }
+
+    /// Stages an SQE without making it visible. Fails if staging it would
+    /// exceed the queue depth in flight once rung.
+    pub fn push_sqe(&self, sqe: Sqe) -> Result<(), QueueError> {
+        let mut staged = self.staged.lock();
+        if self.in_flight() + staged.len() as u64 >= self.depth as u64 {
+            return Err(QueueError::SqFull);
+        }
+        staged.push(sqe);
+        Ok(())
+    }
+
+    /// Publishes all staged SQEs to the device in one doorbell write.
+    /// Returns the number published.
+    pub fn ring_doorbell(&self) -> usize {
+        let mut staged = self.staged.lock();
+        let n = staged.len();
+        if n == 0 {
+            return 0;
+        }
+        for sqe in staged.drain(..) {
+            // Capacity is guaranteed by the in-flight check in `push_sqe`.
+            self.sq
+                .push(sqe)
+                .expect("SQ overflow despite depth accounting");
+        }
+        self.stats.submitted.fetch_add(n as u64, Ordering::Release);
+        self.stats.doorbells.fetch_add(1, Ordering::Relaxed);
+        n
+    }
+
+    /// Convenience: stage one SQE and ring the doorbell immediately
+    /// (per-command submission, the BaM/synchronous pattern).
+    pub fn submit(&self, sqe: Sqe) -> Result<(), QueueError> {
+        self.push_sqe(sqe)?;
+        self.ring_doorbell();
+        Ok(())
+    }
+
+    /// Convenience: stage a batch and ring once (the CAM/SPDK pattern).
+    /// Returns how many were accepted before the queue filled.
+    pub fn submit_batch<I: IntoIterator<Item = Sqe>>(&self, sqes: I) -> usize {
+        let mut accepted = 0;
+        for sqe in sqes {
+            if self.push_sqe(sqe).is_err() {
+                break;
+            }
+            accepted += 1;
+        }
+        self.ring_doorbell();
+        accepted
+    }
+
+    /// Host side: reaps one completion if available.
+    pub fn poll_cqe(&self) -> Option<Cqe> {
+        let cqe = self.cq.pop()?;
+        self.stats.completed.fetch_add(1, Ordering::Relaxed);
+        Some(cqe)
+    }
+
+    /// Host side: reaps up to `max` completions into `out`; returns count.
+    pub fn poll_cqes(&self, max: usize, out: &mut Vec<Cqe>) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.poll_cqe() {
+                Some(c) => {
+                    out.push(c);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
+    /// Device side: takes the next visible SQE, if any.
+    pub fn take_sqe(&self) -> Option<Sqe> {
+        self.sq.pop()
+    }
+
+    /// Device side: posts a completion.
+    ///
+    /// The depth invariant guarantees space; a full CQ indicates a protocol
+    /// violation and panics.
+    pub fn post_cqe(&self, cqe: Cqe) {
+        self.cq
+            .push(cqe)
+            .expect("CQ overflow: more completions than in-flight commands");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Status;
+
+    #[test]
+    fn staged_sqes_invisible_until_doorbell() {
+        let qp = QueuePair::new(0, 8);
+        qp.push_sqe(Sqe::read(1, 0, 1, 0)).unwrap();
+        qp.push_sqe(Sqe::read(2, 1, 1, 0)).unwrap();
+        assert!(qp.take_sqe().is_none());
+        assert_eq!(qp.ring_doorbell(), 2);
+        assert_eq!(qp.take_sqe().unwrap().cid, 1);
+        assert_eq!(qp.take_sqe().unwrap().cid, 2);
+        assert!(qp.take_sqe().is_none());
+        assert_eq!(qp.stats().doorbells(), 1);
+        assert_eq!(qp.stats().submitted(), 2);
+    }
+
+    #[test]
+    fn depth_limits_in_flight() {
+        let qp = QueuePair::new(0, 2);
+        qp.submit(Sqe::read(1, 0, 1, 0)).unwrap();
+        qp.submit(Sqe::read(2, 0, 1, 0)).unwrap();
+        assert_eq!(qp.submit(Sqe::read(3, 0, 1, 0)), Err(QueueError::SqFull));
+        // Completing one frees a slot.
+        let sqe = qp.take_sqe().unwrap();
+        qp.post_cqe(Cqe {
+            cid: sqe.cid,
+            status: Status::Success,
+        });
+        assert!(qp.poll_cqe().is_some());
+        qp.submit(Sqe::read(3, 0, 1, 0)).unwrap();
+        assert_eq!(qp.in_flight(), 2);
+    }
+
+    #[test]
+    fn batch_submission_counts_one_doorbell() {
+        let qp = QueuePair::new(0, 64);
+        let n = qp.submit_batch((0..32).map(|i| Sqe::read(i, i as u64, 1, 0)));
+        assert_eq!(n, 32);
+        assert_eq!(qp.stats().doorbells(), 1);
+        assert_eq!(qp.stats().submitted(), 32);
+    }
+
+    #[test]
+    fn batch_submission_stops_at_capacity() {
+        let qp = QueuePair::new(0, 4);
+        let n = qp.submit_batch((0..10).map(|i| Sqe::read(i, 0, 1, 0)));
+        assert_eq!(n, 4);
+        assert_eq!(qp.in_flight(), 4);
+    }
+
+    #[test]
+    fn poll_cqes_reaps_up_to_max() {
+        let qp = QueuePair::new(0, 8);
+        qp.submit_batch((0..6).map(|i| Sqe::read(i, 0, 1, 0)));
+        while let Some(sqe) = qp.take_sqe() {
+            qp.post_cqe(Cqe {
+                cid: sqe.cid,
+                status: Status::Success,
+            });
+        }
+        let mut out = Vec::new();
+        assert_eq!(qp.poll_cqes(4, &mut out), 4);
+        assert_eq!(qp.poll_cqes(4, &mut out), 2);
+        assert_eq!(out.len(), 6);
+        assert_eq!(qp.in_flight(), 0);
+    }
+
+    #[test]
+    fn cross_thread_producer_consumer() {
+        let qp = QueuePair::new(0, 1024);
+        let dev = Arc::clone(&qp);
+        let server = std::thread::spawn(move || {
+            let mut served = 0u32;
+            while served < 1000 {
+                if let Some(sqe) = dev.take_sqe() {
+                    dev.post_cqe(Cqe {
+                        cid: sqe.cid,
+                        status: Status::Success,
+                    });
+                    served += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        let mut completed = 0u32;
+        let mut next = 0u16;
+        while completed < 1000 {
+            while next < 1000 && qp.push_sqe(Sqe::read(next, next as u64, 1, 0)).is_ok() {
+                next += 1;
+            }
+            qp.ring_doorbell();
+            while qp.poll_cqe().is_some() {
+                completed += 1;
+            }
+        }
+        server.join().unwrap();
+        assert_eq!(qp.stats().submitted(), 1000);
+        assert_eq!(qp.stats().completed(), 1000);
+    }
+}

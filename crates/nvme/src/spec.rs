@@ -1,0 +1,124 @@
+//! NVMe command vocabulary: submission/completion entries and status codes.
+//!
+//! Only the I/O command set fields the reproduction exercises are modelled;
+//! layout-compatibility with the real 64-byte SQE is not a goal (nothing
+//! here crosses a real PCIe bus), but the *information content* matches:
+//! command id, opcode, starting LBA, block count, and the physical data
+//! pointer that makes the direct SSD↔GPU data path possible.
+
+/// I/O command opcode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Opcode {
+    /// Read `nlb` blocks starting at `slba` into the buffer at `data_addr`.
+    Read,
+    /// Write `nlb` blocks starting at `slba` from the buffer at `data_addr`.
+    Write,
+    /// Barrier: completes once prior commands on the queue pair are durable.
+    Flush,
+}
+
+/// A submission-queue entry.
+#[derive(Clone, Copy, Debug)]
+pub struct Sqe {
+    /// Command identifier, echoed in the matching [`Cqe`].
+    pub cid: u16,
+    /// Operation.
+    pub opcode: Opcode,
+    /// Starting logical block address.
+    pub slba: u64,
+    /// Number of logical blocks (1-based; zero is invalid except for Flush).
+    pub nlb: u32,
+    /// "Physical" address of the data buffer in some [`DmaSpace`]
+    /// (pinned GPU memory for the direct path, host memory for staged paths).
+    ///
+    /// [`DmaSpace`]: crate::DmaSpace
+    pub data_addr: u64,
+}
+
+impl Sqe {
+    /// Builds a read command.
+    pub fn read(cid: u16, slba: u64, nlb: u32, data_addr: u64) -> Self {
+        Sqe {
+            cid,
+            opcode: Opcode::Read,
+            slba,
+            nlb,
+            data_addr,
+        }
+    }
+
+    /// Builds a write command.
+    pub fn write(cid: u16, slba: u64, nlb: u32, data_addr: u64) -> Self {
+        Sqe {
+            cid,
+            opcode: Opcode::Write,
+            slba,
+            nlb,
+            data_addr,
+        }
+    }
+
+    /// Builds a flush command.
+    pub fn flush(cid: u16) -> Self {
+        Sqe {
+            cid,
+            opcode: Opcode::Flush,
+            slba: 0,
+            nlb: 0,
+            data_addr: 0,
+        }
+    }
+}
+
+/// Completion status.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Status {
+    /// Command completed successfully.
+    Success,
+    /// The LBA range exceeded the namespace.
+    LbaOutOfRange,
+    /// A field was invalid (e.g. `nlb == 0` on a data command).
+    InvalidField,
+    /// The DMA address was outside every registered region.
+    DataTransferError,
+}
+
+impl Status {
+    /// Whether the command succeeded.
+    #[inline]
+    pub fn is_ok(self) -> bool {
+        self == Status::Success
+    }
+}
+
+/// A completion-queue entry.
+#[derive(Clone, Copy, Debug)]
+pub struct Cqe {
+    /// Command identifier from the originating [`Sqe`].
+    pub cid: u16,
+    /// Completion status.
+    pub status: Status,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_fill_fields() {
+        let r = Sqe::read(7, 100, 8, 0x1000);
+        assert_eq!(r.opcode, Opcode::Read);
+        assert_eq!((r.cid, r.slba, r.nlb, r.data_addr), (7, 100, 8, 0x1000));
+        let w = Sqe::write(8, 0, 1, 0x2000);
+        assert_eq!(w.opcode, Opcode::Write);
+        let f = Sqe::flush(9);
+        assert_eq!(f.opcode, Opcode::Flush);
+        assert_eq!(f.nlb, 0);
+    }
+
+    #[test]
+    fn status_predicate() {
+        assert!(Status::Success.is_ok());
+        assert!(!Status::LbaOutOfRange.is_ok());
+    }
+}

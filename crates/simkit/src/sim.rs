@@ -1,0 +1,242 @@
+//! The event calendar: [`Sim`] owns the virtual clock, the pending-event
+//! heap, and all bandwidth resources, and drives user callbacks in
+//! deterministic `(time, insertion)` order.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::link::LinkState;
+use crate::pipe::PipeState;
+use crate::server::ServerState;
+use crate::time::{Dur, Time};
+
+/// A scheduled callback. Events receive the simulator (to schedule follow-up
+/// work) and the user world `W` (all model state).
+pub type Event<W> = Box<dyn FnOnce(&mut Sim<W>, &mut W)>;
+
+struct Entry<W> {
+    time: Time,
+    seq: u64,
+    cb: Event<W>,
+}
+
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<W> Eq for Entry<W> {}
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Entry<W> {
+    // Reversed so that `BinaryHeap` (a max-heap) pops the earliest event;
+    // ties break by insertion sequence for determinism.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A discrete-event simulator over a user-defined world `W`.
+///
+/// See the [crate-level docs](crate) for the programming model.
+pub struct Sim<W> {
+    now: Time,
+    seq: u64,
+    executed: u64,
+    heap: BinaryHeap<Entry<W>>,
+    pub(crate) pipes: Vec<PipeState>,
+    pub(crate) links: Vec<LinkState<W>>,
+    pub(crate) servers: Vec<ServerState<W>>,
+}
+
+impl<W: 'static> Default for Sim<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W: 'static> Sim<W> {
+    /// Creates an empty simulator at `t = 0`.
+    pub fn new() -> Self {
+        Sim {
+            now: Time::ZERO,
+            seq: 0,
+            executed: 0,
+            heap: BinaryHeap::new(),
+            pipes: Vec::new(),
+            links: Vec::new(),
+            servers: Vec::new(),
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events executed so far (useful for runaway detection).
+    #[inline]
+    pub fn executed_events(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending.
+    #[inline]
+    pub fn pending_events(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedules `cb` to run at absolute time `at` (clamped to `now` if in
+    /// the past, so causality is never violated).
+    pub fn schedule_at(&mut self, at: Time, cb: impl FnOnce(&mut Sim<W>, &mut W) + 'static) {
+        let time = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            time,
+            seq,
+            cb: Box::new(cb),
+        });
+    }
+
+    /// Schedules `cb` to run `delay` after the current time.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: Dur, cb: impl FnOnce(&mut Sim<W>, &mut W) + 'static) {
+        self.schedule_at(self.now + delay, cb);
+    }
+
+    /// Runs a single event if one is pending; returns whether one ran.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        match self.heap.pop() {
+            Some(e) => {
+                debug_assert!(e.time >= self.now, "event scheduled in the past");
+                self.now = e.time;
+                self.executed += 1;
+                (e.cb)(self, world);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until no events remain. Returns the final virtual time.
+    pub fn run(&mut self, world: &mut W) -> Time {
+        while self.step(world) {}
+        self.now
+    }
+
+    /// Runs every event scheduled at or before `deadline`, then advances the
+    /// clock to exactly `deadline`. Later events stay pending.
+    pub fn run_until(&mut self, world: &mut W, deadline: Time) -> Time {
+        loop {
+            match self.heap.peek() {
+                Some(e) if e.time <= deadline => {
+                    self.step(world);
+                }
+                _ => break,
+            }
+        }
+        self.now = self.now.max(deadline);
+        self.now
+    }
+
+    /// Runs until no events remain or `max_events` have executed; returns
+    /// `true` if the calendar drained. A guard against model bugs that
+    /// self-reschedule forever.
+    pub fn run_bounded(&mut self, world: &mut W, max_events: u64) -> bool {
+        let stop = self.executed + max_events;
+        while self.executed < stop {
+            if !self.step(world) {
+                return true;
+            }
+        }
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut w = Vec::new();
+        sim.schedule_in(Dur::us(3), |_, w: &mut Vec<u32>| w.push(3));
+        sim.schedule_in(Dur::us(1), |_, w: &mut Vec<u32>| w.push(1));
+        sim.schedule_in(Dur::us(2), |_, w: &mut Vec<u32>| w.push(2));
+        sim.run(&mut w);
+        assert_eq!(w, vec![1, 2, 3]);
+        assert_eq!(sim.now(), Time::ZERO + Dur::us(3));
+        assert_eq!(sim.executed_events(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut w = Vec::new();
+        for i in 0..16 {
+            sim.schedule_at(Time::from_ns(100), move |_, w: &mut Vec<u32>| w.push(i));
+        }
+        sim.run(&mut w);
+        assert_eq!(w, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_scheduling() {
+        let mut sim: Sim<u32> = Sim::new();
+        let mut w = 0;
+        sim.schedule_in(Dur::ns(10), |sim, w: &mut u32| {
+            *w += 1;
+            sim.schedule_in(Dur::ns(10), |_, w| *w += 10);
+        });
+        sim.run(&mut w);
+        assert_eq!(w, 11);
+        assert_eq!(sim.now().as_ns(), 20);
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut sim: Sim<u32> = Sim::new();
+        let mut w = 0;
+        sim.schedule_in(Dur::ns(100), |sim, _w: &mut u32| {
+            // Scheduling "in the past" must still run, at the current time.
+            sim.schedule_at(Time::from_ns(1), |sim, w| {
+                *w = sim.now().as_ns() as u32;
+            });
+        });
+        sim.run(&mut w);
+        assert_eq!(w, 100);
+    }
+
+    #[test]
+    fn run_until_leaves_later_events_pending() {
+        let mut sim: Sim<u32> = Sim::new();
+        let mut w = 0;
+        sim.schedule_in(Dur::ns(10), |_, w: &mut u32| *w += 1);
+        sim.schedule_in(Dur::ns(30), |_, w: &mut u32| *w += 1);
+        sim.run_until(&mut w, Time::from_ns(20));
+        assert_eq!(w, 1);
+        assert_eq!(sim.now().as_ns(), 20);
+        assert_eq!(sim.pending_events(), 1);
+        sim.run(&mut w);
+        assert_eq!(w, 2);
+    }
+
+    #[test]
+    fn run_bounded_detects_runaway() {
+        let mut sim: Sim<()> = Sim::new();
+        fn forever(sim: &mut Sim<()>, _: &mut ()) {
+            sim.schedule_in(Dur::ns(1), forever);
+        }
+        sim.schedule_in(Dur::ns(1), forever);
+        assert!(!sim.run_bounded(&mut (), 1000));
+    }
+}

@@ -1,0 +1,309 @@
+//! Measurement collectors: log-linear latency histograms, online
+//! mean/variance, and byte/operation counters with throughput helpers.
+
+use crate::time::{Dur, Time};
+
+/// A log-linear histogram of `u64` samples (typically nanoseconds).
+///
+/// Values are bucketed by `floor(log2(v))` into major buckets, each divided
+/// into [`Histogram::SUB_BUCKETS`] linear sub-buckets, giving a worst-case
+/// relative quantile error of `1 / SUB_BUCKETS` (~3%) while using a few KiB.
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Linear sub-buckets per power of two.
+    pub const SUB_BUCKETS: usize = 32;
+    const MAJOR: usize = 64;
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; Self::MAJOR * Self::SUB_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn index(value: u64) -> usize {
+        if value < Self::SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let major = 63 - value.leading_zeros() as usize;
+        // Position within the major bucket, scaled to SUB_BUCKETS slots.
+        let offset = (value - (1 << major)) >> (major - Self::SUB_BUCKETS.trailing_zeros() as usize);
+        major * Self::SUB_BUCKETS + offset as usize
+    }
+
+    /// Representative (lower-bound) value of bucket `i`.
+    fn bucket_low(i: usize) -> u64 {
+        let major = i / Self::SUB_BUCKETS;
+        let sub = (i % Self::SUB_BUCKETS) as u64;
+        if major < Self::SUB_BUCKETS.trailing_zeros() as usize + 1 && i < Self::SUB_BUCKETS {
+            return sub;
+        }
+        (1u64 << major) + (sub << (major - Self::SUB_BUCKETS.trailing_zeros() as usize))
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::index(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records a duration in nanoseconds.
+    pub fn record_dur(&mut self, d: Dur) {
+        self.record(d.as_ns());
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate quantile `q` in `[0, 1]` (0 if empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_low(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Online mean/variance via Welford's algorithm.
+#[derive(Clone, Copy, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Byte/operation counter with throughput helpers for reporting.
+#[derive(Clone, Copy, Default)]
+pub struct Meter {
+    /// Total bytes moved.
+    pub bytes: u64,
+    /// Total operations completed.
+    pub ops: u64,
+}
+
+impl Meter {
+    /// Creates a zeroed meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one operation of `bytes` size.
+    pub fn add(&mut self, bytes: u64) {
+        self.bytes += bytes;
+        self.ops += 1;
+    }
+
+    /// Throughput in GB/s over the window ending at `now` (starting at 0).
+    pub fn gbps(&self, now: Time) -> f64 {
+        let ns = now.as_ns();
+        if ns == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / ns as f64
+        }
+    }
+
+    /// Operation rate in K IOPS over the window ending at `now`.
+    pub fn kiops(&self, now: Time) -> f64 {
+        let s = now.as_secs_f64();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / s / 1e3
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_basic_stats() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+        let p50 = h.quantile(0.5);
+        assert!((450..=550).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((950..=1000).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn histogram_small_values_exact() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 5, 8, 13, 21] {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 21);
+        assert_eq!(h.count(), 8);
+    }
+
+    #[test]
+    fn histogram_quantile_relative_error_bounded() {
+        let mut h = Histogram::new();
+        // Microsecond-scale latencies.
+        for i in 0..10_000u64 {
+            h.record(10_000 + i * 17);
+        }
+        let exact_p90 = 10_000 + 9_000 * 17;
+        let approx = h.quantile(0.9) as f64;
+        let err = (approx - exact_p90 as f64).abs() / exact_p90 as f64;
+        assert!(err < 0.05, "err = {err}");
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 1000);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn online_stats_mean_variance() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn meter_throughput() {
+        let mut m = Meter::new();
+        for _ in 0..1000 {
+            m.add(4096);
+        }
+        // 4,096,000 bytes in 1 ms = 4.096 GB/s.
+        let t = Time::from_ns(1_000_000);
+        assert!((m.gbps(t) - 4.096).abs() < 1e-9);
+        assert!((m.kiops(t) - 1_000_000.0 / 1e3).abs() < 1e-6);
+        assert_eq!(Meter::new().gbps(Time::ZERO), 0.0);
+    }
+}

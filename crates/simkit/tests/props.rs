@@ -1,0 +1,132 @@
+//! Property-based tests for the simulation kernel's invariants.
+
+use cam_simkit::stats::Histogram;
+use cam_simkit::{Dur, Sim, Time};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always execute in nondecreasing time order, regardless of the
+    /// order they were scheduled in.
+    #[test]
+    fn events_monotone(delays in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        let mut w = Vec::new();
+        for d in &delays {
+            sim.schedule_in(Dur::ns(*d), |sim, w: &mut Vec<u64>| w.push(sim.now().as_ns()));
+        }
+        sim.run(&mut w);
+        prop_assert_eq!(w.len(), delays.len());
+        for pair in w.windows(2) {
+            prop_assert!(pair[0] <= pair[1]);
+        }
+        let mut sorted = delays.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(w, sorted);
+    }
+
+    /// A pipe conserves work: total completion span equals total service
+    /// time when saturated from t=0, and per-transfer completions are FIFO.
+    #[test]
+    fn pipe_conservation(sizes in proptest::collection::vec(1u64..1_000_000, 1..100),
+                         rate in 1u32..64) {
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        let mut w = Vec::new();
+        let p = sim.new_pipe(rate as f64);
+        for s in &sizes {
+            sim.pipe_transfer(p, *s, |sim, w: &mut Vec<u64>| w.push(sim.now().as_ns()));
+        }
+        sim.run(&mut w);
+        // FIFO order.
+        for pair in w.windows(2) {
+            prop_assert!(pair[0] <= pair[1]);
+        }
+        // Total time ~ sum(size)/rate within per-transfer rounding (1 ns each).
+        let ideal: f64 = sizes.iter().map(|&s| s as f64 / rate as f64).sum();
+        let got = *w.last().unwrap() as f64;
+        prop_assert!((got - ideal).abs() <= sizes.len() as f64 + 1.0,
+            "got {} want {}", got, ideal);
+        prop_assert_eq!(sim.pipe_bytes(p), sizes.iter().sum::<u64>());
+    }
+
+    /// A shared link delivers every flow exactly once and is work-conserving:
+    /// with all flows started at t=0, the last completion is the total bytes
+    /// divided by the rate (within rounding).
+    #[test]
+    fn shared_link_conservation(sizes in proptest::collection::vec(1u64..100_000, 1..40)) {
+        let mut sim: Sim<u32> = Sim::new();
+        let mut w = 0u32;
+        let l = sim.new_shared_link(2.0);
+        for s in &sizes {
+            sim.link_start_flow(l, *s, |_, w: &mut u32| *w += 1);
+        }
+        sim.run(&mut w);
+        prop_assert_eq!(w as usize, sizes.len());
+        let ideal = sizes.iter().sum::<u64>() as f64 / 2.0;
+        let got = sim.now().as_ns() as f64;
+        // Each completion tick can round up by <1 ns.
+        prop_assert!((got - ideal).abs() <= sizes.len() as f64 + 1.0,
+            "got {} want {}", got, ideal);
+    }
+
+    /// Server stations complete every job, and a capacity-1 station takes
+    /// exactly the sum of service times.
+    #[test]
+    fn server_completes_all(services in proptest::collection::vec(1u64..10_000, 1..100),
+                            cap in 1usize..8) {
+        let mut sim: Sim<u32> = Sim::new();
+        let mut w = 0u32;
+        let s = sim.new_server(cap);
+        for d in &services {
+            sim.server_submit(s, Dur::ns(*d), |_, w: &mut u32| *w += 1);
+        }
+        sim.run(&mut w);
+        prop_assert_eq!(w as usize, services.len());
+        prop_assert_eq!(sim.server_completed(s), services.len() as u64);
+        if cap == 1 {
+            prop_assert_eq!(sim.now().as_ns(), services.iter().sum::<u64>());
+        } else {
+            // Work conservation lower bound.
+            let bound = services.iter().sum::<u64>() / cap as u64;
+            prop_assert!(sim.now().as_ns() >= bound.saturating_sub(1));
+        }
+    }
+
+    /// Histogram quantiles are monotone and bounded by min/max, and count
+    /// matches the number of records.
+    #[test]
+    fn histogram_invariants(values in proptest::collection::vec(0u64..u32::MAX as u64, 1..500)) {
+        let mut h = Histogram::new();
+        for v in &values {
+            h.record(*v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+        let qs: Vec<u64> = [0.0, 0.25, 0.5, 0.75, 0.99, 1.0]
+            .iter()
+            .map(|&q| h.quantile(q))
+            .collect();
+        for pair in qs.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "quantiles not monotone: {:?}", qs);
+        }
+        prop_assert!(qs[0] >= h.min() && qs[5] <= h.max());
+    }
+
+    /// `run_until` never advances past its deadline and preserves all later
+    /// events for subsequent runs.
+    #[test]
+    fn run_until_boundary(delays in proptest::collection::vec(1u64..1000, 1..50),
+                          cut in 1u64..1000) {
+        let mut sim: Sim<u32> = Sim::new();
+        let mut w = 0u32;
+        for d in &delays {
+            sim.schedule_in(Dur::ns(*d), |_, w: &mut u32| *w += 1);
+        }
+        sim.run_until(&mut w, Time::from_ns(cut));
+        let before = delays.iter().filter(|&&d| d <= cut).count() as u32;
+        prop_assert_eq!(w, before);
+        prop_assert_eq!(sim.now().as_ns(), cut);
+        sim.run(&mut w);
+        prop_assert_eq!(w as usize, delays.len());
+    }
+}

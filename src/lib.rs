@@ -1,0 +1,58 @@
+//! # CAM — asynchronous GPU-initiated, CPU-managed SSD management
+//!
+//! Facade crate for the full-system reproduction of *"CAM: Asynchronous
+//! GPU-Initiated, CPU-Managed SSD Management for Batching Storage Access"*
+//! (Song et al., ICDE 2025). Everything runs over simulated hardware built
+//! in this workspace — see the README for the architecture tour and
+//! `DESIGN.md` for the per-experiment index.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cam::{CamConfig, CamContext, Rig, RigConfig};
+//!
+//! // Testbed: simulated SSDs + GPU ("CAM_init" wires the control plane).
+//! let rig = Rig::new(RigConfig { n_ssds: 4, ..RigConfig::default() });
+//! let cam = CamContext::attach(&rig, CamConfig::default());
+//! let dev = cam.device();
+//!
+//! // CAM_alloc pinned GPU memory, write_back, prefetch — Table II's API.
+//! let buf = cam.alloc(8 * 4096).unwrap();
+//! buf.write(0, &vec![0x5Au8; 8 * 4096]);
+//! dev.write_back(&(0..8).collect::<Vec<_>>(), buf.addr()).unwrap();
+//! dev.write_back_synchronize().unwrap();
+//!
+//! let out = cam.alloc(8 * 4096).unwrap();
+//! dev.prefetch(&(0..8).collect::<Vec<_>>(), out.addr()).unwrap();
+//! dev.prefetch_synchronize().unwrap();
+//! assert_eq!(out.to_vec(), buf.to_vec());
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use cam_core::{
+    BatchTicket, CamBackend, CamConfig, CamContext, CamDevice, CamError, Channel, ChannelOp,
+    ControlStats, DoubleBuffer, DynamicScaler,
+};
+pub use cam_iostacks::{
+    BackendError, BamBackend, IoRequest, PosixBackend, Rig, RigConfig, SpdkBackend,
+    StorageBackend,
+};
+
+/// Substrate crates, re-exported for direct access to the simulated
+/// hardware (NVMe queues and devices, GPU memory/occupancy models, the DES
+/// kernel, the host-OS models, and raw block storage).
+pub mod substrate {
+    pub use cam_blockdev as blockdev;
+    pub use cam_gpu as gpu;
+    pub use cam_hostos as hostos;
+    pub use cam_nvme as nvme;
+    pub use cam_simkit as simkit;
+}
+
+/// Evaluation workloads (GNN training, mergesort, GEMM) — functional and
+/// analytic forms.
+pub mod workloads {
+    pub use cam_workloads::{anns, dlrm, gemm, gnn, graph, llm, sort};
+}
