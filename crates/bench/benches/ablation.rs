@@ -36,7 +36,8 @@ fn doorbell_batching(c: &mut Criterion) {
     g.bench_function("per_command_doorbell", |b| {
         b.iter(|| {
             for i in 0..128u16 {
-                qp.submit(Sqe::read(i, i as u64, 1, (i as u64) * 4096)).unwrap();
+                qp.submit(Sqe::read(i, i as u64, 1, (i as u64) * 4096))
+                    .unwrap();
             }
             drain(128);
         })
@@ -44,7 +45,8 @@ fn doorbell_batching(c: &mut Criterion) {
     g.bench_function("one_doorbell_per_batch", |b| {
         b.iter(|| {
             for i in 0..128u16 {
-                qp.push_sqe(Sqe::read(i, i as u64, 1, (i as u64) * 4096)).unwrap();
+                qp.push_sqe(Sqe::read(i, i as u64, 1, (i as u64) * 4096))
+                    .unwrap();
             }
             qp.ring_doorbell();
             drain(128);
@@ -82,7 +84,13 @@ fn sync_wrapper(c: &mut Criterion) {
         n_ssds: 2,
         ..RigConfig::default()
     });
-    let ctx = CamContext::attach(&rig, CamConfig { n_channels: 3, ..CamConfig::default() });
+    let ctx = CamContext::attach(
+        &rig,
+        CamConfig {
+            n_channels: 3,
+            ..CamConfig::default()
+        },
+    );
     let dev = ctx.device();
     let buf = ctx.alloc(64 * 4096).unwrap();
     let lbas: Vec<u64> = (0..64).collect();

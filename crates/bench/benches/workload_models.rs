@@ -86,7 +86,9 @@ fn functional_sort(c: &mut Criterion) {
         b.iter(|| {
             // Reload shuffled data, then sort.
             let mut rng = seeded_rng(5);
-            let data: Vec<u8> = (0..elems).flat_map(|_| rng.gen::<u32>().to_le_bytes()).collect();
+            let data: Vec<u8> = (0..elems)
+                .flat_map(|_| rng.gen::<u32>().to_le_bytes())
+                .collect();
             let buf = rig.gpu().alloc(data.len()).unwrap();
             buf.write(0, &data);
             backend

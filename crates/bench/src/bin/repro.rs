@@ -1,33 +1,52 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro all          # everything, in paper order
-//! repro list         # available experiment ids
-//! repro fig8 fig9    # a subset
+//! repro all                    # everything, in paper order
+//! repro list                   # available experiment ids
+//! repro fig8 fig9              # a subset
+//! repro --metrics m.json bench # also dump the full telemetry registry
 //! ```
+//!
+//! `--metrics <path>` runs an instrumented functional-engine workload and
+//! writes the complete metrics-registry snapshot (counters, gauges, stage
+//! histograms with p50/p99) to `<path>` as JSON. The `bench` experiment
+//! additionally writes `BENCH_repro.json` with throughput and per-stage
+//! quantiles.
 
 use std::process::ExitCode;
 
 use cam_bench::figures::registry;
+use cam_bench::telemetry_run::run_instrumented;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_path = match args.iter().position(|a| a == "--metrics") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                eprintln!("--metrics requires a path argument");
+                return ExitCode::from(2);
+            }
+            args.remove(i); // the flag
+            Some(args.remove(i)) // its value
+        }
+        None => None,
+    };
     let reg = registry();
-    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
-        eprintln!("usage: repro [all|list|<experiment id>...]");
+    if metrics_path.is_none() && (args.is_empty() || args[0] == "help" || args[0] == "--help") {
+        eprintln!("usage: repro [--metrics <path>] [all|list|<experiment id>...]");
         eprintln!("experiments:");
         for (id, desc, _) in &reg {
             eprintln!("  {id:<6} {desc}");
         }
         return ExitCode::from(2);
     }
-    if args[0] == "list" {
+    if args.first().map(String::as_str) == Some("list") {
         for (id, desc, _) in &reg {
             println!("{id:<6} {desc}");
         }
         return ExitCode::SUCCESS;
     }
-    let wanted: Vec<&str> = if args[0] == "all" {
+    let wanted: Vec<&str> = if args.first().map(String::as_str) == Some("all") {
         reg.iter().map(|(id, _, _)| *id).collect()
     } else {
         args.iter().map(|s| s.as_str()).collect()
@@ -41,6 +60,14 @@ fn main() -> ExitCode {
         for table in gen() {
             println!("{table}");
         }
+    }
+    if let Some(path) = metrics_path {
+        let run = run_instrumented(20, 64);
+        if let Err(e) = std::fs::write(&path, run.snapshot.to_json()) {
+            eprintln!("could not write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote telemetry registry snapshot to {path}");
     }
     ExitCode::SUCCESS
 }

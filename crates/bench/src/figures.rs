@@ -23,9 +23,21 @@ pub fn registry() -> Vec<(&'static str, &'static str, Generator)> {
     vec![
         ("tab1", "Architectural design comparison", tab1),
         ("fig1", "GIDS GNN training time breakdown (Paper100M)", fig1),
-        ("fig2", "4KB random I/O throughput of software I/O stacks", fig2),
-        ("fig3", "Read/write I/O time breakdown of software I/O stacks", fig3),
-        ("fig4", "A100 SM utilization for BaM to saturate N SSDs", fig4),
+        (
+            "fig2",
+            "4KB random I/O throughput of software I/O stacks",
+            fig2,
+        ),
+        (
+            "fig3",
+            "Read/write I/O time breakdown of software I/O stacks",
+            fig3,
+        ),
+        (
+            "fig4",
+            "A100 SM utilization for BaM to saturate N SSDs",
+            fig4,
+        ),
         ("tab3", "Experimental platform", tab3),
         ("tab4", "Real-world datasets", tab4),
         ("tab5", "GNN experiment configuration", tab5),
@@ -36,11 +48,32 @@ pub fn registry() -> Vec<(&'static str, &'static str, Generator)> {
         ("fig11", "CAM-Sync vs CAM-Async vs SPDK (sort)", fig11),
         ("fig12", "One CPU thread controlling multiple SSDs", fig12),
         ("fig13", "CPU instructions/cycles per request", fig13),
-        ("fig14", "CPU memory bandwidth usage vs SSD bandwidth", fig14),
+        (
+            "fig14",
+            "CPU memory bandwidth usage vs SSD bandwidth",
+            fig14,
+        ),
         ("fig15", "Throughput at 2 vs 16 memory channels", fig15),
-        ("fig16", "SPDK staging throughput vs access granularity", fig16),
-        ("issue2", "ANNS: cudaMemcpyAsync share of staged-path time", issue2),
-        ("motiv", "Section II motivation: DLRM / LLM-offload baselines", motiv),
+        (
+            "fig16",
+            "SPDK staging throughput vs access granularity",
+            fig16,
+        ),
+        (
+            "issue2",
+            "ANNS: cudaMemcpyAsync share of staged-path time",
+            issue2,
+        ),
+        (
+            "motiv",
+            "Section II motivation: DLRM / LLM-offload baselines",
+            motiv,
+        ),
+        (
+            "bench",
+            "Functional-engine telemetry benchmark (writes BENCH_repro.json)",
+            bench,
+        ),
     ]
 }
 
@@ -75,7 +108,14 @@ fn fig1() -> Vec<Table> {
     let cfg = GnnConfig::default();
     let mut t = Table::new(
         "Fig. 1: GIDS (BaM-based) step breakdown, Paper100M, 12 SSDs",
-        &["model", "sample ms", "extract ms", "train ms", "extract %", "train %"],
+        &[
+            "model",
+            "sample ms",
+            "extract ms",
+            "train ms",
+            "extract %",
+            "train %",
+        ],
     );
     for model in GnnModel::ALL {
         let b = model_epoch(GnnSystem::Gids, &spec, model, &cfg, 12);
@@ -128,7 +168,14 @@ fn fig3() -> Vec<Table> {
     for dir in [IoDir::Read, IoDir::Write] {
         let mut t = Table::new(
             format!("Fig. 3: per-request time by layer, {dir:?}"),
-            &["stack", "user ns", "filesystem ns", "io_map ns", "block I/O ns", "fs+io_map %"],
+            &[
+                "stack",
+                "user ns",
+                "filesystem ns",
+                "io_map ns",
+                "block I/O ns",
+                "fs+io_map %",
+            ],
         );
         for stack in [
             IoStackKind::Posix,
@@ -159,11 +206,7 @@ fn fig4() -> Vec<Table> {
         &["SSDs", "SM utilization", "CAM (for reference)"],
     );
     for n in 1..=12u32 {
-        t.row(vec![
-            n.to_string(),
-            pct(g.bam_sm_utilization(n)),
-            pct(0.0),
-        ]);
+        t.row(vec![n.to_string(), pct(g.bam_sm_utilization(n)), pct(0.0)]);
     }
     t.note("paper: \"when the number of SSDs exceeds five, BaM engages nearly all available SMs\"");
     vec![t]
@@ -175,12 +218,21 @@ fn tab3() -> Vec<Table> {
         &["component", "specification"],
     );
     for (c, s) in [
-        ("CPU", "Intel Xeon Gold 5320 (2 x 52 threads) @ 2.20 GHz [CpuModel]"),
+        (
+            "CPU",
+            "Intel Xeon Gold 5320 (2 x 52 threads) @ 2.20 GHz [CpuModel]",
+        ),
         ("CPU memory", "768 GB, 16 DDR4-3200 channels [MemoryModel]"),
-        ("GPU", "80GB-PCIe-A100: 108 SMs, 2048 thr/SM [GpuSpec::a100_80g]"),
+        (
+            "GPU",
+            "80GB-PCIe-A100: 108 SMs, 2048 thr/SM [GpuSpec::a100_80g]",
+        ),
         ("SSD", "12 x 3.84TB Intel P5510 [SsdModel::p5510]"),
         ("PCIe", "Gen4 x16, 21 GB/s measured ceiling"),
-        ("S/W", "this reproduction: simulated NVMe/GPU substrate in Rust"),
+        (
+            "S/W",
+            "this reproduction: simulated NVMe/GPU substrate in Rust",
+        ),
     ] {
         t.row(vec![c.into(), s.into()]);
     }
@@ -207,7 +259,10 @@ fn tab4() -> Vec<Table> {
 
 fn tab5() -> Vec<Table> {
     let cfg = GnnConfig::default();
-    let mut t = Table::new("Table V: GNN experiment configuration", &["parameter", "setting"]);
+    let mut t = Table::new(
+        "Table V: GNN experiment configuration",
+        &["parameter", "setting"],
+    );
     t.row(vec!["GNN task".into(), "node classification".into()]);
     t.row(vec![
         "sampling method".into(),
@@ -338,7 +393,12 @@ fn fig10() -> Vec<Table> {
 fn tab6() -> Vec<Table> {
     let mut t = Table::new(
         "Table VI: lines of code per workload",
-        &["workload", "paper baseline LoC", "paper CAM LoC", "this repo's CAM example LoC"],
+        &[
+            "workload",
+            "paper baseline LoC",
+            "paper CAM LoC",
+            "this repo's CAM example LoC",
+        ],
     );
     let gnn = crate::count_loc(include_str!("../../../examples/gnn_training.rs"));
     let sort = crate::count_loc(include_str!("../../../examples/out_of_core_sort.rs"));
@@ -550,7 +610,13 @@ fn motiv() -> Vec<Table> {
     use cam_workloads::llm::{model_step, LlmSystem};
     let mut t = Table::new(
         "Section II motivation: storage-bound training baselines, 12 SSDs",
-        &["system", "I/O phase share", "baseline time", "CAM time", "speedup"],
+        &[
+            "system",
+            "I/O phase share",
+            "baseline time",
+            "CAM time",
+            "speedup",
+        ],
     );
     let d_base = model_iteration(DlrmSystem::TorchRec, 4096, 26, 20, 128, 12);
     let d_cam = model_iteration(DlrmSystem::Cam, 4096, 26, 20, 128, 12);
@@ -581,6 +647,49 @@ fn motiv() -> Vec<Table> {
     vec![t]
 }
 
+fn bench() -> Vec<Table> {
+    use crate::telemetry_run::{bench_json, run_instrumented};
+    use cam_telemetry::Stage;
+
+    let run = run_instrumented(20, 64);
+    let json = bench_json(&run);
+    let path = "BENCH_repro.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => {}
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+
+    let mut t = Table::new(
+        "Functional engine: batch-lifecycle stage latency (instrumented run)",
+        &["op", "stage", "p50 (ns)", "p99 (ns)", "samples"],
+    );
+    for op in ["read", "write"] {
+        for stage in Stage::ALL {
+            let name = format!("cam_stage_ns{{op=\"{op}\",stage=\"{}\"}}", stage.name());
+            let (p50, p99, count) = run
+                .snapshot
+                .histogram(&name)
+                .map(|h| (h.p50, h.p99, h.count))
+                .unwrap_or((0, 0, 0));
+            t.row(vec![
+                op.into(),
+                stage.name().into(),
+                p50.to_string(),
+                p99.to_string(),
+                count.to_string(),
+            ]);
+        }
+    }
+    t.note(format!(
+        "{} requests in {:.2} ms: {} GB/s, {} K IOPS; full report in {path}",
+        run.requests,
+        run.elapsed_ns as f64 / 1e6,
+        f2(run.gbps()),
+        f1(run.kiops()),
+    ));
+    vec![t]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -590,8 +699,8 @@ mod tests {
         let ids: Vec<&str> = registry().iter().map(|(id, _, _)| *id).collect();
         for want in [
             "tab1", "fig1", "fig2", "fig3", "fig4", "tab3", "tab4", "tab5", "fig8", "fig9",
-            "fig10", "tab6", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-            "issue2", "motiv",
+            "fig10", "tab6", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "issue2",
+            "motiv",
         ] {
             assert!(ids.contains(&want), "missing {want}");
         }
@@ -600,8 +709,10 @@ mod tests {
     #[test]
     fn cheap_generators_produce_rows() {
         // The non-sweep generators are fast enough for unit tests.
-        for id in ["tab1", "fig1", "fig3", "fig4", "tab3", "tab4", "tab5", "fig9", "fig10",
-                   "fig11", "fig13", "fig15"] {
+        for id in [
+            "tab1", "fig1", "fig3", "fig4", "tab3", "tab4", "tab5", "fig9", "fig10", "fig11",
+            "fig13", "fig15",
+        ] {
             let gen = registry()
                 .into_iter()
                 .find(|(i, _, _)| *i == id)

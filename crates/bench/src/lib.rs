@@ -17,6 +17,7 @@
 
 pub mod figures;
 mod table;
+pub mod telemetry_run;
 
 pub use table::Table;
 

@@ -1,0 +1,187 @@
+//! Instrumented functional-engine run: drives a multi-batch read+write
+//! workload through [`CamContext`] with a shared [`MetricsRegistry`] and
+//! renders the `BENCH_repro.json` report (throughput plus stage latency
+//! quantiles straight from the registry).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use cam_core::{CamConfig, CamContext};
+use cam_iostacks::{Rig, RigConfig};
+use cam_telemetry::{clock, MetricsRegistry, MetricsSnapshot, NoopSink, Stage};
+
+/// Result of one instrumented workload run.
+pub struct TelemetryRun {
+    /// Registry state after the workload (the full telemetry story).
+    pub snapshot: MetricsSnapshot,
+    /// Batch rounds driven (each round = one read batch + one write batch).
+    pub rounds: u64,
+    /// Requests per batch.
+    pub batch: u64,
+    /// Requests completed, from the control plane.
+    pub requests: u64,
+    /// Bytes moved (requests × block size).
+    pub bytes: u64,
+    /// Wall-clock duration of the workload, nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+impl TelemetryRun {
+    /// End-to-end throughput in GB/s.
+    pub fn gbps(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.elapsed_ns as f64
+        }
+    }
+
+    /// Request rate in K IOPS.
+    pub fn kiops(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            0.0
+        } else {
+            self.requests as f64 / (self.elapsed_ns as f64 / 1e9) / 1e3
+        }
+    }
+}
+
+/// Runs `rounds` rounds of a `batch`-request write-back + prefetch workload
+/// on a default 4-SSD rig, fully instrumented, and returns the telemetry.
+pub fn run_instrumented(rounds: u64, batch: u64) -> TelemetryRun {
+    let rig = Rig::new(RigConfig::default());
+    let registry = Arc::new(MetricsRegistry::new());
+    let cam = CamContext::attach_with(
+        &rig,
+        CamConfig::default(),
+        Arc::clone(&registry),
+        Arc::new(NoopSink),
+    );
+    let dev = cam.device();
+    let bs = cam.block_size() as usize;
+    let wbuf = cam.alloc(batch as usize * bs).expect("alloc write buffer");
+    let rbuf = cam.alloc(batch as usize * bs).expect("alloc read buffer");
+    wbuf.write(0, &vec![0xC3; batch as usize * bs]);
+
+    let start_ns = clock::now_ns();
+    for round in 0..rounds {
+        let base = (round * batch) % (rig.array_blocks() - batch);
+        let lbas: Vec<u64> = (base..base + batch).collect();
+        dev.write_back(&lbas, wbuf.addr()).expect("write_back");
+        dev.write_back_synchronize()
+            .expect("write_back_synchronize");
+        dev.prefetch(&lbas, rbuf.addr()).expect("prefetch");
+        dev.prefetch_synchronize().expect("prefetch_synchronize");
+    }
+    let elapsed_ns = clock::now_ns().saturating_sub(start_ns);
+
+    let stats = cam.stats();
+    TelemetryRun {
+        snapshot: registry.snapshot(),
+        rounds,
+        batch,
+        requests: stats.requests,
+        bytes: stats.requests * bs as u64,
+        elapsed_ns,
+    }
+}
+
+/// Renders the `BENCH_repro.json` report: workload shape, throughput, and
+/// p50/p99 for every protocol stage and for the doorbell→retire span.
+pub fn bench_json(run: &TelemetryRun) -> String {
+    let mut out = String::with_capacity(2048);
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"workload\": {{\"rounds\": {}, \"batch\": {}, \"ops\": [\"read\", \"write\"]}},",
+        run.rounds, run.batch
+    );
+    let _ = writeln!(
+        out,
+        "  \"throughput\": {{\"requests\": {}, \"bytes\": {}, \"elapsed_ns\": {}, \
+         \"gbps\": {:.4}, \"kiops\": {:.2}}},",
+        run.requests,
+        run.bytes,
+        run.elapsed_ns,
+        run.gbps(),
+        run.kiops()
+    );
+    out.push_str("  \"stages_ns\": {\n");
+    for (i, op) in ["read", "write"].iter().enumerate() {
+        let _ = write!(out, "    \"{op}\": {{");
+        for (j, stage) in Stage::ALL.iter().enumerate() {
+            let name = format!("cam_stage_ns{{op=\"{op}\",stage=\"{}\"}}", stage.name());
+            let (p50, p99) = run
+                .snapshot
+                .histogram(&name)
+                .map(|h| (h.p50, h.p99))
+                .unwrap_or((0, 0));
+            let comma = if j + 1 < Stage::ALL.len() { ", " } else { "" };
+            let _ = write!(
+                out,
+                "\"{}\": {{\"p50\": {p50}, \"p99\": {p99}}}{comma}",
+                stage.name()
+            );
+        }
+        let _ = writeln!(out, "}}{}", if i == 0 { "," } else { "" });
+    }
+    out.push_str("  },\n  \"doorbell_to_retire_ns\": {\n");
+    // Reads ride channel 0, writes channel 1 (the Fig. 7 convention).
+    for (i, (op, channel)) in [("read", 0), ("write", 1)].iter().enumerate() {
+        let name = format!("cam_batch_total_ns{{channel=\"{channel}\",op=\"{op}\"}}");
+        let (p50, p99) = run
+            .snapshot
+            .histogram(&name)
+            .map(|h| (h.p50, h.p99))
+            .unwrap_or((0, 0));
+        let _ = writeln!(
+            out,
+            "    \"{op}\": {{\"p50\": {p50}, \"p99\": {p99}}}{}",
+            if i == 0 { "," } else { "" }
+        );
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instrumented_run_populates_every_stage() {
+        let run = run_instrumented(4, 16);
+        assert_eq!(run.requests, 2 * 4 * 16);
+        assert!(run.elapsed_ns > 0);
+        assert_eq!(run.snapshot.counter("cam_batches_total"), 8);
+        for op in ["read", "write"] {
+            for stage in Stage::ALL {
+                let name = format!("cam_stage_ns{{op=\"{op}\",stage=\"{}\"}}", stage.name());
+                assert!(
+                    run.snapshot.histogram(&name).map(|h| h.count).unwrap_or(0) >= 4,
+                    "stage {name} unpopulated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bench_json_is_balanced_and_complete() {
+        let run = run_instrumented(2, 8);
+        let json = bench_json(&run);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        for key in [
+            "\"workload\"",
+            "\"throughput\"",
+            "\"gbps\"",
+            "\"stages_ns\"",
+            "\"pickup\"",
+            "\"retire\"",
+            "\"doorbell_to_retire_ns\"",
+            "\"p50\"",
+            "\"p99\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

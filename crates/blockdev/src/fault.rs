@@ -6,7 +6,9 @@
 //! after a failed batch (`CamError::Io` then clean subsequent batches).
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+use cam_telemetry::{Counter, MetricsRegistry};
 
 use crate::lba::{BlockGeometry, Lba};
 use crate::store::{BlockError, BlockStore};
@@ -60,6 +62,8 @@ pub struct FaultyStore {
     policy: FaultPolicy,
     matches: AtomicU64,
     injected: AtomicU64,
+    /// Telemetry: mirrors `injected` into a registry counter once attached.
+    injected_metric: OnceLock<Counter>,
 }
 
 impl FaultyStore {
@@ -71,6 +75,7 @@ impl FaultyStore {
             policy,
             matches: AtomicU64::new(0),
             injected: AtomicU64::new(0),
+            injected_metric: OnceLock::new(),
         }
     }
 
@@ -79,19 +84,32 @@ impl FaultyStore {
         self.injected.load(Ordering::Relaxed)
     }
 
+    /// Registers `cam_fault_injected_total` in `reg` and counts every
+    /// injected fault from now on. One-shot; later calls are ignored.
+    pub fn attach_telemetry(&self, reg: &MetricsRegistry) {
+        let _ = self
+            .injected_metric
+            .set(reg.counter("cam_fault_injected_total"));
+    }
+
     fn should_fail(&self, lba: Lba, is_read: bool) -> bool {
         let dir_match = match self.policy.kind {
             FaultKind::Read => is_read,
             FaultKind::Write => !is_read,
             FaultKind::Both => true,
         };
-        if !dir_match || lba.index() < self.policy.lba_range.0 || lba.index() >= self.policy.lba_range.1
+        if !dir_match
+            || lba.index() < self.policy.lba_range.0
+            || lba.index() >= self.policy.lba_range.1
         {
             return false;
         }
         let n = self.matches.fetch_add(1, Ordering::Relaxed);
         if n.is_multiple_of(self.policy.every) {
             self.injected.fetch_add(1, Ordering::Relaxed);
+            if let Some(c) = self.injected_metric.get() {
+                c.inc();
+            }
             true
         } else {
             false
@@ -167,6 +185,25 @@ mod tests {
         }
         assert_eq!(failures, 3);
         assert_eq!(s.injected(), 3);
+    }
+
+    #[test]
+    fn injected_faults_reach_the_registry() {
+        let s = wrapped(FaultPolicy::reads_in(0, 4));
+        let reg = MetricsRegistry::new();
+        s.attach_telemetry(&reg);
+        let mut buf = vec![0u8; 512];
+        for i in 0..8 {
+            let _ = s.read(Lba(i), &mut buf);
+        }
+        assert_eq!(s.injected(), 4);
+        assert_eq!(reg.snapshot().counter("cam_fault_injected_total"), 4);
+        // A second attach is a no-op: the original counter keeps counting.
+        let reg2 = MetricsRegistry::new();
+        s.attach_telemetry(&reg2);
+        let _ = s.read(Lba(0), &mut buf);
+        assert_eq!(reg.snapshot().counter("cam_fault_injected_total"), 5);
+        assert_eq!(reg2.snapshot().counter("cam_fault_injected_total"), 0);
     }
 
     #[test]

@@ -116,8 +116,7 @@ mod tests {
     fn array(n: usize, stripe: u64) -> Raid0 {
         let children: Vec<Arc<dyn BlockStore>> = (0..n)
             .map(|_| {
-                Arc::new(SparseMemStore::new(BlockGeometry::new(512, 4096)))
-                    as Arc<dyn BlockStore>
+                Arc::new(SparseMemStore::new(BlockGeometry::new(512, 4096))) as Arc<dyn BlockStore>
             })
             .collect();
         Raid0::new(children, stripe)
@@ -132,10 +131,8 @@ mod tests {
 
     #[test]
     fn capacity_rounds_down_to_stripes() {
-        let a: Arc<dyn BlockStore> =
-            Arc::new(SparseMemStore::new(BlockGeometry::new(512, 100)));
-        let b: Arc<dyn BlockStore> =
-            Arc::new(SparseMemStore::new(BlockGeometry::new(512, 97)));
+        let a: Arc<dyn BlockStore> = Arc::new(SparseMemStore::new(BlockGeometry::new(512, 100)));
+        let b: Arc<dyn BlockStore> = Arc::new(SparseMemStore::new(BlockGeometry::new(512, 97)));
         let r = Raid0::new(vec![a, b], 8);
         // min(100, 97) = 97 → 96 usable per member → 192 total.
         assert_eq!(r.geometry().blocks, 192);
@@ -188,10 +185,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "share a block size")]
     fn mixed_block_sizes_rejected() {
-        let a: Arc<dyn BlockStore> =
-            Arc::new(SparseMemStore::new(BlockGeometry::new(512, 100)));
-        let b: Arc<dyn BlockStore> =
-            Arc::new(SparseMemStore::new(BlockGeometry::new(4096, 100)));
+        let a: Arc<dyn BlockStore> = Arc::new(SparseMemStore::new(BlockGeometry::new(512, 100)));
+        let b: Arc<dyn BlockStore> = Arc::new(SparseMemStore::new(BlockGeometry::new(4096, 100)));
         Raid0::new(vec![a, b], 8);
     }
 }

@@ -100,7 +100,9 @@ impl SparseMemStore {
 
     /// Creates an empty store with the given geometry.
     pub fn new(geometry: BlockGeometry) -> Self {
-        let shards = (0..Self::SHARDS).map(|_| Mutex::new(HashMap::new())).collect();
+        let shards = (0..Self::SHARDS)
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect();
         SparseMemStore {
             geometry,
             shards,

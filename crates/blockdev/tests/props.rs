@@ -2,7 +2,9 @@
 
 use std::sync::Arc;
 
-use cam_blockdev::{BlockGeometry, BlockStore, Extent, ExtentAllocator, Lba, Raid0, SparseMemStore};
+use cam_blockdev::{
+    BlockGeometry, BlockStore, Extent, ExtentAllocator, Lba, Raid0, SparseMemStore,
+};
 use proptest::prelude::*;
 
 proptest! {

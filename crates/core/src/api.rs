@@ -7,6 +7,9 @@ use std::sync::Arc;
 
 use cam_gpu::{Gpu, GpuBuffer, OutOfMemory};
 use cam_iostacks::Rig;
+use cam_telemetry::{
+    clock, ControlMetrics, HistogramHandle, MetricsRegistry, NoopSink, TelemetrySink,
+};
 
 use crate::control::{ControlConfig, ControlPlane, ControlStats};
 use crate::regions::{Channel, ChannelOp, PublishError};
@@ -86,13 +89,35 @@ pub struct CamContext {
     channels: Arc<Vec<Channel>>,
     control: ControlPlane,
     block_size: u32,
+    registry: Arc<MetricsRegistry>,
+    metrics: Arc<ControlMetrics>,
 }
 
 impl CamContext {
     /// `CAM_init`: sets up the four memory regions per channel, registers
     /// queue pairs on every SSD, and starts the persistent CPU polling
-    /// thread and worker pool.
+    /// thread and worker pool. Telemetry goes to a private registry
+    /// (reachable via [`registry`](Self::registry)); use
+    /// [`attach_with`](Self::attach_with) to supply your own.
     pub fn attach(rig: &Rig, cfg: CamConfig) -> Self {
+        Self::attach_with(
+            rig,
+            cfg,
+            Arc::new(MetricsRegistry::new()),
+            Arc::new(NoopSink),
+        )
+    }
+
+    /// [`attach`](Self::attach) with an explicit metrics registry and a
+    /// [`TelemetrySink`] notified per retired batch and per scaler
+    /// decision. The registry is shared: exporters snapshot it while the
+    /// control plane records.
+    pub fn attach_with(
+        rig: &Rig,
+        cfg: CamConfig,
+        registry: Arc<MetricsRegistry>,
+        sink: Arc<dyn TelemetrySink>,
+    ) -> Self {
         assert!(cfg.n_channels >= 1 && cfg.n_channels <= 64);
         let channels = Arc::new(
             (0..cfg.n_channels)
@@ -103,6 +128,13 @@ impl CamContext {
             .workers
             .unwrap_or_else(|| rig.n_ssds().div_ceil(2))
             .max(1);
+        let metrics = Arc::new(ControlMetrics::new(&registry, cfg.n_channels, rig.n_ssds()));
+        // Substrate hooks before the control plane creates queue pairs, so
+        // every queue pair inherits the doorbell-batch histogram.
+        for dev in rig.devices() {
+            dev.attach_telemetry(&registry);
+        }
+        rig.gpu().attach_telemetry(&registry);
         let control = ControlPlane::start(
             rig.devices(),
             Arc::clone(&channels),
@@ -113,13 +145,29 @@ impl CamContext {
                 stripe_blocks: rig.stripe_blocks(),
                 block_size: rig.block_size(),
             },
+            Arc::clone(&metrics),
+            sink,
         );
         CamContext {
             gpu: Arc::clone(rig.gpu()),
             channels,
             control,
             block_size: rig.block_size(),
+            registry,
+            metrics,
         }
+    }
+
+    /// The metrics registry this context records into. Snapshot it for
+    /// JSON/Prometheus exposition.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The pre-resolved control-plane metric handles (stage histograms,
+    /// per-SSD counters, …).
+    pub fn metrics(&self) -> &Arc<ControlMetrics> {
+        &self.metrics
     }
 
     /// `CAM_alloc`: pinned GPU memory SSDs can DMA into directly.
@@ -132,6 +180,7 @@ impl CamContext {
         CamDevice {
             channels: Arc::clone(&self.channels),
             block_size: self.block_size,
+            sync_wait: self.metrics.sync_wait_ns.clone(),
         }
     }
 
@@ -188,6 +237,8 @@ impl BatchTicket {
 pub struct CamDevice {
     channels: Arc<Vec<Channel>>,
     block_size: u32,
+    /// Telemetry: time threads spend blocked in `synchronize_*`.
+    sync_wait: HistogramHandle,
 }
 
 /// Channel conventions matching Fig. 7's usage.
@@ -287,9 +338,12 @@ impl CamDevice {
         // "All threads are blocked and wait for the leading thread to check
         // if the fourth region has been written."
         let seq = ch.current_seq();
+        let wait_start = clock::now_ns();
         while !ch.retired(seq) {
             std::thread::yield_now();
         }
+        self.sync_wait
+            .record(clock::now_ns().saturating_sub(wait_start));
         let failed = ch.take_new_errors();
         if failed > 0 {
             Err(CamError::Io { failed })

@@ -19,11 +19,20 @@ use std::time::Instant;
 use cam_nvme::spec::{Sqe, Status};
 use cam_nvme::{NvmeDevice, QueuePair};
 use cam_simkit::Dur;
+use cam_telemetry::{clock, BatchSpan, ControlMetrics, Stage, TelemetrySink};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
 use crate::regions::{Channel, ChannelOp};
 use crate::scaler::DynamicScaler;
+
+/// Index into [`ControlMetrics::OPS`] for a channel operation.
+fn op_index(op: ChannelOp) -> usize {
+    match op {
+        ChannelOp::Read => 0,
+        ChannelOp::Write => 1,
+    }
+}
 
 /// Control-plane configuration (subset of [`CamConfig`]).
 ///
@@ -39,6 +48,10 @@ pub(crate) struct ControlConfig {
 }
 
 /// A point-in-time snapshot of control-plane counters.
+///
+/// Derived from the telemetry registry: every field is readable as a
+/// `cam_*` metric too (see [`ControlMetrics`]); this struct is the
+/// ergonomic host-API view.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ControlStats {
     /// Batches retired.
@@ -54,6 +67,46 @@ pub struct ControlStats {
     /// Mean GPU-side gap between batches (retire → next doorbell), the
     /// control plane's estimate of computation time.
     pub mean_compute: Dur,
+    /// Cumulative I/O time across all batches (the numerator of
+    /// [`mean_io`](Self::mean_io); kept so snapshots can be diffed).
+    pub total_io: Dur,
+    /// Cumulative observed compute gaps (numerator of
+    /// [`mean_compute`](Self::mean_compute)).
+    pub total_compute: Dur,
+    /// Number of compute-gap observations (denominator of
+    /// [`mean_compute`](Self::mean_compute)).
+    pub compute_samples: u64,
+}
+
+impl ControlStats {
+    /// Counters accumulated since `earlier` (an older snapshot of the same
+    /// control plane): cumulative fields are subtracted and the means
+    /// recomputed over the interval, so per-phase workloads can be measured
+    /// without resetting the registry. `active_workers` is a gauge and keeps
+    /// the current (later) value.
+    pub fn diff(&self, earlier: &ControlStats) -> ControlStats {
+        let batches = self.batches.saturating_sub(earlier.batches);
+        let io_ns = self
+            .total_io
+            .as_ns()
+            .saturating_sub(earlier.total_io.as_ns());
+        let compute_ns = self
+            .total_compute
+            .as_ns()
+            .saturating_sub(earlier.total_compute.as_ns());
+        let samples = self.compute_samples.saturating_sub(earlier.compute_samples);
+        ControlStats {
+            batches,
+            requests: self.requests.saturating_sub(earlier.requests),
+            errors: self.errors.saturating_sub(earlier.errors),
+            active_workers: self.active_workers,
+            mean_io: Dur::ns(io_ns.checked_div(batches).unwrap_or(0)),
+            mean_compute: Dur::ns(compute_ns.checked_div(samples).unwrap_or(0)),
+            total_io: Dur::ns(io_ns),
+            total_compute: Dur::ns(compute_ns),
+            compute_samples: samples,
+        }
+    }
 }
 
 struct WorkItem {
@@ -67,11 +120,15 @@ struct WorkItem {
 struct BatchState {
     channel: usize,
     seq: u64,
+    op: usize,
     remaining: AtomicUsize,
     errors: AtomicU64,
     requests: u64,
     dispatched: Instant,
     compute_gap: Dur,
+    /// Telemetry timeline ([`clock::now_ns`]) anchors of this batch's span.
+    doorbell_ns: u64,
+    pickup_ns: u64,
 }
 
 struct Shared {
@@ -85,13 +142,10 @@ struct Shared {
     stop: AtomicBool,
     scaler: Mutex<DynamicScaler>,
     dynamic: bool,
-    // Stats.
-    batches: AtomicU64,
-    requests: AtomicU64,
-    errors: AtomicU64,
-    io_ns: AtomicU64,
-    compute_ns: AtomicU64,
-    compute_samples: AtomicU64,
+    /// All counters/histograms live in the registry behind these handles —
+    /// the control plane keeps no parallel ad-hoc stat atomics.
+    metrics: Arc<ControlMetrics>,
+    sink: Arc<dyn TelemetrySink>,
     last_retire: Mutex<Vec<Option<Instant>>>,
 }
 
@@ -120,6 +174,8 @@ impl ControlPlane {
         devices: &[NvmeDevice],
         channels: Arc<Vec<Channel>>,
         cfg: ControlConfig,
+        metrics: Arc<ControlMetrics>,
+        sink: Arc<dyn TelemetrySink>,
     ) -> Self {
         let n_ssds = devices.len();
         assert!(n_ssds >= 1);
@@ -138,6 +194,9 @@ impl ControlPlane {
             DynamicScaler::with_bounds(max_workers, max_workers)
         };
         let initial = scaler.active().min(max_workers);
+        metrics.active_workers.set(initial as u64);
+        metrics.workers_min.set(scaler.min() as u64);
+        metrics.workers_max.set(scaler.max() as u64);
         let shared = Arc::new(Shared {
             channels,
             qps,
@@ -148,12 +207,8 @@ impl ControlPlane {
             stop: AtomicBool::new(false),
             scaler: Mutex::new(scaler),
             dynamic: cfg.dynamic_scaling,
-            batches: AtomicU64::new(0),
-            requests: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            io_ns: AtomicU64::new(0),
-            compute_ns: AtomicU64::new(0),
-            compute_samples: AtomicU64::new(0),
+            metrics,
+            sink,
             last_retire: Mutex::new(vec![None; 64]),
         });
 
@@ -188,22 +243,21 @@ impl ControlPlane {
 
     pub(crate) fn stats(&self) -> ControlStats {
         let sh = &self.shared;
-        let batches = sh.batches.load(Ordering::Relaxed);
-        let samples = sh.compute_samples.load(Ordering::Relaxed);
+        let m = &sh.metrics;
+        let batches = m.batches.get();
+        let samples = m.compute_samples.get();
+        let io_ns = m.io_time_ns.get();
+        let compute_ns = m.compute_time_ns.get();
         ControlStats {
             batches,
-            requests: sh.requests.load(Ordering::Relaxed),
-            errors: sh.errors.load(Ordering::Relaxed),
+            requests: m.requests.get(),
+            errors: m.errors.get(),
             active_workers: sh.active_workers.load(Ordering::Relaxed),
-            mean_io: Dur::ns(
-                sh.io_ns.load(Ordering::Relaxed).checked_div(batches).unwrap_or(0),
-            ),
-            mean_compute: Dur::ns(
-                sh.compute_ns
-                    .load(Ordering::Relaxed)
-                    .checked_div(samples)
-                    .unwrap_or(0),
-            ),
+            mean_io: Dur::ns(io_ns.checked_div(batches).unwrap_or(0)),
+            mean_compute: Dur::ns(compute_ns.checked_div(samples).unwrap_or(0)),
+            total_io: Dur::ns(io_ns),
+            total_compute: Dur::ns(compute_ns),
+            compute_samples: samples,
         }
     }
 
@@ -242,6 +296,8 @@ fn poller_loop(sh: &Shared, senders: &[Sender<WorkItem>]) {
             progress = true;
             last_seen[ch_idx] = seq;
             let (op, blocks, reqs) = ch.snapshot();
+            let pickup_ns = clock::now_ns();
+            let doorbell_ns = ch.published_at_ns();
             let now = Instant::now();
             let compute_gap = {
                 let mut lr = sh.last_retire.lock();
@@ -254,6 +310,10 @@ fn poller_loop(sh: &Shared, senders: &[Sender<WorkItem>]) {
                 ch.retire(seq, 0);
                 continue;
             }
+            let op_idx = op_index(op);
+            sh.metrics
+                .stage(op_idx, Stage::Pickup)
+                .record(pickup_ns.saturating_sub(doorbell_ns));
             // Split the batch by stripe across SSDs. Requests that cross a
             // stripe boundary become several stripe-contiguous runs — the
             // CPU control plane owns the striping, so GPU code never needs
@@ -280,11 +340,14 @@ fn poller_loop(sh: &Shared, senders: &[Sender<WorkItem>]) {
             let batch = Arc::new(BatchState {
                 channel: ch_idx,
                 seq,
+                op: op_idx,
                 remaining: AtomicUsize::new(n_groups),
                 errors: AtomicU64::new(0),
                 requests: reqs.len() as u64,
                 dispatched: now,
                 compute_gap,
+                doorbell_ns,
+                pickup_ns,
             });
             let active = sh
                 .active_workers
@@ -325,6 +388,11 @@ fn worker_loop(sh: &Shared, wid: usize, rx: Receiver<WorkItem>) {
             Err(RecvTimeoutError::Disconnected) => return,
         };
         let qp = &sh.qps[item.ssd][wid];
+        let recv_ns = clock::now_ns();
+        let op_idx = item.batch.op;
+        sh.metrics
+            .stage(op_idx, Stage::Dispatch)
+            .record(recv_ns.saturating_sub(item.batch.pickup_ns));
         let mut submitted = 0usize;
         let mut completed = 0usize;
         let mut errors = 0u64;
@@ -352,6 +420,11 @@ fn worker_loop(sh: &Shared, wid: usize, rx: Receiver<WorkItem>) {
             }
         }
         qp.ring_doorbell();
+        let submit_ns = clock::now_ns();
+        let submit_span = submit_ns.saturating_sub(recv_ns);
+        sh.metrics.stage(op_idx, Stage::Submit).record(submit_span);
+        sh.metrics.ssd_submit_ns[item.ssd].record(submit_span);
+        sh.metrics.ssd_submitted[item.ssd].add(item.reqs.len() as u64);
         while completed < item.reqs.len() {
             match qp.poll_cqe() {
                 Some(cqe) => {
@@ -366,26 +439,58 @@ fn worker_loop(sh: &Shared, wid: usize, rx: Receiver<WorkItem>) {
         if errors > 0 {
             item.batch.errors.fetch_add(errors, Ordering::Relaxed);
         }
+        let complete_ns = clock::now_ns();
+        let complete_span = complete_ns.saturating_sub(submit_ns);
+        sh.metrics
+            .stage(op_idx, Stage::Complete)
+            .record(complete_span);
+        sh.metrics.ssd_complete_ns[item.ssd].record(complete_span);
+        sh.metrics.ssd_completed[item.ssd].add(item.reqs.len() as u64);
         // Last group retires the batch: region-4 write + bookkeeping.
         if item.batch.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             let b = &item.batch;
+            let m = &sh.metrics;
             let batch_errors = b.errors.load(Ordering::Relaxed);
             let io = Dur::from_secs_f64(b.dispatched.elapsed().as_secs_f64());
             sh.channels[b.channel].retire(b.seq, batch_errors);
+            let retire_ns = clock::now_ns();
             sh.last_retire.lock()[b.channel] = Some(Instant::now());
-            sh.batches.fetch_add(1, Ordering::Relaxed);
-            sh.requests.fetch_add(b.requests, Ordering::Relaxed);
-            sh.errors.fetch_add(batch_errors, Ordering::Relaxed);
-            sh.io_ns.fetch_add(io.as_ns(), Ordering::Relaxed);
+            m.stage(op_idx, Stage::Retire)
+                .record(retire_ns.saturating_sub(complete_ns));
+            m.batch_total(b.channel, op_idx)
+                .record(retire_ns.saturating_sub(b.doorbell_ns));
+            m.batches.inc();
+            m.requests.add(b.requests);
+            m.errors.add(batch_errors);
+            m.io_time_ns.add(io.as_ns());
             if b.compute_gap > Dur::ZERO {
-                sh.compute_ns
-                    .fetch_add(b.compute_gap.as_ns(), Ordering::Relaxed);
-                sh.compute_samples.fetch_add(1, Ordering::Relaxed);
+                m.compute_time_ns.add(b.compute_gap.as_ns());
+                m.compute_samples.inc();
             }
             if sh.dynamic && b.compute_gap > Dur::ZERO {
+                let prev = sh.active_workers.load(Ordering::Relaxed);
                 let active = sh.scaler.lock().observe(b.compute_gap, io);
                 sh.active_workers.store(active, Ordering::Relaxed);
+                if active != prev {
+                    m.active_workers.set(active as u64);
+                    if active > prev {
+                        m.scaler_grow.inc();
+                    } else {
+                        m.scaler_shrink.inc();
+                    }
+                    sh.sink.workers_scaled(active);
+                }
             }
+            sh.sink.batch_retired(&BatchSpan {
+                channel: b.channel,
+                op: ControlMetrics::OPS[op_idx],
+                seq: b.seq,
+                requests: b.requests,
+                errors: batch_errors,
+                doorbell_ns: b.doorbell_ns,
+                pickup_ns: b.pickup_ns,
+                retire_ns,
+            });
         }
     }
 }

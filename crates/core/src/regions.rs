@@ -54,6 +54,10 @@ pub struct Channel {
     errors: AtomicU64,
     /// Errors already reported to a `synchronize` caller.
     acked_errors: AtomicU64,
+    /// Telemetry: when the current batch's doorbell was rung, on the
+    /// [`cam_telemetry::clock`] timeline. Stamped just before the region-3
+    /// release-store, so the poller reads a coherent value.
+    published_ns: AtomicU64,
     /// Guards region 1+2 writes: the protocol has a single leading thread,
     /// but a racing misuse must fail with `Busy`, not corrupt the regions.
     publishing: std::sync::atomic::AtomicBool,
@@ -73,6 +77,7 @@ impl Channel {
             complete: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             acked_errors: AtomicU64::new(0),
+            published_ns: AtomicU64::new(0),
             publishing: std::sync::atomic::AtomicBool::new(false),
         }
     }
@@ -149,6 +154,8 @@ impl Channel {
         );
         self.blocks_per_req
             .store(blocks_per_req as u64, Ordering::Relaxed);
+        self.published_ns
+            .store(cam_telemetry::clock::now_ns(), Ordering::Relaxed);
         // Region 3: one release-store makes regions 1+2 visible — this is
         // the single "doorbell" write the leading thread performs.
         let seq = self.doorbell.load(Ordering::Relaxed) + 1;
@@ -215,6 +222,13 @@ impl Channel {
     pub fn current_seq(&self) -> u64 {
         self.doorbell.load(Ordering::Acquire)
     }
+
+    /// Telemetry: when the current batch's doorbell was rung
+    /// ([`cam_telemetry::clock`] nanoseconds). Meaningful after observing
+    /// [`pending`](Self::pending) for that batch.
+    pub fn published_at_ns(&self) -> u64 {
+        self.published_ns.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -225,7 +239,12 @@ mod tests {
     fn publish_snapshot_retire_cycle() {
         let ch = Channel::new(8);
         assert!(ch.idle());
-        let seq = ch.publish(ChannelOp::Read, &[10, 20, 30], |i| 0x1000 + i as u64 * 4096, 2);
+        let seq = ch.publish(
+            ChannelOp::Read,
+            &[10, 20, 30],
+            |i| 0x1000 + i as u64 * 4096,
+            2,
+        );
         assert_eq!(seq, 1);
         assert!(!ch.idle());
         assert_eq!(ch.pending(0), Some(1));

@@ -44,7 +44,8 @@ fn read_faults_surface_as_io_errors() {
     let buf = cam.alloc(8 * 4096).unwrap();
 
     // Healthy region: fine.
-    dev.prefetch(&(0..8).collect::<Vec<_>>(), buf.addr()).unwrap();
+    dev.prefetch(&(0..8).collect::<Vec<_>>(), buf.addr())
+        .unwrap();
     dev.prefetch_synchronize().unwrap();
 
     // Batch straddling the faulty region: exactly the SSD-0 requests fail.
@@ -57,7 +58,8 @@ fn read_faults_surface_as_io_errors() {
     assert_eq!(faulty.injected(), 8);
 
     // The channel recovers for subsequent healthy batches.
-    dev.prefetch(&(0..8).collect::<Vec<_>>(), buf.addr()).unwrap();
+    dev.prefetch(&(0..8).collect::<Vec<_>>(), buf.addr())
+        .unwrap();
     dev.prefetch_synchronize().unwrap();
     assert_eq!(cam.stats().errors, 8);
 }
@@ -122,7 +124,8 @@ fn intermittent_faults_fail_some_batches_only() {
     let cam = CamContext::attach(&rig, CamConfig::default());
     let dev = cam.device();
     let buf = cam.alloc(16 * 4096).unwrap();
-    dev.prefetch(&(0..16).collect::<Vec<_>>(), buf.addr()).unwrap();
+    dev.prefetch(&(0..16).collect::<Vec<_>>(), buf.addr())
+        .unwrap();
     match dev.prefetch_synchronize() {
         Err(CamError::Io { failed }) => assert_eq!(failed, 4),
         other => panic!("expected 4 failures, got {other:?}"),

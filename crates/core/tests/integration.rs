@@ -119,7 +119,8 @@ fn prefetch_and_write_back_channels_are_independent() {
     wbuf.write(0, &vec![0xEE; 8 * 4096]);
 
     // Issue both before synchronizing either.
-    dev.prefetch(&(0..8).collect::<Vec<_>>(), rbuf.addr()).unwrap();
+    dev.prefetch(&(0..8).collect::<Vec<_>>(), rbuf.addr())
+        .unwrap();
     dev.write_back(&(200..208).collect::<Vec<_>>(), wbuf.addr())
         .unwrap();
     dev.prefetch_synchronize().unwrap();
@@ -138,7 +139,13 @@ fn sync_api_equals_async_api_results() {
     // deliver identical data — Fig. 11's premise.
     let rig = small_rig(2);
     load_pattern(&rig, 128);
-    let cam = CamContext::attach(&rig, CamConfig { n_channels: 3, ..CamConfig::default() });
+    let cam = CamContext::attach(
+        &rig,
+        CamConfig {
+            n_channels: 3,
+            ..CamConfig::default()
+        },
+    );
     let dev = cam.device();
     let lbas: Vec<u64> = (32..64).collect();
 
@@ -178,7 +185,8 @@ fn channel_busy_is_reported_not_hung() {
     let buf = cam.alloc(64 * 4096).unwrap();
     // Two prefetches without an intervening synchronize: the second must
     // either succeed (first already retired) or report ChannelBusy.
-    dev.prefetch(&(0..64).collect::<Vec<_>>(), buf.addr()).unwrap();
+    dev.prefetch(&(0..64).collect::<Vec<_>>(), buf.addr())
+        .unwrap();
     match dev.prefetch(&[0], buf.addr()) {
         Ok(()) | Err(cam_core::CamError::ChannelBusy) => {}
         other => panic!("unexpected: {other:?}"),
@@ -230,7 +238,8 @@ fn dynamic_scaling_shrinks_under_compute_heavy_load() {
     let buf = cam.alloc(4 * 4096).unwrap();
     // Compute-heavy loop: tiny I/O, long "computation" gaps.
     for it in 0..12u64 {
-        dev.prefetch(&[(it * 4) % 256, 1, 2, 3], buf.addr()).unwrap();
+        dev.prefetch(&[(it * 4) % 256, 1, 2, 3], buf.addr())
+            .unwrap();
         dev.prefetch_synchronize().unwrap();
         std::thread::sleep(std::time::Duration::from_millis(8)); // "compute"
     }

@@ -11,7 +11,9 @@
 //! must handle: multiple blocks racing to initiate I/O.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+use cam_telemetry::{clock, HistogramHandle, MetricsRegistry};
 
 use crate::memory::{GpuBuffer, GpuMemory, OutOfMemory};
 use crate::spec::GpuSpec;
@@ -31,6 +33,9 @@ pub struct Gpu {
     memory: GpuMemory,
     workers: usize,
     kernels_launched: AtomicU64,
+    /// Telemetry: wall-clock time per kernel launch (launch → all blocks
+    /// retired). Unset until [`attach_telemetry`](Self::attach_telemetry).
+    kernel_ns: OnceLock<HistogramHandle>,
 }
 
 impl Gpu {
@@ -45,7 +50,14 @@ impl Gpu {
             memory: GpuMemory::new(0x7_0000_0000, mem_bytes),
             workers,
             kernels_launched: AtomicU64::new(0),
+            kernel_ns: OnceLock::new(),
         })
+    }
+
+    /// Registers `cam_gpu_kernel_ns` in `reg` and starts timing kernel
+    /// launches. One-shot; later calls are ignored.
+    pub fn attach_telemetry(&self, reg: &MetricsRegistry) {
+        let _ = self.kernel_ns.set(reg.histogram("cam_gpu_kernel_ns"));
     }
 
     /// Architectural parameters.
@@ -79,6 +91,8 @@ impl Gpu {
     {
         assert!(grid_dim >= 1, "grid must have at least one block");
         self.kernels_launched.fetch_add(1, Ordering::Relaxed);
+        let telemetry = self.kernel_ns.get();
+        let start_ns = telemetry.map(|_| clock::now_ns());
         let next = AtomicU64::new(0);
         let n_workers = self.workers.min(grid_dim as usize).max(1);
         std::thread::scope(|s| {
@@ -95,6 +109,9 @@ impl Gpu {
                 });
             }
         });
+        if let (Some(h), Some(start)) = (telemetry, start_ns) {
+            h.record(clock::now_ns().saturating_sub(start));
+        }
     }
 }
 
@@ -127,7 +144,11 @@ mod tests {
         // when the host has ≥ 2 workers to schedule blocks onto. On a
         // single-core host blocks legitimately run sequentially — the same
         // situation as a grid bigger than the GPU — so skip there.
-        if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) < 2 {
+        if std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            < 2
+        {
             return;
         }
         let g = gpu();

@@ -133,7 +133,10 @@ impl GpuBuffer {
 
     /// Copies host data into the buffer at `offset`.
     pub fn write(&self, offset: usize, data: &[u8]) {
-        assert!(offset + data.len() <= self.capacity(), "write out of buffer");
+        assert!(
+            offset + data.len() <= self.capacity(),
+            "write out of buffer"
+        );
         self.inner
             .region
             .dma_write(self.addr() + offset as u64, data)

@@ -179,12 +179,7 @@ impl MiniFs {
     /// Translates `(file, offset, len)` into contiguous `(Lba, blocks)`
     /// runs — the logical-block-address retrieval every kernel-path request
     /// performs. Offset and length must be block-aligned.
-    pub fn lookup(
-        &self,
-        file: FileId,
-        offset: u64,
-        len: u64,
-    ) -> Result<Vec<(Lba, u64)>, FsError> {
+    pub fn lookup(&self, file: FileId, offset: u64, len: u64) -> Result<Vec<(Lba, u64)>, FsError> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         let bs = self.block_size() as u64;
         if !offset.is_multiple_of(bs) || !len.is_multiple_of(bs) || len == 0 {

@@ -50,6 +50,13 @@ pub struct CpuModel {
 }
 
 impl CpuModel {
+    /// Completion-rate floor for [`per_request`](Self::per_request).
+    /// A non-finite or sub-floor rate (an idle or unmeasured core) saturates
+    /// here rather than producing an unbounded — or, for NaN, silently
+    /// arbitrary — poll-iteration count: the model then charges at most one
+    /// second of polling per request.
+    pub const MIN_RATE_PER_CORE: f64 = 1.0;
+
     /// The testbed's Xeon Gold 5320 @ 2.20 GHz.
     pub fn xeon_gold_5320() -> Self {
         CpuModel {
@@ -66,8 +73,18 @@ impl CpuModel {
 
     /// Instructions/cycles one request costs on `stack`, given the
     /// per-core completion rate the stack achieves (requests/s) — slower
-    /// completion means more empty polls per request.
+    /// completion means more empty polls per request. Rates below
+    /// [`MIN_RATE_PER_CORE`](Self::MIN_RATE_PER_CORE) (including 0, NaN and
+    /// infinities from degenerate measurements) saturate to that floor.
     pub fn per_request(&self, stack: IoStackKind, dir: IoDir, rate_per_core: f64) -> PerfCounts {
+        let rate_per_core = if rate_per_core.is_finite() {
+            rate_per_core.max(Self::MIN_RATE_PER_CORE)
+        } else if rate_per_core == f64::INFINITY {
+            rate_per_core
+        } else {
+            // NaN or -inf: no meaningful measurement — saturate.
+            Self::MIN_RATE_PER_CORE
+        };
         let costs = stack.layer_costs(dir);
         let (submit_cycles, submit_instr) = if stack.uses_kernel() {
             let user_cycles = costs.user.as_ns() as f64 * self.freq_ghz;
@@ -86,7 +103,7 @@ impl CpuModel {
             (self.irq_instructions as f64, self.irq_cycles as f64)
         } else {
             // Mean time between completions on this core, spent polling.
-            let interval_ns = 1e9 / rate_per_core.max(1.0);
+            let interval_ns = 1e9 / rate_per_core;
             let submit_ns = costs.total().as_ns() as f64;
             let poll_ns = (interval_ns - submit_ns).max(0.0);
             let iters = poll_ns / self.poll_iter_time.as_ns() as f64;
@@ -144,7 +161,10 @@ mod tests {
         let cam = counts(IoStackKind::Cam, IoDir::Write);
         assert!(cam.instructions < libaio.instructions);
         let instr_ratio = libaio.instructions as f64 / cam.instructions as f64;
-        assert!(instr_ratio < 2.5, "instruction gap too large: {instr_ratio}");
+        assert!(
+            instr_ratio < 2.5,
+            "instruction gap too large: {instr_ratio}"
+        );
         let cycle_ratio = libaio.cycles as f64 / cam.cycles as f64;
         assert!(cycle_ratio > 3.0, "cycle gap too small: {cycle_ratio}");
     }
@@ -157,6 +177,42 @@ mod tests {
         let libaio = counts(IoStackKind::Libaio, IoDir::Write);
         let ipc = libaio.instructions as f64 / libaio.cycles as f64;
         assert!(ipc < 1.0, "interrupt IPC should be low, got {ipc}");
+    }
+
+    #[test]
+    fn zero_rate_saturates_at_documented_floor() {
+        // Regression: a 0.0 completion rate (idle core) must behave exactly
+        // like MIN_RATE_PER_CORE — one second of polling charged — not
+        // divide by zero or blow up the iteration count.
+        let m = CpuModel::xeon_gold_5320();
+        let zero = m.per_request(IoStackKind::Cam, IoDir::Read, 0.0);
+        let floor = m.per_request(IoStackKind::Cam, IoDir::Read, CpuModel::MIN_RATE_PER_CORE);
+        assert_eq!(zero, floor);
+        // ~1 s / 100 ns poll iteration × 60 instructions ≈ 6e8 instructions.
+        assert!(zero.instructions > 100_000_000);
+        assert!(zero.instructions < 1_000_000_000);
+        // Negative rates saturate identically.
+        assert_eq!(m.per_request(IoStackKind::Cam, IoDir::Read, -5.0), floor);
+    }
+
+    #[test]
+    fn non_finite_rates_do_not_poison_the_model() {
+        let m = CpuModel::xeon_gold_5320();
+        let floor = m.per_request(IoStackKind::Cam, IoDir::Read, CpuModel::MIN_RATE_PER_CORE);
+        // NaN previously slipped through `.max(1.0)` as rate = 1 by accident
+        // of f64::max's NaN handling; now it saturates by contract.
+        assert_eq!(
+            m.per_request(IoStackKind::Cam, IoDir::Read, f64::NAN),
+            floor
+        );
+        assert_eq!(
+            m.per_request(IoStackKind::Cam, IoDir::Read, f64::NEG_INFINITY),
+            floor
+        );
+        // +inf means zero wait: only submit-side costs remain.
+        let inf = m.per_request(IoStackKind::Cam, IoDir::Read, f64::INFINITY);
+        assert!(inf.instructions < floor.instructions);
+        assert!(inf.instructions > 0);
     }
 
     #[test]

@@ -35,12 +35,7 @@ impl BamBackend {
     pub fn new(rig: &Rig, n_blocks: u64) -> Self {
         assert!(n_blocks >= 1);
         let qps = (0..n_blocks)
-            .map(|_| {
-                rig.devices()
-                    .iter()
-                    .map(|d| d.add_queue_pair(64))
-                    .collect()
-            })
+            .map(|_| rig.devices().iter().map(|d| d.add_queue_pair(64)).collect())
             .collect();
         BamBackend {
             qps,

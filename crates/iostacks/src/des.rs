@@ -438,9 +438,18 @@ mod tests {
             let spdk = bench(Engine::Spdk, 12, dir).gbps;
             let bam = bench(Engine::Bam, 12, dir).gbps;
             let posix = bench(Engine::Posix, 12, dir).gbps;
-            assert!((cam - spdk).abs() / cam < 0.15, "{dir:?}: cam {cam} spdk {spdk}");
-            assert!((cam - bam).abs() / cam < 0.15, "{dir:?}: cam {cam} bam {bam}");
-            assert!(posix < cam * 0.6, "{dir:?}: posix {posix} not below cam {cam}");
+            assert!(
+                (cam - spdk).abs() / cam < 0.15,
+                "{dir:?}: cam {cam} spdk {spdk}"
+            );
+            assert!(
+                (cam - bam).abs() / cam < 0.15,
+                "{dir:?}: cam {cam} bam {bam}"
+            );
+            assert!(
+                posix < cam * 0.6,
+                "{dir:?}: posix {posix} not below cam {cam}"
+            );
         }
     }
 
@@ -483,7 +492,10 @@ mod tests {
             c.cam_threads = 3;
             run_microbench(c).gbps
         };
-        assert!((half - full).abs() / full < 0.03, "2/thread {half} vs {full}");
+        assert!(
+            (half - full).abs() / full < 0.03,
+            "2/thread {half} vs {full}"
+        );
         let ratio = quarter / full;
         assert!(
             (0.65..0.85).contains(&ratio),
@@ -541,7 +553,12 @@ mod tests {
         camcfg.granularity = 512 << 10;
         camcfg.requests = 12 * 500;
         let cam = run_microbench(camcfg);
-        assert!(cam.gbps / r.gbps > 15.0, "cam {} vs gds {}", cam.gbps, r.gbps);
+        assert!(
+            cam.gbps / r.gbps > 15.0,
+            "cam {} vs gds {}",
+            cam.gbps,
+            r.gbps
+        );
     }
 
     #[test]

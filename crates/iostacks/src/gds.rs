@@ -42,7 +42,11 @@ impl GdsBackend {
         GdsBackend {
             fs,
             file,
-            qps: rig.devices().iter().map(|d| d.add_queue_pair(256)).collect(),
+            qps: rig
+                .devices()
+                .iter()
+                .map(|d| d.add_queue_pair(256))
+                .collect(),
             n_ssds: rig.n_ssds(),
             stripe_blocks: rig.stripe_blocks(),
             block_size: rig.block_size() as usize,

@@ -39,5 +39,5 @@ pub use gds::GdsBackend;
 pub use posix::PosixBackend;
 pub use rig::{Rig, RigConfig};
 pub use spdk::SpdkBackend;
-pub use uring::{CompletionMode, UringBackend};
 pub use types::{for_each_stripe_run, BackendError, IoRequest, StorageBackend};
+pub use uring::{CompletionMode, UringBackend};

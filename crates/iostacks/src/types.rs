@@ -70,7 +70,10 @@ impl fmt::Display for BackendError {
             BackendError::Fs(e) => write!(f, "filesystem error: {e}"),
             BackendError::Dma(e) => write!(f, "dma error: {e}"),
             BackendError::BatchTooLarge { needed, capacity } => {
-                write!(f, "batch of {needed} bytes exceeds staging capacity {capacity}")
+                write!(
+                    f,
+                    "batch of {needed} bytes exceeds staging capacity {capacity}"
+                )
             }
         }
     }

@@ -115,10 +115,9 @@ impl UringBackend {
             CompletionMode::Interrupt => {
                 let mut guard = self.ring.irq_lock.lock();
                 while self.ring.completed.load(Ordering::Acquire) < target {
-                    self.ring.irq.wait_for(
-                        &mut guard,
-                        std::time::Duration::from_millis(2),
-                    );
+                    self.ring
+                        .irq
+                        .wait_for(&mut guard, std::time::Duration::from_millis(2));
                 }
             }
         }

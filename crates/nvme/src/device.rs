@@ -9,11 +9,12 @@
 //! CPU control plane) drives these queues.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use cam_blockdev::{BlockError, BlockStore, Lba};
+use cam_telemetry::{clock, HistogramHandle, MetricsRegistry};
 use parking_lot::RwLock;
 
 use crate::mem::DmaSpace;
@@ -100,6 +101,14 @@ impl DeviceStats {
     }
 }
 
+/// Per-device registry handles, resolved once at attach time.
+struct DeviceTelemetry {
+    /// Per-command service latency (take SQE → CQE posted).
+    cmd_ns: HistogramHandle,
+    /// SQEs per doorbell ring, shared with this device's queue pairs.
+    doorbell_batch: HistogramHandle,
+}
+
 struct Shared {
     config: DeviceConfig,
     store: Arc<dyn BlockStore>,
@@ -107,6 +116,7 @@ struct Shared {
     qps: RwLock<Vec<Arc<QueuePair>>>,
     stop: AtomicBool,
     stats: DeviceStats,
+    telemetry: OnceLock<DeviceTelemetry>,
 }
 
 /// A running simulated NVMe SSD. Stops its service threads on drop.
@@ -117,12 +127,11 @@ pub struct NvmeDevice {
 
 impl NvmeDevice {
     /// Starts a device over the given media and DMA space.
-    pub fn start(
-        config: DeviceConfig,
-        store: Arc<dyn BlockStore>,
-        dma: Arc<dyn DmaSpace>,
-    ) -> Self {
-        assert!(config.service_threads >= 1, "need at least one service thread");
+    pub fn start(config: DeviceConfig, store: Arc<dyn BlockStore>, dma: Arc<dyn DmaSpace>) -> Self {
+        assert!(
+            config.service_threads >= 1,
+            "need at least one service thread"
+        );
         assert!(config.max_burst >= 1, "burst must be >= 1");
         let shared = Arc::new(Shared {
             config,
@@ -131,6 +140,7 @@ impl NvmeDevice {
             qps: RwLock::new(Vec::new()),
             stop: AtomicBool::new(false),
             stats: DeviceStats::default(),
+            telemetry: OnceLock::new(),
         });
         let workers = (0..shared.config.service_threads)
             .map(|tid| {
@@ -148,8 +158,28 @@ impl NvmeDevice {
     pub fn add_queue_pair(&self, depth: usize) -> Arc<QueuePair> {
         let mut qps = self.shared.qps.write();
         let qp = QueuePair::new(qps.len() as u16, depth);
+        if let Some(t) = self.shared.telemetry.get() {
+            qp.attach_telemetry(t.doorbell_batch.clone());
+        }
         qps.push(Arc::clone(&qp));
         qp
+    }
+
+    /// Registers this device's metrics in `reg` and starts recording:
+    /// `cam_nvme_cmd_ns{device="<name>"}` (per-command service latency) and
+    /// `cam_nvme_doorbell_batch{device="<name>"}` (SQEs per doorbell, wired
+    /// into every current and future queue pair). One-shot; later calls are
+    /// ignored. Before attachment the hot path pays one atomic load.
+    pub fn attach_telemetry(&self, reg: &MetricsRegistry) {
+        let name = &self.shared.config.name;
+        let t = DeviceTelemetry {
+            cmd_ns: reg.histogram(&format!("cam_nvme_cmd_ns{{device=\"{name}\"}}")),
+            doorbell_batch: reg.histogram(&format!("cam_nvme_doorbell_batch{{device=\"{name}\"}}")),
+        };
+        for qp in self.shared.qps.read().iter() {
+            qp.attach_telemetry(t.doorbell_batch.clone());
+        }
+        let _ = self.shared.telemetry.set(t);
     }
 
     /// Media geometry.
@@ -247,7 +277,12 @@ fn service_loop(sh: &Shared, tid: usize) {
 }
 
 fn execute(sh: &Shared, sqe: &Sqe, scratch: &mut Vec<u8>) -> Status {
+    let telemetry = sh.telemetry.get();
+    let start_ns = telemetry.map(|_| clock::now_ns());
     let status = execute_inner(sh, sqe, scratch);
+    if let (Some(t), Some(start)) = (telemetry, start_ns) {
+        t.cmd_ns.record(clock::now_ns().saturating_sub(start));
+    }
     match status {
         Status::Success => match sqe.opcode {
             Opcode::Read => {

@@ -77,7 +77,10 @@ impl PinnedRegion {
     /// Pins `len` bytes with an explicit page size (power of two; `len`
     /// is rounded up to whole pages).
     pub fn with_page_size(base: u64, len: usize, page_size: usize) -> Self {
-        assert!(page_size.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_size.is_power_of_two(),
+            "page size must be a power of two"
+        );
         assert!(len > 0, "region must be nonempty");
         let n_pages = len.div_ceil(page_size);
         let pages = (0..n_pages)
@@ -308,10 +311,7 @@ mod router_tests {
     fn router_rejects_unmapped_and_straddling_access() {
         let a = Arc::new(PinnedRegion::new(0x1000, 4096));
         let b = Arc::new(PinnedRegion::new(0x2000, 4096));
-        let router = DmaRouter::new(vec![
-            a as Arc<dyn DmaSpace>,
-            b as Arc<dyn DmaSpace>,
-        ]);
+        let router = DmaRouter::new(vec![a as Arc<dyn DmaSpace>, b as Arc<dyn DmaSpace>]);
         let mut buf = [0u8; 16];
         assert!(router.dma_read(0x9_0000, &mut buf).is_err());
         // An access spanning the gapless boundary of two regions is not

@@ -69,7 +69,11 @@ impl SsdModel {
                 self.write_channels,
                 self.channel_write_gbps,
             ),
-            _ => (self.read_latency, self.read_channels, self.channel_read_gbps),
+            _ => (
+                self.read_latency,
+                self.read_channels,
+                self.channel_read_gbps,
+            ),
         };
         let service_ns = lat.as_ns() as f64 + 4096.0 / bw;
         ch as f64 / service_ns * 1e9

@@ -11,8 +11,9 @@
 //! inherits from SPDK — is observable in the [`QpStats`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
+use cam_telemetry::HistogramHandle;
 use crossbeam::queue::ArrayQueue;
 use parking_lot::Mutex;
 
@@ -74,6 +75,9 @@ pub struct QueuePair {
     sq: ArrayQueue<Sqe>,
     cq: ArrayQueue<Cqe>,
     stats: QpStats,
+    /// Telemetry: SQEs published per doorbell ring (batched-submission
+    /// depth). Unset until attached; the disabled cost is one atomic load.
+    doorbell_batch: OnceLock<HistogramHandle>,
 }
 
 impl QueuePair {
@@ -87,7 +91,14 @@ impl QueuePair {
             sq: ArrayQueue::new(depth),
             cq: ArrayQueue::new(depth),
             stats: QpStats::default(),
+            doorbell_batch: OnceLock::new(),
         })
+    }
+
+    /// Telemetry: records SQEs-per-doorbell into `hist` from now on.
+    /// One-shot — later calls are ignored.
+    pub fn attach_telemetry(&self, hist: HistogramHandle) {
+        let _ = self.doorbell_batch.set(hist);
     }
 
     /// Queue pair identifier.
@@ -137,6 +148,9 @@ impl QueuePair {
         }
         self.stats.submitted.fetch_add(n as u64, Ordering::Release);
         self.stats.doorbells.fetch_add(1, Ordering::Relaxed);
+        if let Some(h) = self.doorbell_batch.get() {
+            h.record(n as u64);
+        }
         n
     }
 

@@ -131,9 +131,7 @@ impl Zipf {
                 self.h_integral_n + rng.gen::<f64>() * (self.h_integral_x1 - self.h_integral_n);
             let x = h_integral_inv(u, self.exponent);
             let k = x.clamp(1.0, self.n).round().clamp(1.0, self.n);
-            if k - x <= self.s
-                || u >= h_integral(k + 0.5, self.exponent) - h(k, self.exponent)
-            {
+            if k - x <= self.s || u >= h_integral(k + 0.5, self.exponent) - h(k, self.exponent) {
                 return k as u64;
             }
         }
@@ -186,10 +184,7 @@ mod tests {
         let mut rng = seeded_rng(7);
         let d = Exp::new(15_000.0);
         let mean: f64 = (0..200_000).map(|_| d.sample(&mut rng)).sum::<f64>() / 200_000.0;
-        assert!(
-            (mean - 15_000.0).abs() / 15_000.0 < 0.02,
-            "mean = {mean}"
-        );
+        assert!((mean - 15_000.0).abs() / 15_000.0 < 0.02, "mean = {mean}");
     }
 
     #[test]

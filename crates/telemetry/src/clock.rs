@@ -1,0 +1,36 @@
+//! The shared monotonic clock: every span timestamp in the process is
+//! nanoseconds since one lazily-anchored [`Instant`], so timestamps taken on
+//! different threads (GPU doorbell writer, CPU poller, workers, device
+//! service threads) are directly comparable.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// The process-wide telemetry epoch. Anchored on first use.
+pub fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Monotonic nanoseconds since [`epoch`].
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn epoch_is_stable() {
+        assert_eq!(epoch(), epoch());
+    }
+}

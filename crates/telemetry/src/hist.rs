@@ -1,0 +1,212 @@
+//! The log-linear latency histogram. Originally lived in `cam-simkit`
+//! (which now re-exports it) — lifted here so the functional engine and the
+//! DES models share one implementation.
+
+/// A log-linear histogram of `u64` samples (typically nanoseconds).
+///
+/// Values are bucketed by `floor(log2(v))` into major buckets, each divided
+/// into [`Histogram::SUB_BUCKETS`] linear sub-buckets, giving a worst-case
+/// relative quantile error of `1 / SUB_BUCKETS` (~3%) while using a few KiB.
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Linear sub-buckets per power of two.
+    pub const SUB_BUCKETS: usize = 32;
+    const MAJOR: usize = 64;
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; Self::MAJOR * Self::SUB_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn index(value: u64) -> usize {
+        if value < Self::SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let major = 63 - value.leading_zeros() as usize;
+        // Position within the major bucket, scaled to SUB_BUCKETS slots.
+        let offset =
+            (value - (1 << major)) >> (major - Self::SUB_BUCKETS.trailing_zeros() as usize);
+        major * Self::SUB_BUCKETS + offset as usize
+    }
+
+    /// Representative (lower-bound) value of bucket `i`.
+    fn bucket_low(i: usize) -> u64 {
+        let major = i / Self::SUB_BUCKETS;
+        let sub = (i % Self::SUB_BUCKETS) as u64;
+        if major < Self::SUB_BUCKETS.trailing_zeros() as usize + 1 && i < Self::SUB_BUCKETS {
+            return sub;
+        }
+        (1u64 << major) + (sub << (major - Self::SUB_BUCKETS.trailing_zeros() as usize))
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::index(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records a [`std::time::Duration`] as nanoseconds (saturating at
+    /// `u64::MAX`, ~584 years).
+    pub fn record_duration(&mut self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Mean of recorded samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate quantile `q` in `[0, 1]` (0 if empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_low(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_basic_stats() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+        let p50 = h.quantile(0.5);
+        assert!((450..=550).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((950..=1000).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn histogram_small_values_exact() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 5, 8, 13, 21] {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 21);
+        assert_eq!(h.count(), 8);
+    }
+
+    #[test]
+    fn histogram_quantile_relative_error_bounded() {
+        let mut h = Histogram::new();
+        // Microsecond-scale latencies.
+        for i in 0..10_000u64 {
+            h.record(10_000 + i * 17);
+        }
+        let exact_p90 = 10_000 + 9_000 * 17;
+        let approx = h.quantile(0.9) as f64;
+        let err = (approx - exact_p90 as f64).abs() / exact_p90 as f64;
+        assert!(err < 0.05, "err = {err}");
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 1000);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn duration_recording_saturates() {
+        let mut h = Histogram::new();
+        h.record_duration(std::time::Duration::from_nanos(1500));
+        assert_eq!(h.min(), 1500);
+        h.record_duration(std::time::Duration::from_secs(u64::MAX));
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+}

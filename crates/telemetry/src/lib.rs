@@ -1,0 +1,45 @@
+//! # cam-telemetry — end-to-end observability for the CAM control plane
+//!
+//! CAM's contribution is a control-plane split whose behaviour lives in
+//! timing: the GPU rings a doorbell, a persistent CPU thread picks the batch
+//! up, workers fan requests out to private NVMe queue pairs, completions
+//! drain, and the batch retires through region 4. This crate provides the
+//! instruments that make those hand-offs visible:
+//!
+//! * [`MetricsRegistry`] — a process-wide, name-addressed registry of
+//!   [`Counter`]s, [`Gauge`]s and sharded histograms with Prometheus text
+//!   exposition and JSON snapshot output;
+//! * [`Histogram`] — the log-linear histogram (lifted from `cam-simkit`,
+//!   which re-exports it) with ≤ `1/SUB_BUCKETS` relative quantile error;
+//! * [`SharedHistogram`] / [`HistogramHandle`] — the same histogram behind
+//!   sharded `parking_lot` locks for concurrent recording from pollers,
+//!   workers and device service threads;
+//! * [`Stage`] / [`BatchSpan`] — the batch lifecycle protocol stages
+//!   (doorbell → pickup → dispatch → submit → complete → retire) and the
+//!   per-batch span record;
+//! * [`TelemetrySink`] — a callback trait (no-op by default) for streaming
+//!   span records out of the control plane;
+//! * [`ControlMetrics`] — the pre-registered metric bundle the functional
+//!   engine records into, so hot paths never touch the registry's maps;
+//! * [`clock`] — the shared monotonic nanosecond clock all spans use.
+//!
+//! Instrumentation cost when nobody is looking: counters and gauges are one
+//! relaxed atomic op; a histogram record is one uncontended sharded lock.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod clock;
+mod control;
+mod hist;
+mod registry;
+mod shared;
+mod sink;
+mod span;
+
+pub use control::ControlMetrics;
+pub use hist::Histogram;
+pub use registry::{Counter, Gauge, HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use shared::{HistogramHandle, SharedHistogram};
+pub use sink::{NoopSink, TelemetrySink};
+pub use span::{BatchSpan, Stage};

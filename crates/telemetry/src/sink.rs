@@ -1,0 +1,67 @@
+//! Pluggable span export: the control plane calls a [`TelemetrySink`] at
+//! batch retirement and scaling decisions. The default [`NoopSink`] keeps
+//! the cost of the hook to one virtual call on the (cold) retire path.
+
+use crate::span::BatchSpan;
+
+/// Receives lifecycle events from the control plane.
+///
+/// All methods have no-op defaults, so implementors override only what they
+/// consume. Called from control-plane threads: implementations must be cheap
+/// or hand off to their own queue.
+pub trait TelemetrySink: Send + Sync {
+    /// A batch fully retired (all completions reaped, region 4 updated).
+    fn batch_retired(&self, _span: &BatchSpan) {}
+
+    /// The dynamic scaler changed the number of active workers.
+    fn workers_scaled(&self, _active: usize) {}
+}
+
+/// The default sink: discards everything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopSink;
+
+impl TelemetrySink for NoopSink {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[derive(Default)]
+    struct CountingSink {
+        batches: AtomicU64,
+        scalings: AtomicU64,
+    }
+
+    impl TelemetrySink for CountingSink {
+        fn batch_retired(&self, _span: &BatchSpan) {
+            self.batches.fetch_add(1, Ordering::Relaxed);
+        }
+        fn workers_scaled(&self, _active: usize) {
+            self.scalings.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn sinks_are_object_safe_and_default_noop() {
+        let sink: Arc<dyn TelemetrySink> = Arc::new(CountingSink::default());
+        let span = BatchSpan {
+            channel: 0,
+            op: "read",
+            seq: 0,
+            requests: 1,
+            errors: 0,
+            doorbell_ns: 0,
+            pickup_ns: 1,
+            retire_ns: 2,
+        };
+        sink.batch_retired(&span);
+        sink.workers_scaled(3);
+        // NoopSink compiles against the same calls.
+        let noop: Arc<dyn TelemetrySink> = Arc::new(NoopSink);
+        noop.batch_retired(&span);
+        noop.workers_scaled(1);
+    }
+}

@@ -70,11 +70,7 @@ impl EmbeddingTable {
     }
 
     /// Initializes every row on the array through `backend`.
-    pub fn load(
-        &self,
-        backend: &dyn StorageBackend,
-        gpu: &Gpu,
-    ) -> Result<(), BackendError> {
+    pub fn load(&self, backend: &dyn StorageBackend, gpu: &Gpu) -> Result<(), BackendError> {
         let rb = self.row_bytes();
         let buf = gpu.alloc(rb).expect("row buffer");
         let mut bytes = vec![0u8; rb];

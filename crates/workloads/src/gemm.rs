@@ -132,8 +132,16 @@ pub fn out_of_core_gemm(
             let mut acc = vec![0.0f32; t * t];
             for l in 0..tpd {
                 backend.execute_batch(&[
-                    IoRequest::read(cfg.tile_lba(0, ci, l), cfg.tile_blocks() as u32, a_buf.addr()),
-                    IoRequest::read(cfg.tile_lba(1, l, cj), cfg.tile_blocks() as u32, b_buf.addr()),
+                    IoRequest::read(
+                        cfg.tile_lba(0, ci, l),
+                        cfg.tile_blocks() as u32,
+                        a_buf.addr(),
+                    ),
+                    IoRequest::read(
+                        cfg.tile_lba(1, l, cj),
+                        cfg.tile_blocks() as u32,
+                        b_buf.addr(),
+                    ),
                 ])?;
                 let a = f32s_from(&a_buf.to_vec());
                 let b = f32s_from(&b_buf.to_vec());
@@ -172,8 +180,7 @@ pub fn out_of_core_gemm(
             for r in 0..t {
                 let row = ti as usize * t + r;
                 let col0 = tj as usize * t;
-                out[row * n + col0..row * n + col0 + t]
-                    .copy_from_slice(&tile[r * t..(r + 1) * t]);
+                out[row * n + col0..row * n + col0 + t].copy_from_slice(&tile[r * t..(r + 1) * t]);
             }
         }
     }
@@ -271,18 +278,14 @@ mod tests {
         let spdk = model_gemm(GemmEngine::Spdk, 65_536, 4_096, 12);
         // "CAM outperforms up to 1.84× [GEMM]" — vs BaM.
         let speedup = bam.time.as_secs_f64() / cam.time.as_secs_f64();
-        assert!(
-            (1.6..1.95).contains(&speedup),
-            "CAM vs BaM = {speedup}"
-        );
+        assert!((1.6..1.95).contains(&speedup), "CAM vs BaM = {speedup}");
         // "GDS achieves a throughput of only 0.8 GB/s ... whereas CAM can
         // attain nearly 20 GB/s".
         assert!(gds.io_gbps < 1.0, "GDS io = {}", gds.io_gbps);
         assert!(cam.io_gbps > 15.0, "CAM io = {}", cam.io_gbps);
         assert!(gds.time > cam.time * 10);
         // SPDK overlaps too; close to CAM at full memory bandwidth.
-        let rel = (spdk.time.as_secs_f64() - cam.time.as_secs_f64()).abs()
-            / cam.time.as_secs_f64();
+        let rel = (spdk.time.as_secs_f64() - cam.time.as_secs_f64()).abs() / cam.time.as_secs_f64();
         assert!(rel < 0.05, "spdk vs cam {rel}");
     }
 

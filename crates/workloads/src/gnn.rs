@@ -308,8 +308,7 @@ impl EpochBreakdown {
 
     /// Fraction of a step spent on feature extraction (GIDS view).
     pub fn extract_fraction(&self) -> f64 {
-        self.extract.as_ns() as f64
-            / (self.sample + self.extract + self.train).as_ns() as f64
+        self.extract.as_ns() as f64 / (self.sample + self.extract + self.train).as_ns() as f64
     }
 
     /// Fraction of a step spent training (GIDS view).
@@ -360,8 +359,7 @@ pub fn model_epoch(
     n_ssds: usize,
 ) -> EpochBreakdown {
     let expansion = 1 + cfg.fanouts[0] as u64 + (cfg.fanouts[0] * cfg.fanouts[1]) as u64;
-    let nodes_per_step =
-        (cfg.batch_size as u64 * expansion) as f64 * dedup_factor(spec);
+    let nodes_per_step = (cfg.batch_size as u64 * expansion) as f64 * dedup_factor(spec);
     // Feature records are fetched at their natural granularity (512 B for
     // Paper100M's 128-dim records, 4 KiB for IGB's 1024-dim records).
     let gran = spec.feature_bytes().max(512);
@@ -571,14 +569,7 @@ mod tests {
                 let bytes = b.nodes_per_step as f64 * gran as f64;
                 let extract_cam = Dur::from_ns_f64(bytes / array_read_gbps(12, gran));
                 let steps = 256;
-                let sched = pipeline_makespan(
-                    b.sample,
-                    extract_cam,
-                    b.train,
-                    steps,
-                    true,
-                    Some(4),
-                );
+                let sched = pipeline_makespan(b.sample, extract_cam, b.train, steps, true, Some(4));
                 let per_step = sched.as_ns() as f64 / steps as f64;
                 let closed = b.step.as_ns() as f64;
                 let rel = (per_step - closed).abs() / closed;

@@ -166,7 +166,10 @@ mod tests {
         assert_eq!(g.nodes(), 10_000);
         let avg = g.edges() as f64 / g.nodes() as f64;
         let want = GraphSpec::paper100m().avg_degree();
-        assert!((avg - want).abs() / want < 0.05, "avg degree {avg} vs {want}");
+        assert!(
+            (avg - want).abs() / want < 0.05,
+            "avg degree {avg} vs {want}"
+        );
         assert_eq!(g.feature_dim(), 128);
     }
 

@@ -30,7 +30,7 @@
 pub mod anns;
 pub mod dlrm;
 pub mod gemm;
-pub mod llm;
 pub mod gnn;
 pub mod graph;
+pub mod llm;
 pub mod sort;

@@ -59,8 +59,7 @@ impl OocSortConfig {
         );
         let span = self.total_blocks();
         assert!(
-            self.scratch_lba >= self.data_lba + span
-                || self.data_lba >= self.scratch_lba + span,
+            self.scratch_lba >= self.data_lba + span || self.data_lba >= self.scratch_lba + span,
             "data and scratch regions overlap"
         );
     }
@@ -292,9 +291,7 @@ pub fn model_sort(engine: SortEngine, elems: u64, n_ssds: usize) -> Dur {
             passes as f64 * (2.0 * one_way + compute)
         }
         SortEngine::Spdk => passes as f64 * (one_way.max(compute) + 0.1 * one_way.min(compute)),
-        SortEngine::CamAsync => {
-            passes as f64 * (one_way.max(compute) + 0.1 * one_way.min(compute))
-        }
+        SortEngine::CamAsync => passes as f64 * (one_way.max(compute) + 0.1 * one_way.min(compute)),
         SortEngine::CamSync => {
             passes as f64
                 * (one_way.max(compute) + 0.1 * one_way.min(compute))

@@ -34,8 +34,14 @@ fn backends(rig: &Rig) -> (BackendList<'_>, CamContext) {
     let cam = CamContext::attach(rig, CamConfig::default());
     let list: BackendList<'_> = vec![
         ("posix", Box::new(PosixBackend::new(rig))),
-        ("uring-poll", Box::new(UringBackend::new(rig, CompletionMode::Poll))),
-        ("uring-int", Box::new(UringBackend::new(rig, CompletionMode::Interrupt))),
+        (
+            "uring-poll",
+            Box::new(UringBackend::new(rig, CompletionMode::Poll)),
+        ),
+        (
+            "uring-int",
+            Box::new(UringBackend::new(rig, CompletionMode::Interrupt)),
+        ),
         ("spdk", Box::new(SpdkBackend::new(rig))),
         ("bam", Box::new(BamBackend::new(rig, 2))),
         ("gds", Box::new(GdsBackend::new(rig))),
@@ -171,8 +177,7 @@ fn gnn_checksum_matches_cpu_reference() {
     let mut expect = 0.0f64;
     for step in 0..2u32 {
         let seeds: Vec<u32> = (0..32).map(|i| (step * 32 + i) % graph.nodes()).collect();
-        let nodes =
-            cam_workloads::gnn::sample_neighborhood(&graph, &seeds, &cfg.fanouts, &mut rng);
+        let nodes = cam_workloads::gnn::sample_neighborhood(&graph, &seeds, &cfg.fanouts, &mut rng);
         let sum: f64 = nodes
             .iter()
             .map(|&v| FeatureStore::feature_value(v, 0) as f64)
@@ -240,7 +245,10 @@ fn anns_search_matches_brute_force_over_probed_lists() {
             .collect();
         expect.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         for (hit, (eid, edist)) in hits.iter().zip(&expect) {
-            assert!((hit.dist - edist).abs() < 1e-4, "q{q}: {hit:?} vs ({eid},{edist})");
+            assert!(
+                (hit.dist - edist).abs() < 1e-4,
+                "q{q}: {hit:?} vs ({eid},{edist})"
+            );
         }
         // Results are sorted ascending.
         for w in hits.windows(2) {
@@ -304,7 +312,10 @@ fn dlrm_pooled_lookup_and_update_verified() {
     let bag = zipf_bag(table.rows, 50, 0.9, &mut rng);
     let pooled = table.lookup_pooled(&be, r.gpu(), &bag).unwrap();
     for j in 0..64u32 {
-        let want: f32 = bag.iter().map(|&id| EmbeddingTable::init_value(id, j)).sum();
+        let want: f32 = bag
+            .iter()
+            .map(|&id| EmbeddingTable::init_value(id, j))
+            .sum();
         assert!(
             (pooled[j as usize] - want).abs() < 1e-2,
             "dim {j}: {} vs {want}",
@@ -339,8 +350,7 @@ fn offloaded_adam_matches_in_memory_reference() {
     let elems = 3000usize;
     let init = |i: usize| (i % 17) as f32 / 4.0 - 2.0;
     let cfg = AdamConfig::default();
-    let mut opt =
-        OffloadedOptimizer::create(&be, r.gpu(), elems, init, 4096, 0, cfg).unwrap();
+    let mut opt = OffloadedOptimizer::create(&be, r.gpu(), elems, init, 4096, 0, cfg).unwrap();
 
     let mut rng = cam_simkit::dist::seeded_rng(3);
     let grads: Vec<Vec<f32>> = (0..4)
@@ -372,9 +382,16 @@ fn offloaded_adam_identical_on_posix_and_cam() {
 
     // Distinct regions so the two optimizers don't share state.
     let cam_be = CamBackend::new(cam_ctx.device(), 2048);
-    let mut a =
-        OffloadedOptimizer::create(&cam_be, r.gpu(), elems, init, 4096, 0, AdamConfig::default())
-            .unwrap();
+    let mut a = OffloadedOptimizer::create(
+        &cam_be,
+        r.gpu(),
+        elems,
+        init,
+        4096,
+        0,
+        AdamConfig::default(),
+    )
+    .unwrap();
     let posix = PosixBackend::new(&r);
     let mut b = OffloadedOptimizer::create(
         &posix,

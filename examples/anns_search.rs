@@ -60,8 +60,7 @@ fn main() {
             })
             .collect();
         exact.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-        let truth: std::collections::HashSet<u32> =
-            exact[..k].iter().map(|(id, _)| *id).collect();
+        let truth: std::collections::HashSet<u32> = exact[..k].iter().map(|(id, _)| *id).collect();
         recall_hits += hits.iter().filter(|h| truth.contains(&h.id)).count();
         let _ = q;
     }

@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --release --example out_of_core_gemm`
 
-use cam::workloads::gemm::{
-    load_matrix, model_gemm, out_of_core_gemm, GemmEngine, OocGemmConfig,
-};
+use cam::workloads::gemm::{load_matrix, model_gemm, out_of_core_gemm, GemmEngine, OocGemmConfig};
 use cam::{CamBackend, CamConfig, CamContext, Rig, RigConfig};
 
 fn main() {
@@ -38,13 +36,22 @@ fn main() {
     let n = cfg.n as usize;
     for j in 0..n {
         let want: f32 = (0..n).map(|k| a[k] * b[k * n + j]).sum();
-        assert!((c[j] - want).abs() < 1e-2, "C[0,{j}] = {}, want {want}", c[j]);
+        assert!(
+            (c[j] - want).abs() < 1e-2,
+            "C[0,{j}] = {}, want {want}",
+            c[j]
+        );
     }
     println!("{}x{} GEMM out-of-core in {took:?}, verified", cfg.n, cfg.n);
 
     // Paper-scale projection (Figs. 10b/10c).
     println!("\nprojected 65536^2 GEMM at paper scale (12 SSDs):");
-    for e in [GemmEngine::Cam, GemmEngine::Bam, GemmEngine::Gds, GemmEngine::Spdk] {
+    for e in [
+        GemmEngine::Cam,
+        GemmEngine::Bam,
+        GemmEngine::Gds,
+        GemmEngine::Spdk,
+    ] {
         let r = model_gemm(e, 65_536, 4_096, 12);
         println!(
             "  {:<6} {:>6.2} GB/s  {:>8.1}s",

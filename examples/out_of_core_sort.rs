@@ -35,7 +35,11 @@ fn main() {
     let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
     buf.write(0, &bytes);
     backend
-        .execute_batch(&[IoRequest::write(0, (elems * 4 / bs as u64) as u32, buf.addr())])
+        .execute_batch(&[IoRequest::write(
+            0,
+            (elems * 4 / bs as u64) as u32,
+            buf.addr(),
+        )])
         .unwrap();
 
     let t0 = std::time::Instant::now();

@@ -45,9 +45,14 @@ fn main() {
         }
         let lbas: Vec<u64> = (b * batch as u64..(b + 1) * batch as u64).collect();
         dev.write_back(&lbas, src.addr()).expect("write_back");
-        dev.write_back_synchronize().expect("write_back_synchronize");
+        dev.write_back_synchronize()
+            .expect("write_back_synchronize");
     }
-    println!("loaded {} blocks onto {} SSDs", total_batches * batch as u64, rig.n_ssds());
+    println!(
+        "loaded {} blocks onto {} SSDs",
+        total_batches * batch as u64,
+        rig.n_ssds()
+    );
 
     // --- Pipelined read loop (Fig. 7): prefetch N+1 while computing N. ---
     let mut db = DoubleBuffer::new(&cam, batch * bs).expect("CAM_alloc x2");

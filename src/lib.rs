@@ -26,6 +26,13 @@
 //! dev.prefetch(&(0..8).collect::<Vec<_>>(), out.addr()).unwrap();
 //! dev.prefetch_synchronize().unwrap();
 //! assert_eq!(out.to_vec(), buf.to_vec());
+//!
+//! // Telemetry: every batch's doorbell→retire lifecycle is measured.
+//! let snap = cam.registry().snapshot();
+//! assert_eq!(snap.counter("cam_batches_total"), cam.stats().batches);
+//! assert!(snap
+//!     .histogram("cam_stage_ns{op=\"read\",stage=\"complete\"}")
+//!     .is_some_and(|h| h.count > 0));
 //! ```
 
 #![warn(missing_docs)]
@@ -36,8 +43,11 @@ pub use cam_core::{
     ControlStats, DoubleBuffer, DynamicScaler,
 };
 pub use cam_iostacks::{
-    BackendError, BamBackend, IoRequest, PosixBackend, Rig, RigConfig, SpdkBackend,
-    StorageBackend,
+    BackendError, BamBackend, IoRequest, PosixBackend, Rig, RigConfig, SpdkBackend, StorageBackend,
+};
+pub use cam_telemetry::{
+    BatchSpan, ControlMetrics, Counter, Gauge, Histogram, HistogramHandle, HistogramSummary,
+    MetricsRegistry, MetricsSnapshot, NoopSink, Stage, TelemetrySink,
 };
 
 /// Substrate crates, re-exported for direct access to the simulated

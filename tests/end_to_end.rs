@@ -84,7 +84,9 @@ fn kernel_initiated_io_with_many_blocks() {
     let base = buf.addr();
     rig.gpu().launch(n_blocks, |ctx| {
         let ch = ctx.block_idx as usize;
-        let my: Vec<u64> = (0..64u64).filter(|b| b % n_blocks == ctx.block_idx).collect();
+        let my: Vec<u64> = (0..64u64)
+            .filter(|b| b % n_blocks == ctx.block_idx)
+            .collect();
         let addr = base + ctx.block_idx * 16 * 4096;
         let ticket = dev
             .submit(ch, cam::ChannelOp::Read, &my, addr)
@@ -151,7 +153,8 @@ fn context_teardown_is_clean_under_load() {
         let cam = CamContext::attach(&rig, CamConfig::default());
         let dev = cam.device();
         let buf = cam.alloc(8 * 4096).unwrap();
-        dev.prefetch(&(0..8).collect::<Vec<_>>(), buf.addr()).unwrap();
+        dev.prefetch(&(0..8).collect::<Vec<_>>(), buf.addr())
+            .unwrap();
         dev.prefetch_synchronize().unwrap();
         drop(cam);
         drop(rig);
