@@ -5,35 +5,58 @@
 //! repro list                   # available experiment ids
 //! repro fig8 fig9              # a subset
 //! repro --metrics m.json bench # also dump the full telemetry registry
+//! repro --trace t.json         # also write a Perfetto-loadable trace
 //! ```
 //!
 //! `--metrics <path>` runs an instrumented functional-engine workload and
 //! writes the complete metrics-registry snapshot (counters, gauges, stage
 //! histograms with p50/p99) to `<path>` as JSON. The `bench` experiment
-//! additionally writes `BENCH_repro.json` with throughput and per-stage
-//! quantiles.
+//! additionally writes `BENCH_repro.json` with throughput, per-stage
+//! quantiles, and critical-path attribution.
+//!
+//! `--trace <path>` runs the same instrumented workload plus a small CAM
+//! DES microbenchmark with a flight recorder attached, and writes the
+//! combined timeline as Chrome trace-event JSON — open it in Perfetto or
+//! `chrome://tracing`. Process 1 is the functional engine (one track per
+//! poller/worker/emitting thread, one async span per batch); process 2 is
+//! the simulated SSDs.
 
 use std::process::ExitCode;
 
 use cam_bench::figures::registry;
-use cam_bench::telemetry_run::run_instrumented;
+use cam_bench::telemetry_run::{run_instrumented, run_traced};
+use cam_telemetry::trace::validate_chrome_trace;
+
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, ExitCode> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                eprintln!("{flag} requires a path argument");
+                return Err(ExitCode::from(2));
+            }
+            args.remove(i); // the flag
+            Ok(Some(args.remove(i))) // its value
+        }
+        None => Ok(None),
+    }
+}
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let metrics_path = match args.iter().position(|a| a == "--metrics") {
-        Some(i) => {
-            if i + 1 >= args.len() {
-                eprintln!("--metrics requires a path argument");
-                return ExitCode::from(2);
-            }
-            args.remove(i); // the flag
-            Some(args.remove(i)) // its value
-        }
-        None => None,
+    let metrics_path = match take_flag_value(&mut args, "--metrics") {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let trace_path = match take_flag_value(&mut args, "--trace") {
+        Ok(p) => p,
+        Err(code) => return code,
     };
     let reg = registry();
-    if metrics_path.is_none() && (args.is_empty() || args[0] == "help" || args[0] == "--help") {
-        eprintln!("usage: repro [--metrics <path>] [all|list|<experiment id>...]");
+    if metrics_path.is_none()
+        && trace_path.is_none()
+        && (args.is_empty() || args[0] == "help" || args[0] == "--help")
+    {
+        eprintln!("usage: repro [--metrics <path>] [--trace <path>] [all|list|<experiment id>...]");
         eprintln!("experiments:");
         for (id, desc, _) in &reg {
             eprintln!("  {id:<6} {desc}");
@@ -68,6 +91,30 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("wrote telemetry registry snapshot to {path}");
+    }
+    if let Some(path) = trace_path {
+        let (run, trace) = run_traced(20, 64);
+        // Self-check before writing: a trace that fails its own validator
+        // (missing fields, unbalanced async spans) is a bug, not output.
+        let summary = match validate_chrome_trace(&trace) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("generated trace failed validation: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(&path, &trace) {
+            eprintln!("could not write trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "wrote Chrome trace to {path}: {} events, {} async spans, {} tracks across {} processes ({} batches retired)",
+            summary.events,
+            summary.async_begin,
+            summary.named_tracks.len(),
+            summary.processes,
+            run.snapshot.counter("cam_batches_total"),
+        );
     }
     ExitCode::SUCCESS
 }

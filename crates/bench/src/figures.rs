@@ -648,10 +648,12 @@ fn motiv() -> Vec<Table> {
 }
 
 fn bench() -> Vec<Table> {
-    use crate::telemetry_run::{bench_json, run_instrumented};
-    use cam_telemetry::Stage;
+    use crate::telemetry_run::{bench_json, run_recorded};
+    use cam_telemetry::{critical, FlightRecorder, Stage};
+    use std::sync::Arc;
 
-    let run = run_instrumented(20, 64);
+    let recorder = Arc::new(FlightRecorder::new());
+    let run = run_recorded(20, 64, Some(recorder));
     let json = bench_json(&run);
     let path = "BENCH_repro.json";
     match std::fs::write(path, &json) {
@@ -687,7 +689,34 @@ fn bench() -> Vec<Table> {
         f2(run.gbps()),
         f1(run.kiops()),
     ));
-    vec![t]
+
+    // Critical-path attribution from the event timeline: where each
+    // channel's doorbell→retire latency actually went (mean ns per batch).
+    let report = critical::analyze(&run.events);
+    let mut cp = Table::new(
+        "Critical path: per-channel doorbell->retire attribution (mean ns/batch)",
+        &[
+            "channel", "batches", "pickup", "dispatch", "submit", "complete", "retire", "dominant",
+        ],
+    );
+    for ch in &report.channels {
+        let mean = |i: usize| ch.stage_ns[i].checked_div(ch.batches).unwrap_or(0);
+        cp.row(vec![
+            ch.channel.to_string(),
+            ch.batches.to_string(),
+            mean(0).to_string(),
+            mean(1).to_string(),
+            mean(2).to_string(),
+            mean(3).to_string(),
+            mean(4).to_string(),
+            format!(
+                "{} ({:.0}%)",
+                ch.dominant().name(),
+                ch.dominant_fraction() * 100.0
+            ),
+        ]);
+    }
+    vec![t, cp]
 }
 
 #[cfg(test)]

@@ -8,12 +8,21 @@ use std::sync::Arc;
 
 use cam_core::{CamConfig, CamContext};
 use cam_iostacks::{Rig, RigConfig};
-use cam_telemetry::{clock, MetricsRegistry, MetricsSnapshot, NoopSink, Stage};
+use cam_telemetry::critical;
+use cam_telemetry::{
+    clock, Event, FlightRecorder, MetricsRegistry, MetricsSnapshot, Observability, Stage,
+};
 
 /// Result of one instrumented workload run.
 pub struct TelemetryRun {
     /// Registry state after the workload (the full telemetry story).
     pub snapshot: MetricsSnapshot,
+    /// Flight-recorder events of the run, merged and time-ordered. Empty
+    /// unless the run was recorded (see [`run_recorded`]).
+    pub events: Vec<Event>,
+    /// Recorder thread names (for the Chrome-trace exporter). Empty unless
+    /// recorded.
+    pub thread_names: Vec<(u32, String)>,
     /// Batch rounds driven (each round = one read batch + one write batch).
     pub rounds: u64,
     /// Requests per batch.
@@ -49,14 +58,23 @@ impl TelemetryRun {
 /// Runs `rounds` rounds of a `batch`-request write-back + prefetch workload
 /// on a default 4-SSD rig, fully instrumented, and returns the telemetry.
 pub fn run_instrumented(rounds: u64, batch: u64) -> TelemetryRun {
+    run_recorded(rounds, batch, None)
+}
+
+/// [`run_instrumented`] with an optional flight recorder attached: the
+/// returned [`TelemetryRun`] then carries the merged event timeline (for
+/// Chrome-trace export and critical-path analysis) alongside the metric
+/// snapshot.
+pub fn run_recorded(
+    rounds: u64,
+    batch: u64,
+    recorder: Option<Arc<FlightRecorder>>,
+) -> TelemetryRun {
     let rig = Rig::new(RigConfig::default());
     let registry = Arc::new(MetricsRegistry::new());
-    let cam = CamContext::attach_with(
-        &rig,
-        CamConfig::default(),
-        Arc::clone(&registry),
-        Arc::new(NoopSink),
-    );
+    let mut obs = Observability::with_registry(Arc::clone(&registry));
+    obs.recorder = recorder.clone();
+    let cam = CamContext::attach_observed(&rig, CamConfig::default(), obs);
     let dev = cam.device();
     let bs = cam.block_size() as usize;
     let wbuf = cam.alloc(batch as usize * bs).expect("alloc write buffer");
@@ -76,14 +94,41 @@ pub fn run_instrumented(rounds: u64, batch: u64) -> TelemetryRun {
     let elapsed_ns = clock::now_ns().saturating_sub(start_ns);
 
     let stats = cam.stats();
+    let (events, thread_names) = match &recorder {
+        Some(rec) => (rec.snapshot(), rec.thread_names()),
+        None => (Vec::new(), Vec::new()),
+    };
     TelemetryRun {
         snapshot: registry.snapshot(),
+        events,
+        thread_names,
         rounds,
         batch,
         requests: stats.requests,
         bytes: stats.requests * bs as u64,
         elapsed_ns,
     }
+}
+
+/// Runs the instrumented functional workload *and* a small traced CAM DES
+/// microbenchmark into one shared flight recorder, and returns the run
+/// together with the combined Chrome-trace JSON: process 1 carries the
+/// functional engine's poller/worker/doorbell tracks, process 2 the
+/// simulated SSDs — one file, both engines, loadable in Perfetto.
+pub fn run_traced(rounds: u64, batch: u64) -> (TelemetryRun, String) {
+    use cam_hostos::IoDir;
+    use cam_iostacks::des::{run_microbench_traced, Engine, MicrobenchConfig};
+    use cam_telemetry::trace::chrome_trace;
+
+    let rec = Arc::new(FlightRecorder::new());
+    let run = run_recorded(rounds, batch, Some(Arc::clone(&rec)));
+    let mut cfg = MicrobenchConfig::new(Engine::Cam, 2, IoDir::Read);
+    cfg.requests = 128;
+    cfg.queue_depth = 16;
+    let _ = run_microbench_traced(cfg, Some(Arc::clone(&rec)));
+    let events = rec.snapshot();
+    let trace = chrome_trace(&events, &rec.thread_names());
+    (run, trace)
 }
 
 /// Renders the `BENCH_repro.json` report: workload shape, throughput, and
@@ -140,7 +185,15 @@ pub fn bench_json(run: &TelemetryRun) -> String {
             if i == 0 { "," } else { "" }
         );
     }
-    out.push_str("  }\n}\n");
+    out.push_str("  }");
+    // Per-channel doorbell→retire latency attribution, only available when
+    // the run carried a flight recorder.
+    if !run.events.is_empty() {
+        let report = critical::analyze(&run.events);
+        out.push_str(",\n  \"critical_path\": ");
+        out.push_str(&report.to_json());
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -183,5 +236,64 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+        // No recorder → no critical-path section.
+        assert!(!json.contains("\"critical_path\""));
+    }
+
+    #[test]
+    fn recorded_run_carries_events_and_critical_path() {
+        let rec = Arc::new(FlightRecorder::new());
+        let run = run_recorded(3, 16, Some(Arc::clone(&rec)));
+        // 3 rounds × (1 write + 1 read) = 6 batches, each with a doorbell
+        // and a retire in the timeline.
+        let retires = run
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, cam_telemetry::EventKind::BatchRetire { .. }))
+            .count();
+        assert_eq!(retires, 6);
+        let json = bench_json(&run);
+        assert!(
+            json.contains("\"critical_path\""),
+            "missing section: {json}"
+        );
+        assert!(json.contains("\"dominant\""));
+        let report = critical::analyze(&run.events);
+        assert_eq!(report.batches.len(), 6);
+        assert_eq!(report.channels.len(), 2, "read + write channels");
+        for ch in &report.channels {
+            assert!(ch.total_ns > 0);
+        }
+    }
+
+    #[test]
+    fn traced_run_exports_a_valid_two_engine_chrome_trace() {
+        use cam_telemetry::trace::validate_chrome_trace;
+
+        let (run, trace) = run_traced(3, 16);
+        let summary = validate_chrome_trace(&trace).expect("trace must validate");
+        // One async batch span per retired batch (plus the DES sim spans).
+        let batches = run.snapshot.counter("cam_batches_total") as usize;
+        assert_eq!(batches, 6);
+        assert!(
+            summary.async_begin >= batches,
+            "async spans {} < batches {batches}",
+            summary.async_begin
+        );
+        assert_eq!(summary.async_begin, summary.async_end);
+        // Both engines present: functional (pid 1) and simulated (pid 2).
+        assert_eq!(summary.processes, 2);
+        // Distinct tracks for the poller, the workers, and simulated SSDs.
+        assert!(
+            summary.named_tracks.iter().any(|t| t == "cam-poller"),
+            "tracks: {:?}",
+            summary.named_tracks
+        );
+        assert!(summary
+            .named_tracks
+            .iter()
+            .any(|t| t.starts_with("cam-worker")));
+        assert!(summary.named_tracks.iter().any(|t| t == "sim-ssd0"));
+        assert!(summary.named_tracks.iter().any(|t| t == "sim-ssd1"));
     }
 }

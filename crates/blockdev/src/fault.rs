@@ -8,7 +8,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use cam_telemetry::{Counter, MetricsRegistry};
+use cam_telemetry::{Counter, EventKind, FlightRecorder, MetricsRegistry};
 
 use crate::lba::{BlockGeometry, Lba};
 use crate::store::{BlockError, BlockStore};
@@ -64,6 +64,9 @@ pub struct FaultyStore {
     injected: AtomicU64,
     /// Telemetry: mirrors `injected` into a registry counter once attached.
     injected_metric: OnceLock<Counter>,
+    /// Event layer: emits a [`EventKind::FaultInjected`] per injection once
+    /// attached.
+    recorder: OnceLock<Arc<FlightRecorder>>,
 }
 
 impl FaultyStore {
@@ -76,6 +79,7 @@ impl FaultyStore {
             matches: AtomicU64::new(0),
             injected: AtomicU64::new(0),
             injected_metric: OnceLock::new(),
+            recorder: OnceLock::new(),
         }
     }
 
@@ -90,6 +94,14 @@ impl FaultyStore {
         let _ = self
             .injected_metric
             .set(reg.counter("cam_fault_injected_total"));
+    }
+
+    /// Event layer: emits a fault event per injection into `rec` from now
+    /// on (timestamped at the injection site, so post-mortem dumps show the
+    /// fault in sequence with the batch that absorbed it). One-shot; later
+    /// calls are ignored.
+    pub fn attach_recorder(&self, rec: Arc<FlightRecorder>) {
+        let _ = self.recorder.set(rec);
     }
 
     fn should_fail(&self, lba: Lba, is_read: bool) -> bool {
@@ -109,6 +121,12 @@ impl FaultyStore {
             self.injected.fetch_add(1, Ordering::Relaxed);
             if let Some(c) = self.injected_metric.get() {
                 c.inc();
+            }
+            if let Some(rec) = self.recorder.get() {
+                rec.emit(EventKind::FaultInjected {
+                    lba: lba.index(),
+                    read: is_read,
+                });
             }
             true
         } else {

@@ -8,7 +8,8 @@ use std::sync::Arc;
 use cam_gpu::{Gpu, GpuBuffer, OutOfMemory};
 use cam_iostacks::Rig;
 use cam_telemetry::{
-    clock, ControlMetrics, HistogramHandle, MetricsRegistry, NoopSink, TelemetrySink,
+    clock, ControlMetrics, EventKind, FlightRecorder, HistogramHandle, MetricsRegistry,
+    Observability, TelemetrySink,
 };
 
 use crate::control::{ControlConfig, ControlPlane, ControlStats};
@@ -64,6 +65,9 @@ pub enum CamError {
     },
     /// No such channel.
     BadChannel(usize),
+    /// The OS refused to spawn a control-plane thread (resource
+    /// exhaustion). Nothing was left running; retry with fewer workers.
+    Spawn,
 }
 
 impl fmt::Display for CamError {
@@ -76,6 +80,7 @@ impl fmt::Display for CamError {
             CamError::ChannelBusy => write!(f, "channel busy: synchronize first"),
             CamError::Io { failed } => write!(f, "{failed} command(s) failed"),
             CamError::BadChannel(ch) => write!(f, "no such channel {ch}"),
+            CamError::Spawn => write!(f, "failed to spawn a control-plane thread"),
         }
     }
 }
@@ -91,6 +96,8 @@ pub struct CamContext {
     block_size: u32,
     registry: Arc<MetricsRegistry>,
     metrics: Arc<ControlMetrics>,
+    /// Event layer, when the attachment was observed with a recorder.
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl CamContext {
@@ -100,12 +107,7 @@ impl CamContext {
     /// (reachable via [`registry`](Self::registry)); use
     /// [`attach_with`](Self::attach_with) to supply your own.
     pub fn attach(rig: &Rig, cfg: CamConfig) -> Self {
-        Self::attach_with(
-            rig,
-            cfg,
-            Arc::new(MetricsRegistry::new()),
-            Arc::new(NoopSink),
-        )
+        Self::attach_observed(rig, cfg, Observability::default())
     }
 
     /// [`attach`](Self::attach) with an explicit metrics registry and a
@@ -118,6 +120,29 @@ impl CamContext {
         registry: Arc<MetricsRegistry>,
         sink: Arc<dyn TelemetrySink>,
     ) -> Self {
+        Self::attach_observed(
+            rig,
+            cfg,
+            Observability::with_registry(registry).with_sink(sink),
+        )
+    }
+
+    /// [`attach`](Self::attach) with a full [`Observability`] bundle
+    /// (registry + sink + optional flight recorder, post-mortem dumper and
+    /// batch deadline). Panics on thread-spawn failure; use
+    /// [`try_attach_observed`](Self::try_attach_observed) to handle it.
+    pub fn attach_observed(rig: &Rig, cfg: CamConfig, obs: Observability) -> Self {
+        Self::try_attach_observed(rig, cfg, obs).expect("start CAM control plane")
+    }
+
+    /// The fallible attachment path: everything `attach_observed` does, but
+    /// surfaces [`CamError::Spawn`] instead of panicking when the OS cannot
+    /// create the control-plane threads. On error nothing is left running.
+    pub fn try_attach_observed(
+        rig: &Rig,
+        cfg: CamConfig,
+        obs: Observability,
+    ) -> Result<Self, CamError> {
         assert!(cfg.n_channels >= 1 && cfg.n_channels <= 64);
         let channels = Arc::new(
             (0..cfg.n_channels)
@@ -128,13 +153,21 @@ impl CamContext {
             .workers
             .unwrap_or_else(|| rig.n_ssds().div_ceil(2))
             .max(1);
+        let registry = Arc::clone(&obs.registry);
         let metrics = Arc::new(ControlMetrics::new(&registry, cfg.n_channels, rig.n_ssds()));
         // Substrate hooks before the control plane creates queue pairs, so
-        // every queue pair inherits the doorbell-batch histogram.
-        for dev in rig.devices() {
+        // every queue pair inherits the doorbell-batch histogram (and, when
+        // a recorder is attached, the doorbell event stream).
+        for (idx, dev) in rig.devices().iter().enumerate() {
             dev.attach_telemetry(&registry);
+            if let Some(rec) = &obs.recorder {
+                dev.attach_recorder(idx as u16, Arc::clone(rec));
+            }
         }
         rig.gpu().attach_telemetry(&registry);
+        if let Some(rec) = &obs.recorder {
+            rig.gpu().attach_recorder(Arc::clone(rec));
+        }
         let control = ControlPlane::start(
             rig.devices(),
             Arc::clone(&channels),
@@ -146,16 +179,18 @@ impl CamContext {
                 block_size: rig.block_size(),
             },
             Arc::clone(&metrics),
-            sink,
-        );
-        CamContext {
+            &obs,
+        )
+        .map_err(|_| CamError::Spawn)?;
+        Ok(CamContext {
             gpu: Arc::clone(rig.gpu()),
             channels,
             control,
             block_size: rig.block_size(),
             registry,
             metrics,
-        }
+            recorder: obs.recorder,
+        })
     }
 
     /// The metrics registry this context records into. Snapshot it for
@@ -170,6 +205,11 @@ impl CamContext {
         &self.metrics
     }
 
+    /// The flight recorder this context emits into, when attached with one.
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.as_ref()
+    }
+
     /// `CAM_alloc`: pinned GPU memory SSDs can DMA into directly.
     pub fn alloc(&self, bytes: usize) -> Result<GpuBuffer, OutOfMemory> {
         self.gpu.alloc(bytes)
@@ -181,6 +221,7 @@ impl CamContext {
             channels: Arc::clone(&self.channels),
             block_size: self.block_size,
             sync_wait: self.metrics.sync_wait_ns.clone(),
+            recorder: self.recorder.clone(),
         }
     }
 
@@ -239,6 +280,8 @@ pub struct CamDevice {
     block_size: u32,
     /// Telemetry: time threads spend blocked in `synchronize_*`.
     sync_wait: HistogramHandle,
+    /// Event layer: sync-wait spans when the context has a recorder.
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 /// Channel conventions matching Fig. 7's usage.
@@ -344,6 +387,12 @@ impl CamDevice {
         }
         self.sync_wait
             .record(clock::now_ns().saturating_sub(wait_start));
+        if let Some(rec) = &self.recorder {
+            rec.emit(EventKind::SyncWait {
+                channel: channel as u16,
+                start_ns: wait_start,
+            });
+        }
         let failed = ch.take_new_errors();
         if failed > 0 {
             Err(CamError::Io { failed })

@@ -50,7 +50,9 @@ fn cam_to_backend(e: CamError) -> BackendError {
             needed: requested,
             capacity,
         },
-        CamError::ChannelBusy | CamError::BadChannel(_) => {
+        // Spawn can't reach here (the backend wraps an already-running
+        // context), but map it to a command failure rather than panic.
+        CamError::ChannelBusy | CamError::BadChannel(_) | CamError::Spawn => {
             BackendError::Command(Status::InvalidField)
         }
     }

@@ -19,7 +19,10 @@ use std::time::Instant;
 use cam_nvme::spec::{Sqe, Status};
 use cam_nvme::{NvmeDevice, QueuePair};
 use cam_simkit::Dur;
-use cam_telemetry::{clock, BatchSpan, ControlMetrics, Stage, TelemetrySink};
+use cam_telemetry::{
+    clock, BatchSpan, ControlMetrics, EventKind, FlightRecorder, Observability, PostmortemDumper,
+    Stage, TelemetrySink,
+};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
@@ -62,11 +65,14 @@ pub struct ControlStats {
     pub errors: u64,
     /// Workers currently active (≤ spawned workers).
     pub active_workers: usize,
-    /// Mean I/O time per batch (doorbell → region-4 write).
-    pub mean_io: Dur,
+    /// Mean I/O time per batch (doorbell → region-4 write). `None` until a
+    /// batch has retired — a snapshot with no batches has no mean, and
+    /// reporting 0 silently would poison downstream rate math.
+    pub mean_io: Option<Dur>,
     /// Mean GPU-side gap between batches (retire → next doorbell), the
-    /// control plane's estimate of computation time.
-    pub mean_compute: Dur,
+    /// control plane's estimate of computation time. `None` until the first
+    /// gap is observed.
+    pub mean_compute: Option<Dur>,
     /// Cumulative I/O time across all batches (the numerator of
     /// [`mean_io`](Self::mean_io); kept so snapshots can be diffed).
     pub total_io: Dur,
@@ -100,13 +106,29 @@ impl ControlStats {
             requests: self.requests.saturating_sub(earlier.requests),
             errors: self.errors.saturating_sub(earlier.errors),
             active_workers: self.active_workers,
-            mean_io: Dur::ns(io_ns.checked_div(batches).unwrap_or(0)),
-            mean_compute: Dur::ns(compute_ns.checked_div(samples).unwrap_or(0)),
+            mean_io: mean_dur(io_ns, batches),
+            mean_compute: mean_dur(compute_ns, samples),
             total_io: Dur::ns(io_ns),
             total_compute: Dur::ns(compute_ns),
             compute_samples: samples,
         }
     }
+
+    /// Mean I/O time in seconds, NaN-safe: `None` when no batch retired.
+    pub fn mean_io_secs(&self) -> Option<f64> {
+        self.mean_io.map(|d| d.as_secs_f64())
+    }
+
+    /// Mean compute gap in seconds, NaN-safe: `None` without observations.
+    pub fn mean_compute_secs(&self) -> Option<f64> {
+        self.mean_compute.map(|d| d.as_secs_f64())
+    }
+}
+
+/// `total / n` as a duration, or `None` when there are no observations —
+/// never a silent 0.
+fn mean_dur(total_ns: u64, n: u64) -> Option<Dur> {
+    (n > 0).then(|| Dur::ns(total_ns / n))
 }
 
 struct WorkItem {
@@ -146,6 +168,13 @@ struct Shared {
     /// the control plane keeps no parallel ad-hoc stat atomics.
     metrics: Arc<ControlMetrics>,
     sink: Arc<dyn TelemetrySink>,
+    /// Event layer: protocol-stage events per batch when attached.
+    recorder: Option<Arc<FlightRecorder>>,
+    /// Post-mortem dumper, triggered at retire on errors or deadline
+    /// overrun.
+    postmortem: Option<Arc<PostmortemDumper>>,
+    /// Doorbell→retire budget for the post-mortem trigger.
+    deadline_ns: Option<u64>,
     last_retire: Mutex<Vec<Option<Instant>>>,
 }
 
@@ -170,13 +199,18 @@ pub(crate) struct ControlPlane {
 }
 
 impl ControlPlane {
+    /// Spawns the poller and worker threads.
+    ///
+    /// Fails with the OS error if any thread cannot be spawned (resource
+    /// exhaustion); threads spawned before the failure are stopped and
+    /// joined, so an `Err` leaves nothing running.
     pub(crate) fn start(
         devices: &[NvmeDevice],
         channels: Arc<Vec<Channel>>,
         cfg: ControlConfig,
         metrics: Arc<ControlMetrics>,
-        sink: Arc<dyn TelemetrySink>,
-    ) -> Self {
+        obs: &Observability,
+    ) -> std::io::Result<Self> {
         let n_ssds = devices.len();
         assert!(n_ssds >= 1);
         let max_workers = cfg.max_workers.max(1);
@@ -208,37 +242,63 @@ impl ControlPlane {
             scaler: Mutex::new(scaler),
             dynamic: cfg.dynamic_scaling,
             metrics,
-            sink,
+            sink: Arc::clone(&obs.sink),
+            recorder: obs.recorder.clone(),
+            postmortem: obs.postmortem.clone(),
+            deadline_ns: obs.batch_deadline_ns,
             last_retire: Mutex::new(vec![None; 64]),
         });
 
+        // Any spawn failure unwinds what was already started: without the
+        // stop flag + joins, a half-built plane would leak live workers
+        // holding the shared state.
+        let abort = |shared: &Arc<Shared>, workers: Vec<JoinHandle<()>>, e: std::io::Error| {
+            shared.stop.store(true, Ordering::Release);
+            for w in workers {
+                let _ = w.join();
+            }
+            e
+        };
         let mut senders = Vec::with_capacity(max_workers);
         let mut workers = Vec::with_capacity(max_workers);
         for wid in 0..max_workers {
             let (tx, rx) = crossbeam::channel::unbounded::<WorkItem>();
-            senders.push(tx);
             let sh = Arc::clone(&shared);
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("cam-worker{wid}"))
-                    .spawn(move || worker_loop(&sh, wid, rx))
-                    .expect("spawn CAM worker"),
-            );
+            match std::thread::Builder::new()
+                .name(format!("cam-worker{wid}"))
+                .spawn(move || worker_loop(&sh, wid, rx))
+            {
+                Ok(h) => {
+                    senders.push(tx);
+                    workers.push(h);
+                }
+                Err(e) => {
+                    drop(tx);
+                    drop(senders); // disconnect worker queues
+                    return Err(abort(&shared, workers, e));
+                }
+            }
         }
         let poller = {
             let sh = Arc::clone(&shared);
-            let senders = senders.clone();
-            std::thread::Builder::new()
+            let poller_senders = senders.clone();
+            match std::thread::Builder::new()
                 .name("cam-poller".to_string())
-                .spawn(move || poller_loop(&sh, &senders))
-                .expect("spawn CAM poller")
+                .spawn(move || poller_loop(&sh, &poller_senders))
+            {
+                Ok(h) => h,
+                Err(e) => {
+                    drop(senders);
+                    return Err(abort(&shared, workers, e));
+                }
+            }
         };
-        ControlPlane {
+        Ok(ControlPlane {
             shared,
             senders,
             poller: Some(poller),
             workers,
-        }
+        })
     }
 
     pub(crate) fn stats(&self) -> ControlStats {
@@ -253,8 +313,8 @@ impl ControlPlane {
             requests: m.requests.get(),
             errors: m.errors.get(),
             active_workers: sh.active_workers.load(Ordering::Relaxed),
-            mean_io: Dur::ns(io_ns.checked_div(batches).unwrap_or(0)),
-            mean_compute: Dur::ns(compute_ns.checked_div(samples).unwrap_or(0)),
+            mean_io: mean_dur(io_ns, batches),
+            mean_compute: mean_dur(compute_ns, samples),
             total_io: Dur::ns(io_ns),
             total_compute: Dur::ns(compute_ns),
             compute_samples: samples,
@@ -285,6 +345,9 @@ impl Drop for ControlPlane {
 }
 
 fn poller_loop(sh: &Shared, senders: &[Sender<WorkItem>]) {
+    if let Some(rec) = &sh.recorder {
+        rec.name_current_thread("cam-poller");
+    }
     let mut last_seen = vec![0u64; sh.channels.len()];
     let mut groups: Vec<Vec<(u64, u64, u32)>> = vec![Vec::new(); sh.n_ssds];
     while !sh.stop.load(Ordering::Acquire) {
@@ -314,6 +377,29 @@ fn poller_loop(sh: &Shared, senders: &[Sender<WorkItem>]) {
             sh.metrics
                 .stage(op_idx, Stage::Pickup)
                 .record(pickup_ns.saturating_sub(doorbell_ns));
+            if let Some(rec) = &sh.recorder {
+                // The doorbell fired on the GPU side before this thread saw
+                // it — emit retroactively at the region-3 publish timestamp
+                // so the trace span starts where the batch actually started.
+                // Empty batches never get here, so every doorbell span is
+                // closed by a retire.
+                rec.emit_at(
+                    doorbell_ns,
+                    EventKind::BatchDoorbell {
+                        channel: ch_idx as u16,
+                        seq,
+                        op: op_idx as u8,
+                        requests: reqs.len() as u32,
+                    },
+                );
+                rec.emit_at(
+                    pickup_ns,
+                    EventKind::BatchPickup {
+                        channel: ch_idx as u16,
+                        seq,
+                    },
+                );
+            }
             // Split the batch by stripe across SSDs. Requests that cross a
             // stripe boundary become several stripe-contiguous runs — the
             // CPU control plane owns the striping, so GPU code never needs
@@ -376,6 +462,9 @@ fn poller_loop(sh: &Shared, senders: &[Sender<WorkItem>]) {
 }
 
 fn worker_loop(sh: &Shared, wid: usize, rx: Receiver<WorkItem>) {
+    if let Some(rec) = &sh.recorder {
+        rec.name_current_thread(&format!("cam-worker{wid}"));
+    }
     loop {
         let item = match rx.recv_timeout(std::time::Duration::from_millis(5)) {
             Ok(item) => item,
@@ -393,6 +482,17 @@ fn worker_loop(sh: &Shared, wid: usize, rx: Receiver<WorkItem>) {
         sh.metrics
             .stage(op_idx, Stage::Dispatch)
             .record(recv_ns.saturating_sub(item.batch.pickup_ns));
+        if let Some(rec) = &sh.recorder {
+            rec.emit_at(
+                recv_ns,
+                EventKind::GroupDispatch {
+                    channel: item.batch.channel as u16,
+                    seq: item.batch.seq,
+                    ssd: item.ssd as u16,
+                    worker: wid as u16,
+                },
+            );
+        }
         let mut submitted = 0usize;
         let mut completed = 0usize;
         let mut errors = 0u64;
@@ -425,6 +525,18 @@ fn worker_loop(sh: &Shared, wid: usize, rx: Receiver<WorkItem>) {
         sh.metrics.stage(op_idx, Stage::Submit).record(submit_span);
         sh.metrics.ssd_submit_ns[item.ssd].record(submit_span);
         sh.metrics.ssd_submitted[item.ssd].add(item.reqs.len() as u64);
+        if let Some(rec) = &sh.recorder {
+            rec.emit_at(
+                submit_ns,
+                EventKind::GroupSubmit {
+                    channel: item.batch.channel as u16,
+                    seq: item.batch.seq,
+                    ssd: item.ssd as u16,
+                    worker: wid as u16,
+                    sqes: item.reqs.len() as u32,
+                },
+            );
+        }
         while completed < item.reqs.len() {
             match qp.poll_cqe() {
                 Some(cqe) => {
@@ -446,6 +558,18 @@ fn worker_loop(sh: &Shared, wid: usize, rx: Receiver<WorkItem>) {
             .record(complete_span);
         sh.metrics.ssd_complete_ns[item.ssd].record(complete_span);
         sh.metrics.ssd_completed[item.ssd].add(item.reqs.len() as u64);
+        if let Some(rec) = &sh.recorder {
+            rec.emit_at(
+                complete_ns,
+                EventKind::GroupComplete {
+                    channel: item.batch.channel as u16,
+                    seq: item.batch.seq,
+                    ssd: item.ssd as u16,
+                    worker: wid as u16,
+                    errors: errors as u32,
+                },
+            );
+        }
         // Last group retires the batch: region-4 write + bookkeeping.
         if item.batch.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             let b = &item.batch;
@@ -459,6 +583,16 @@ fn worker_loop(sh: &Shared, wid: usize, rx: Receiver<WorkItem>) {
                 .record(retire_ns.saturating_sub(complete_ns));
             m.batch_total(b.channel, op_idx)
                 .record(retire_ns.saturating_sub(b.doorbell_ns));
+            if let Some(rec) = &sh.recorder {
+                rec.emit_at(
+                    retire_ns,
+                    EventKind::BatchRetire {
+                        channel: b.channel as u16,
+                        seq: b.seq,
+                        errors: batch_errors as u32,
+                    },
+                );
+            }
             m.batches.inc();
             m.requests.add(b.requests);
             m.errors.add(batch_errors);
@@ -478,6 +612,12 @@ fn worker_loop(sh: &Shared, wid: usize, rx: Receiver<WorkItem>) {
                     } else {
                         m.scaler_shrink.inc();
                     }
+                    if let Some(rec) = &sh.recorder {
+                        rec.emit(EventKind::ScalerDecision {
+                            active: active as u32,
+                            grew: active > prev,
+                        });
+                    }
                     sh.sink.workers_scaled(active);
                 }
             }
@@ -491,6 +631,20 @@ fn worker_loop(sh: &Shared, wid: usize, rx: Receiver<WorkItem>) {
                 pickup_ns: b.pickup_ns,
                 retire_ns,
             });
+            if let Some(pm) = &sh.postmortem {
+                let total_ns = retire_ns.saturating_sub(b.doorbell_ns);
+                if batch_errors > 0 {
+                    pm.trigger(&format!(
+                        "batch ch{} seq {} retired with {} error(s)",
+                        b.channel, b.seq, batch_errors
+                    ));
+                } else if sh.deadline_ns.is_some_and(|d| total_ns > d) {
+                    pm.trigger(&format!(
+                        "batch ch{} seq {} overran deadline: {} ns doorbell->retire",
+                        b.channel, b.seq, total_ns
+                    ));
+                }
+            }
         }
     }
 }

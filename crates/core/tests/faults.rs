@@ -9,6 +9,9 @@ use cam_blockdev::{
 };
 use cam_core::{CamBackend, CamConfig, CamContext, CamError};
 use cam_iostacks::{IoRequest, Rig, RigConfig, StorageBackend};
+use cam_telemetry::{
+    FlightRecorder, MetricsRegistry, Observability, PostmortemConfig, PostmortemDumper,
+};
 
 /// Builds a rig whose first SSD fails reads on device LBAs 100..200.
 fn faulty_rig(n_ssds: usize, policy: FaultPolicy) -> (Rig, Arc<FaultyStore>) {
@@ -107,6 +110,92 @@ fn backend_adapter_propagates_injected_faults() {
         .map(|i| IoRequest::read(i * 2 + 1, 1, buf.addr() + i * 4096))
         .collect();
     be.execute_batch(&reads).unwrap();
+}
+
+#[test]
+fn failed_batch_triggers_a_post_mortem_dump_with_its_events() {
+    let dump_path =
+        std::env::temp_dir().join(format!("cam-postmortem-fault-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&dump_path);
+
+    let (rig, faulty) = faulty_rig(2, FaultPolicy::reads_in(100, 200));
+    let recorder = Arc::new(FlightRecorder::new());
+    let registry = Arc::new(MetricsRegistry::new());
+    let dumper = Arc::new(PostmortemDumper::new(
+        Arc::clone(&recorder),
+        Arc::clone(&registry),
+        PostmortemConfig::new(&dump_path),
+    ));
+    faulty.attach_recorder(Arc::clone(&recorder));
+    let obs = Observability::recorded(Arc::clone(&registry), Arc::clone(&recorder))
+        .with_postmortem(Arc::clone(&dumper));
+    let cam = CamContext::attach_observed(&rig, CamConfig::default(), obs);
+    let dev = cam.device();
+    let buf = cam.alloc(16 * 4096).unwrap();
+
+    // A healthy batch first, then the failing one.
+    dev.prefetch(&(0..8).collect::<Vec<_>>(), buf.addr())
+        .unwrap();
+    dev.prefetch_synchronize().unwrap();
+    let lbas: Vec<u64> = (200..216).collect(); // 8 requests hit the faulty SSD
+    dev.prefetch(&lbas, buf.addr()).unwrap();
+    assert!(dev.prefetch_synchronize().is_err());
+    // Stop the control plane so the retire-side trigger has finished.
+    drop(cam);
+
+    assert_eq!(dumper.dumps(), 1, "exactly one dump for one failed batch");
+    let dump = std::fs::read_to_string(&dump_path).expect("dump written");
+    // The reason names the failing batch; the event window contains the
+    // batch's lifecycle and the injected faults that sank it.
+    assert!(dump.contains("retired with 8 error(s)"), "reason: {dump}");
+    for needle in [
+        "\"batch_doorbell\"",
+        "\"batch_retire\"",
+        "\"fault_injected\"",
+        "\"group_complete\"",
+        "\"metrics\"",
+    ] {
+        assert!(dump.contains(needle), "missing {needle} in dump");
+    }
+    let _ = std::fs::remove_file(&dump_path);
+}
+
+#[test]
+fn deadline_overrun_triggers_a_post_mortem_without_errors() {
+    let dump_path = std::env::temp_dir().join(format!(
+        "cam-postmortem-deadline-{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&dump_path);
+
+    let rig = Rig::new(RigConfig {
+        n_ssds: 2,
+        blocks_per_ssd: 4096,
+        ..RigConfig::default()
+    });
+    let recorder = Arc::new(FlightRecorder::new());
+    let registry = Arc::new(MetricsRegistry::new());
+    let dumper = Arc::new(PostmortemDumper::new(
+        Arc::clone(&recorder),
+        Arc::clone(&registry),
+        PostmortemConfig::new(&dump_path),
+    ));
+    // A 1 ns doorbell→retire budget: every healthy batch overruns it.
+    let obs = Observability::recorded(Arc::clone(&registry), recorder)
+        .with_postmortem(Arc::clone(&dumper))
+        .with_deadline_ns(1);
+    let cam = CamContext::attach_observed(&rig, CamConfig::default(), obs);
+    let dev = cam.device();
+    let buf = cam.alloc(8 * 4096).unwrap();
+    dev.prefetch(&(0..8).collect::<Vec<_>>(), buf.addr())
+        .unwrap();
+    dev.prefetch_synchronize().unwrap();
+    drop(cam);
+
+    assert!(dumper.dumps() >= 1);
+    let dump = std::fs::read_to_string(&dump_path).expect("dump written");
+    assert!(dump.contains("overran deadline"), "reason: {dump}");
+    let _ = std::fs::remove_file(&dump_path);
 }
 
 #[test]

@@ -252,7 +252,11 @@ fn dynamic_scaling_shrinks_under_compute_heavy_load() {
         stats.active_workers
     );
     assert!(stats.active_workers >= 2);
-    assert!(stats.mean_compute > stats.mean_io);
+    // Both means exist (batches retired, gaps observed) and compute
+    // dominates I/O in this workload.
+    let mean_compute = stats.mean_compute.expect("compute gaps observed");
+    let mean_io = stats.mean_io.expect("batches retired");
+    assert!(mean_compute > mean_io);
 }
 
 #[test]

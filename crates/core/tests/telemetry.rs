@@ -183,13 +183,21 @@ fn stats_diff_isolates_a_phase() {
     assert_eq!(delta.requests, 6 * 32);
     assert_eq!(delta.errors, 0);
     assert!(delta.total_io > cam_simkit::Dur::ZERO);
-    assert!(delta.mean_io > cam_simkit::Dur::ZERO);
+    let mean_io = delta.mean_io.expect("batches retired, mean must exist");
+    assert!(mean_io > cam_simkit::Dur::ZERO);
     // The diff means are per-interval, not cumulative: they reflect only
     // the second phase's batches.
     assert_eq!(
-        delta.mean_io,
+        mean_io,
         cam_simkit::Dur::ns(delta.total_io.as_ns() / delta.batches)
     );
+    // A snapshot diffed against itself has no batches — the mean is absent,
+    // not a silent 0.
+    let none = cam.stats().diff(&cam.stats());
+    assert_eq!(none.batches, 0);
+    assert_eq!(none.mean_io, None);
+    assert_eq!(none.mean_compute, None);
+    assert_eq!(none.mean_io_secs(), None);
     // Diffing against a fresh default gives back the later snapshot's
     // cumulative counters.
     let full = cam.stats().diff(&ControlStats::default());

@@ -13,7 +13,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use cam_telemetry::{clock, HistogramHandle, MetricsRegistry};
+use cam_telemetry::{clock, EventKind, FlightRecorder, HistogramHandle, MetricsRegistry};
 
 use crate::memory::{GpuBuffer, GpuMemory, OutOfMemory};
 use crate::spec::GpuSpec;
@@ -36,6 +36,9 @@ pub struct Gpu {
     /// Telemetry: wall-clock time per kernel launch (launch → all blocks
     /// retired). Unset until [`attach_telemetry`](Self::attach_telemetry).
     kernel_ns: OnceLock<HistogramHandle>,
+    /// Event layer: emits [`EventKind::KernelBegin`]/[`EventKind::KernelEnd`]
+    /// per launch once attached.
+    recorder: OnceLock<Arc<FlightRecorder>>,
 }
 
 impl Gpu {
@@ -51,6 +54,7 @@ impl Gpu {
             workers,
             kernels_launched: AtomicU64::new(0),
             kernel_ns: OnceLock::new(),
+            recorder: OnceLock::new(),
         })
     }
 
@@ -58,6 +62,12 @@ impl Gpu {
     /// launches. One-shot; later calls are ignored.
     pub fn attach_telemetry(&self, reg: &MetricsRegistry) {
         let _ = self.kernel_ns.set(reg.histogram("cam_gpu_kernel_ns"));
+    }
+
+    /// Event layer: emits kernel begin/end events into `rec` per launch
+    /// from now on. One-shot; later calls are ignored.
+    pub fn attach_recorder(&self, rec: Arc<FlightRecorder>) {
+        let _ = self.recorder.set(rec);
     }
 
     /// Architectural parameters.
@@ -90,9 +100,16 @@ impl Gpu {
         F: Fn(BlockCtx) + Sync,
     {
         assert!(grid_dim >= 1, "grid must have at least one block");
-        self.kernels_launched.fetch_add(1, Ordering::Relaxed);
+        let kernel_id = self.kernels_launched.fetch_add(1, Ordering::Relaxed);
         let telemetry = self.kernel_ns.get();
+        let recorder = self.recorder.get();
         let start_ns = telemetry.map(|_| clock::now_ns());
+        if let Some(rec) = recorder {
+            rec.emit(EventKind::KernelBegin {
+                kernel: kernel_id,
+                grid: grid_dim,
+            });
+        }
         let next = AtomicU64::new(0);
         let n_workers = self.workers.min(grid_dim as usize).max(1);
         std::thread::scope(|s| {
@@ -111,6 +128,9 @@ impl Gpu {
         });
         if let (Some(h), Some(start)) = (telemetry, start_ns) {
             h.record(clock::now_ns().saturating_sub(start));
+        }
+        if let Some(rec) = recorder {
+            rec.emit(EventKind::KernelEnd { kernel: kernel_id });
         }
     }
 }

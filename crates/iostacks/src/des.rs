@@ -18,11 +18,13 @@
 //!
 //! [`GpuSpec::bam_sm_utilization`]: cam_gpu::GpuSpec::bam_sm_utilization
 
+use std::sync::Arc;
+
 use cam_gpu::GpuSpec;
 use cam_hostos::{IoDir, IoStackKind, MemoryModel};
 use cam_nvme::spec::Opcode;
 use cam_nvme::{DesSsd, SsdModel};
-use cam_simkit::{Dur, Pipe, Sim, Time};
+use cam_simkit::{Dur, EventKind, FlightRecorder, Pipe, Sim, Time};
 
 /// The SSD management being modelled.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -186,6 +188,8 @@ struct World {
     issued: Vec<u64>,
     target: Vec<u64>,
     completed: u64,
+    /// Per-SSD completions, for the [`EventKind::SimComplete`] ordinal.
+    done_per_ssd: Vec<u64>,
     op: Opcode,
     /// For `global_qd` engines (GDS): round-robin cursor.
     global_next_ssd: usize,
@@ -197,6 +201,10 @@ struct World {
 }
 
 fn issue(sim: &mut Sim<World>, w: &mut World, ssd: usize) {
+    sim.emit(EventKind::SimIssue {
+        ssd: ssd as u16,
+        req: w.issued[ssd],
+    });
     w.issued[ssd] += 1;
     let thread = ssd % w.submit.len();
     let pipe = w.submit[thread];
@@ -251,6 +259,11 @@ fn finish_transfer(
 
 fn complete(sim: &mut Sim<World>, w: &mut World, ssd: usize) {
     w.completed += 1;
+    sim.emit(EventKind::SimComplete {
+        ssd: ssd as u16,
+        req: w.done_per_ssd[ssd],
+    });
+    w.done_per_ssd[ssd] += 1;
     match w.global_qd {
         Some(_) => {
             if w.remaining_global > 0 {
@@ -271,11 +284,26 @@ fn complete(sim: &mut Sim<World>, w: &mut World, ssd: usize) {
 /// Runs one microbenchmark and returns delivered throughput and side
 /// effects. Deterministic: same config, same result.
 pub fn run_microbench(cfg: MicrobenchConfig) -> MicrobenchResult {
+    run_microbench_traced(cfg, None)
+}
+
+/// [`run_microbench`] with an optional flight recorder: every simulated
+/// request emits [`EventKind::SimIssue`]/[`EventKind::SimComplete`] pairs
+/// stamped with **virtual** time, so a DES run can be exported in the same
+/// Chrome-trace format as the functional engine (distinct `sim-ssd*`
+/// tracks under the simulation process).
+pub fn run_microbench_traced(
+    cfg: MicrobenchConfig,
+    recorder: Option<Arc<FlightRecorder>>,
+) -> MicrobenchResult {
     assert!(cfg.n_ssds >= 1 && cfg.requests >= 1 && cfg.granularity >= 1);
     let gpu = GpuSpec::a100_80g();
     let mem = MemoryModel::with_channels(cfg.mem_channels);
 
     let mut sim: Sim<World> = Sim::new();
+    if let Some(rec) = recorder {
+        sim.attach_recorder(rec);
+    }
     let ssds: Vec<DesSsd> = (0..cfg.n_ssds)
         .map(|_| DesSsd::new(&mut sim, SsdModel::p5510()))
         .collect();
@@ -331,6 +359,7 @@ pub fn run_microbench(cfg: MicrobenchConfig) -> MicrobenchResult {
         issued: vec![0; cfg.n_ssds],
         target: target.clone(),
         completed: 0,
+        done_per_ssd: vec![0; cfg.n_ssds],
         op,
         global_next_ssd: 0,
         global_qd,
@@ -559,6 +588,48 @@ mod tests {
             cam.gbps,
             r.gbps
         );
+    }
+
+    #[test]
+    fn traced_run_emits_balanced_sim_events_at_virtual_times() {
+        let rec = Arc::new(FlightRecorder::new());
+        let mut cfg = MicrobenchConfig::new(Engine::Cam, 2, IoDir::Read);
+        cfg.requests = 64;
+        cfg.queue_depth = 8;
+        let r = run_microbench_traced(cfg, Some(Arc::clone(&rec)));
+        assert!(r.gbps > 0.0);
+        let events = rec.snapshot();
+        let issues = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SimIssue { .. }))
+            .count();
+        let completes = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SimComplete { .. }))
+            .count();
+        assert_eq!(issues, 64);
+        assert_eq!(completes, 64);
+        // Virtual timestamps: bounded by the simulated duration scale, and
+        // every (ssd, req) issue has a matching complete at a later time.
+        for e in &events {
+            if let EventKind::SimIssue { ssd, req } = e.kind {
+                let done = events
+                    .iter()
+                    .find(|c| c.kind == EventKind::SimComplete { ssd, req })
+                    .unwrap_or_else(|| panic!("no completion for ssd{ssd} req{req}"));
+                assert!(done.ts_ns >= e.ts_ns);
+            }
+        }
+    }
+
+    #[test]
+    fn untraced_run_matches_traced_run() {
+        // The recorder must not perturb the model: same config, same result.
+        let cfg = MicrobenchConfig::new(Engine::Cam, 2, IoDir::Read);
+        let plain = run_microbench(cfg);
+        let traced = run_microbench_traced(cfg, Some(Arc::new(FlightRecorder::new())));
+        assert_eq!(plain.duration.as_ns(), traced.duration.as_ns());
+        assert_eq!(plain.gbps, traced.gbps);
     }
 
     #[test]

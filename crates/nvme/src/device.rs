@@ -14,7 +14,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use cam_blockdev::{BlockError, BlockStore, Lba};
-use cam_telemetry::{clock, HistogramHandle, MetricsRegistry};
+use cam_telemetry::{clock, EventKind, FlightRecorder, HistogramHandle, MetricsRegistry};
 use parking_lot::RwLock;
 
 use crate::mem::DmaSpace;
@@ -117,6 +117,9 @@ struct Shared {
     stop: AtomicBool,
     stats: DeviceStats,
     telemetry: OnceLock<DeviceTelemetry>,
+    /// Event layer: `(device index, recorder)`; service threads emit a
+    /// [`EventKind::NvmeCmd`] per executed command once attached.
+    recorder: OnceLock<(u16, Arc<FlightRecorder>)>,
 }
 
 /// A running simulated NVMe SSD. Stops its service threads on drop.
@@ -141,6 +144,7 @@ impl NvmeDevice {
             stop: AtomicBool::new(false),
             stats: DeviceStats::default(),
             telemetry: OnceLock::new(),
+            recorder: OnceLock::new(),
         });
         let workers = (0..shared.config.service_threads)
             .map(|tid| {
@@ -161,6 +165,9 @@ impl NvmeDevice {
         if let Some(t) = self.shared.telemetry.get() {
             qp.attach_telemetry(t.doorbell_batch.clone());
         }
+        if let Some((_, rec)) = self.shared.recorder.get() {
+            qp.attach_recorder(Arc::clone(rec));
+        }
         qps.push(Arc::clone(&qp));
         qp
     }
@@ -180,6 +187,17 @@ impl NvmeDevice {
             qp.attach_telemetry(t.doorbell_batch.clone());
         }
         let _ = self.shared.telemetry.set(t);
+    }
+
+    /// Event layer: tags this device with `index` and emits one
+    /// [`EventKind::NvmeCmd`] per executed command into `rec` from now on,
+    /// wiring every current and future queue pair's doorbell events too.
+    /// One-shot; later calls are ignored.
+    pub fn attach_recorder(&self, index: u16, rec: Arc<FlightRecorder>) {
+        for qp in self.shared.qps.read().iter() {
+            qp.attach_recorder(Arc::clone(&rec));
+        }
+        let _ = self.shared.recorder.set((index, rec));
     }
 
     /// Media geometry.
@@ -278,10 +296,24 @@ fn service_loop(sh: &Shared, tid: usize) {
 
 fn execute(sh: &Shared, sqe: &Sqe, scratch: &mut Vec<u8>) -> Status {
     let telemetry = sh.telemetry.get();
-    let start_ns = telemetry.map(|_| clock::now_ns());
+    let recorder = sh.recorder.get();
+    let start_ns = (telemetry.is_some() || recorder.is_some()).then(clock::now_ns);
     let status = execute_inner(sh, sqe, scratch);
     if let (Some(t), Some(start)) = (telemetry, start_ns) {
         t.cmd_ns.record(clock::now_ns().saturating_sub(start));
+    }
+    if let (Some((device, rec)), Some(start)) = (recorder, start_ns) {
+        rec.emit(EventKind::NvmeCmd {
+            device: *device,
+            // NVMe opcode bytes: 0 flush, 1 write, 2 read.
+            opcode: match sqe.opcode {
+                Opcode::Flush => 0,
+                Opcode::Write => 1,
+                Opcode::Read => 2,
+            },
+            ok: status == Status::Success,
+            start_ns: start,
+        });
     }
     match status {
         Status::Success => match sqe.opcode {

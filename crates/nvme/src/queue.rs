@@ -13,7 +13,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use cam_telemetry::HistogramHandle;
+use cam_telemetry::{EventKind, FlightRecorder, HistogramHandle};
 use crossbeam::queue::ArrayQueue;
 use parking_lot::Mutex;
 
@@ -78,6 +78,9 @@ pub struct QueuePair {
     /// Telemetry: SQEs published per doorbell ring (batched-submission
     /// depth). Unset until attached; the disabled cost is one atomic load.
     doorbell_batch: OnceLock<HistogramHandle>,
+    /// Event layer: emits a [`EventKind::QpDoorbell`] per ring once
+    /// attached. Same cost model as `doorbell_batch`.
+    recorder: OnceLock<Arc<FlightRecorder>>,
 }
 
 impl QueuePair {
@@ -92,6 +95,7 @@ impl QueuePair {
             cq: ArrayQueue::new(depth),
             stats: QpStats::default(),
             doorbell_batch: OnceLock::new(),
+            recorder: OnceLock::new(),
         })
     }
 
@@ -99,6 +103,12 @@ impl QueuePair {
     /// One-shot — later calls are ignored.
     pub fn attach_telemetry(&self, hist: HistogramHandle) {
         let _ = self.doorbell_batch.set(hist);
+    }
+
+    /// Event layer: emits a doorbell event per ring from now on. One-shot —
+    /// later calls are ignored.
+    pub fn attach_recorder(&self, rec: Arc<FlightRecorder>) {
+        let _ = self.recorder.set(rec);
     }
 
     /// Queue pair identifier.
@@ -150,6 +160,12 @@ impl QueuePair {
         self.stats.doorbells.fetch_add(1, Ordering::Relaxed);
         if let Some(h) = self.doorbell_batch.get() {
             h.record(n as u64);
+        }
+        if let Some(rec) = self.recorder.get() {
+            rec.emit(EventKind::QpDoorbell {
+                qp: self.id,
+                sqes: n as u32,
+            });
         }
         n
     }

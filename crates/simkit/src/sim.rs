@@ -4,6 +4,9 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use cam_telemetry::{EventKind, FlightRecorder};
 
 use crate::link::LinkState;
 use crate::pipe::PipeState;
@@ -50,6 +53,10 @@ pub struct Sim<W> {
     seq: u64,
     executed: u64,
     heap: BinaryHeap<Entry<W>>,
+    /// Event hook: models call [`emit`](Self::emit) and events land in the
+    /// recorder stamped with **virtual** time, so DES runs produce the same
+    /// trace format as the functional engine.
+    recorder: Option<Arc<FlightRecorder>>,
     pub(crate) pipes: Vec<PipeState>,
     pub(crate) links: Vec<LinkState<W>>,
     pub(crate) servers: Vec<ServerState<W>>,
@@ -69,9 +76,31 @@ impl<W: 'static> Sim<W> {
             seq: 0,
             executed: 0,
             heap: BinaryHeap::new(),
+            recorder: None,
             pipes: Vec::new(),
             links: Vec::new(),
             servers: Vec::new(),
+        }
+    }
+
+    /// Attaches a flight recorder; subsequent [`emit`](Self::emit) calls
+    /// record into it at virtual-time timestamps.
+    pub fn attach_recorder(&mut self, rec: Arc<FlightRecorder>) {
+        self.recorder = Some(rec);
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// Emits `kind` into the attached recorder, timestamped at the current
+    /// **virtual** time (`now().as_ns()`). A no-op without a recorder, so
+    /// models can emit unconditionally.
+    #[inline]
+    pub fn emit(&self, kind: EventKind) {
+        if let Some(rec) = &self.recorder {
+            rec.emit_at(self.now.as_ns(), kind);
         }
     }
 
@@ -228,6 +257,38 @@ mod tests {
         assert_eq!(sim.pending_events(), 1);
         sim.run(&mut w);
         assert_eq!(w, 2);
+    }
+
+    #[test]
+    fn emit_records_at_virtual_time() {
+        let mut sim: Sim<()> = Sim::new();
+        let rec = Arc::new(FlightRecorder::new());
+        sim.attach_recorder(Arc::clone(&rec));
+        sim.schedule_in(Dur::us(5), |sim, _: &mut ()| {
+            sim.emit(EventKind::SimIssue { ssd: 0, req: 0 });
+            sim.schedule_in(Dur::us(95), |sim, _| {
+                sim.emit(EventKind::SimComplete { ssd: 0, req: 0 });
+            });
+        });
+        sim.run(&mut ());
+        let events = rec.snapshot();
+        assert_eq!(events.len(), 2);
+        // Timestamps are the *virtual* times the events ran at, not wall
+        // clock — that is what lets DES traces share the functional format.
+        assert_eq!(events[0].ts_ns, 5_000);
+        assert_eq!(events[0].kind, EventKind::SimIssue { ssd: 0, req: 0 });
+        assert_eq!(events[1].ts_ns, 100_000);
+        assert_eq!(events[1].kind, EventKind::SimComplete { ssd: 0, req: 0 });
+    }
+
+    #[test]
+    fn emit_without_recorder_is_a_noop() {
+        let mut sim: Sim<()> = Sim::new();
+        sim.schedule_in(Dur::ns(1), |sim, _: &mut ()| {
+            sim.emit(EventKind::SimIssue { ssd: 1, req: 7 });
+        });
+        sim.run(&mut ());
+        assert!(sim.recorder().is_none());
     }
 
     #[test]

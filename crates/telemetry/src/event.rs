@@ -1,0 +1,412 @@
+//! Typed flight-recorder events: the unified vocabulary both engines emit.
+//!
+//! One enum covers every interesting hand-off in the system — the batch
+//! protocol stages of the functional engine (doorbell → pickup → dispatch →
+//! submit → complete → retire), substrate activity (NVMe doorbells and
+//! command service, GPU kernels, synchronize waits), failure signals (fault
+//! injection), control decisions (worker scaling), and the DES timing
+//! engine's simulated request lifecycle. Because both engines speak this one
+//! vocabulary, a functional run and a `simkit` run export to the same
+//! Chrome-trace timeline and can be diffed in Perfetto.
+//!
+//! Events are `Copy` and carry only scalars so a recorder write is a plain
+//! memcpy into a ring slot — no allocation on the hot path.
+
+use std::fmt::Write as _;
+
+/// One flight-recorder record, stamped on the [`crate::clock`] timeline
+/// (functional engine) or on virtual time (DES engine).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Nanoseconds on the emitting engine's timeline.
+    pub ts_ns: u64,
+    /// Process-wide emission sequence number (total order across threads).
+    pub seq: u64,
+    /// Small dense id of the emitting thread (see
+    /// [`FlightRecorder::thread_names`](crate::FlightRecorder::thread_names)).
+    pub thread: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The typed payload of an [`Event`].
+///
+/// `op` fields index [`crate::ControlMetrics::OPS`] (0 = read, 1 = write).
+/// `start_ns` fields carry the beginning of a completed interval, so a
+/// single event describes a whole span without needing begin/end pairing on
+/// the hot path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// GPU leading thread rang a channel doorbell (region-3 write).
+    BatchDoorbell {
+        /// Channel index.
+        channel: u16,
+        /// Channel-local batch sequence number.
+        seq: u64,
+        /// Operation index into [`crate::ControlMetrics::OPS`].
+        op: u8,
+        /// Requests in the batch.
+        requests: u32,
+    },
+    /// The CPU poller picked the batch up.
+    BatchPickup {
+        /// Channel index.
+        channel: u16,
+        /// Batch sequence number.
+        seq: u64,
+    },
+    /// A worker dequeued one per-SSD group of the batch.
+    GroupDispatch {
+        /// Channel index.
+        channel: u16,
+        /// Batch sequence number.
+        seq: u64,
+        /// SSD the group targets.
+        ssd: u16,
+        /// Worker thread index.
+        worker: u16,
+    },
+    /// The group's SQEs are staged and its queue-pair doorbell rung.
+    GroupSubmit {
+        /// Channel index.
+        channel: u16,
+        /// Batch sequence number.
+        seq: u64,
+        /// SSD the group targets.
+        ssd: u16,
+        /// Worker thread index.
+        worker: u16,
+        /// Commands submitted for the group.
+        sqes: u32,
+    },
+    /// Every completion for the group has been reaped.
+    GroupComplete {
+        /// Channel index.
+        channel: u16,
+        /// Batch sequence number.
+        seq: u64,
+        /// SSD the group targets.
+        ssd: u16,
+        /// Worker thread index.
+        worker: u16,
+        /// Commands that completed with errors.
+        errors: u32,
+    },
+    /// The last worker retired the batch (region-4 write).
+    BatchRetire {
+        /// Channel index.
+        channel: u16,
+        /// Batch sequence number.
+        seq: u64,
+        /// Failed commands across the whole batch.
+        errors: u32,
+    },
+    /// An NVMe submission-queue doorbell was rung.
+    QpDoorbell {
+        /// Queue-pair id.
+        qp: u16,
+        /// SQEs published by this ring.
+        sqes: u32,
+    },
+    /// A device service thread finished executing one NVMe command.
+    NvmeCmd {
+        /// Device index (attachment order).
+        device: u16,
+        /// NVMe opcode byte (1 = write, 2 = read, 0 = flush).
+        opcode: u8,
+        /// Whether the command completed successfully.
+        ok: bool,
+        /// When the service thread took the SQE.
+        start_ns: u64,
+    },
+    /// A GPU kernel launch began.
+    KernelBegin {
+        /// Monotonic kernel id.
+        kernel: u64,
+        /// Blocks in the grid.
+        grid: u64,
+    },
+    /// Every block of the kernel retired.
+    KernelEnd {
+        /// Monotonic kernel id.
+        kernel: u64,
+    },
+    /// A host thread finished spinning in a `*_synchronize` call.
+    SyncWait {
+        /// Channel waited on.
+        channel: u16,
+        /// When the wait began.
+        start_ns: u64,
+    },
+    /// `FaultyStore` injected an error.
+    FaultInjected {
+        /// First LBA of the failed access.
+        lba: u64,
+        /// `true` for reads, `false` for writes.
+        read: bool,
+    },
+    /// The dynamic scaler changed the active worker count.
+    ScalerDecision {
+        /// Workers active after the decision.
+        active: u32,
+        /// `true` if the count grew.
+        grew: bool,
+    },
+    /// DES engine: a simulated request was issued to an SSD.
+    SimIssue {
+        /// Simulated SSD index.
+        ssd: u16,
+        /// Per-SSD request ordinal.
+        req: u64,
+    },
+    /// DES engine: a simulated request completed end to end.
+    SimComplete {
+        /// Simulated SSD index.
+        ssd: u16,
+        /// Per-SSD request ordinal (FIFO-paired with [`EventKind::SimIssue`]).
+        req: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable snake_case label, used in post-mortem dumps and trace `args`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::BatchDoorbell { .. } => "batch_doorbell",
+            EventKind::BatchPickup { .. } => "batch_pickup",
+            EventKind::GroupDispatch { .. } => "group_dispatch",
+            EventKind::GroupSubmit { .. } => "group_submit",
+            EventKind::GroupComplete { .. } => "group_complete",
+            EventKind::BatchRetire { .. } => "batch_retire",
+            EventKind::QpDoorbell { .. } => "qp_doorbell",
+            EventKind::NvmeCmd { .. } => "nvme_cmd",
+            EventKind::KernelBegin { .. } => "kernel_begin",
+            EventKind::KernelEnd { .. } => "kernel_end",
+            EventKind::SyncWait { .. } => "sync_wait",
+            EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::ScalerDecision { .. } => "scaler_decision",
+            EventKind::SimIssue { .. } => "sim_issue",
+            EventKind::SimComplete { .. } => "sim_complete",
+        }
+    }
+
+    /// The batch identity `(channel, seq)` if this event belongs to one.
+    pub fn batch_id(&self) -> Option<(u16, u64)> {
+        match *self {
+            EventKind::BatchDoorbell { channel, seq, .. }
+            | EventKind::BatchPickup { channel, seq }
+            | EventKind::GroupDispatch { channel, seq, .. }
+            | EventKind::GroupSubmit { channel, seq, .. }
+            | EventKind::GroupComplete { channel, seq, .. }
+            | EventKind::BatchRetire { channel, seq, .. } => Some((channel, seq)),
+            _ => None,
+        }
+    }
+}
+
+impl Event {
+    /// Serializes the event as one self-contained JSON object (post-mortem
+    /// dump format).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        let _ = write!(
+            out,
+            "{{\"ts_ns\": {}, \"seq\": {}, \"thread\": {}, \"kind\": \"{}\"",
+            self.ts_ns,
+            self.seq,
+            self.thread,
+            self.kind.name()
+        );
+        match self.kind {
+            EventKind::BatchDoorbell {
+                channel,
+                seq,
+                op,
+                requests,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"channel\": {channel}, \"batch\": {seq}, \"op\": {op}, \
+                     \"requests\": {requests}"
+                );
+            }
+            EventKind::BatchPickup { channel, seq } => {
+                let _ = write!(out, ", \"channel\": {channel}, \"batch\": {seq}");
+            }
+            EventKind::GroupDispatch {
+                channel,
+                seq,
+                ssd,
+                worker,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"channel\": {channel}, \"batch\": {seq}, \"ssd\": {ssd}, \
+                     \"worker\": {worker}"
+                );
+            }
+            EventKind::GroupSubmit {
+                channel,
+                seq,
+                ssd,
+                worker,
+                sqes,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"channel\": {channel}, \"batch\": {seq}, \"ssd\": {ssd}, \
+                     \"worker\": {worker}, \"sqes\": {sqes}"
+                );
+            }
+            EventKind::GroupComplete {
+                channel,
+                seq,
+                ssd,
+                worker,
+                errors,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"channel\": {channel}, \"batch\": {seq}, \"ssd\": {ssd}, \
+                     \"worker\": {worker}, \"errors\": {errors}"
+                );
+            }
+            EventKind::BatchRetire {
+                channel,
+                seq,
+                errors,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"channel\": {channel}, \"batch\": {seq}, \"errors\": {errors}"
+                );
+            }
+            EventKind::QpDoorbell { qp, sqes } => {
+                let _ = write!(out, ", \"qp\": {qp}, \"sqes\": {sqes}");
+            }
+            EventKind::NvmeCmd {
+                device,
+                opcode,
+                ok,
+                start_ns,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"device\": {device}, \"opcode\": {opcode}, \"ok\": {ok}, \
+                     \"start_ns\": {start_ns}"
+                );
+            }
+            EventKind::KernelBegin { kernel, grid } => {
+                let _ = write!(out, ", \"kernel\": {kernel}, \"grid\": {grid}");
+            }
+            EventKind::KernelEnd { kernel } => {
+                let _ = write!(out, ", \"kernel\": {kernel}");
+            }
+            EventKind::SyncWait { channel, start_ns } => {
+                let _ = write!(out, ", \"channel\": {channel}, \"start_ns\": {start_ns}");
+            }
+            EventKind::FaultInjected { lba, read } => {
+                let _ = write!(out, ", \"lba\": {lba}, \"read\": {read}");
+            }
+            EventKind::ScalerDecision { active, grew } => {
+                let _ = write!(out, ", \"active\": {active}, \"grew\": {grew}");
+            }
+            EventKind::SimIssue { ssd, req } | EventKind::SimComplete { ssd, req } => {
+                let _ = write!(out, ", \"ssd\": {ssd}, \"req\": {req}");
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_events_expose_identity() {
+        let k = EventKind::GroupSubmit {
+            channel: 3,
+            seq: 42,
+            ssd: 1,
+            worker: 0,
+            sqes: 16,
+        };
+        assert_eq!(k.batch_id(), Some((3, 42)));
+        assert_eq!(k.name(), "group_submit");
+        assert_eq!(EventKind::QpDoorbell { qp: 0, sqes: 1 }.batch_id(), None);
+    }
+
+    #[test]
+    fn json_is_balanced_for_every_variant() {
+        let kinds = [
+            EventKind::BatchDoorbell {
+                channel: 0,
+                seq: 1,
+                op: 0,
+                requests: 8,
+            },
+            EventKind::BatchPickup { channel: 0, seq: 1 },
+            EventKind::GroupDispatch {
+                channel: 0,
+                seq: 1,
+                ssd: 2,
+                worker: 3,
+            },
+            EventKind::GroupSubmit {
+                channel: 0,
+                seq: 1,
+                ssd: 2,
+                worker: 3,
+                sqes: 4,
+            },
+            EventKind::GroupComplete {
+                channel: 0,
+                seq: 1,
+                ssd: 2,
+                worker: 3,
+                errors: 0,
+            },
+            EventKind::BatchRetire {
+                channel: 0,
+                seq: 1,
+                errors: 0,
+            },
+            EventKind::QpDoorbell { qp: 7, sqes: 32 },
+            EventKind::NvmeCmd {
+                device: 0,
+                opcode: 2,
+                ok: true,
+                start_ns: 5,
+            },
+            EventKind::KernelBegin { kernel: 1, grid: 4 },
+            EventKind::KernelEnd { kernel: 1 },
+            EventKind::SyncWait {
+                channel: 0,
+                start_ns: 9,
+            },
+            EventKind::FaultInjected {
+                lba: 100,
+                read: true,
+            },
+            EventKind::ScalerDecision {
+                active: 2,
+                grew: false,
+            },
+            EventKind::SimIssue { ssd: 0, req: 0 },
+            EventKind::SimComplete { ssd: 0, req: 0 },
+        ];
+        for kind in kinds {
+            let ev = Event {
+                ts_ns: 10,
+                seq: 1,
+                thread: 0,
+                kind,
+            };
+            let json = ev.to_json();
+            assert_eq!(json.matches('{').count(), json.matches('}').count());
+            assert!(json.contains(kind.name()), "{json}");
+        }
+    }
+}

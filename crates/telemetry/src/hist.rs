@@ -118,6 +118,37 @@ impl Histogram {
         self.max
     }
 
+    /// Cumulative counts at power-of-two boundaries, for Prometheus
+    /// `_bucket` exposition: `(bound, samples strictly below bound)` pairs
+    /// spanning `min..=max`. Empty if no samples were recorded (the
+    /// exposition layer still adds the `le="+Inf"` series).
+    ///
+    /// Because every major bucket starts on a power of two, these counts
+    /// are exact, not interpolated.
+    pub fn pow2_buckets(&self) -> Vec<(u64, u64)> {
+        if self.count == 0 {
+            return Vec::new();
+        }
+        // First boundary above min, first boundary covering max.
+        let k_lo = 64 - self.min.max(1).leading_zeros() as usize;
+        let k_hi = 64 - self.max.leading_zeros() as usize;
+        let mut out = Vec::with_capacity(k_hi - k_lo + 1);
+        for k in k_lo..=k_hi.min(63) {
+            // Indices below `2^k`: the linear region stores value v at
+            // index v; major buckets m ≥ log2(SUB_BUCKETS) start at
+            // index m * SUB_BUCKETS.
+            let sub_bits = Self::SUB_BUCKETS.trailing_zeros() as usize;
+            let idx = if k < sub_bits {
+                1usize << k
+            } else {
+                k * Self::SUB_BUCKETS
+            };
+            let cum: u64 = self.buckets[..idx.min(self.buckets.len())].iter().sum();
+            out.push((1u64 << k, cum));
+        }
+        out
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
@@ -198,6 +229,56 @@ mod tests {
         assert_eq!(h.quantile(0.5), 0);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero_at_every_q() {
+        let h = Histogram::new();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0, "q = {q}");
+        }
+        // Out-of-range q is clamped, not a panic.
+        assert_eq!(h.quantile(-1.0), 0);
+        assert_eq!(h.quantile(2.0), 0);
+        assert!(h.pow2_buckets().is_empty());
+    }
+
+    #[test]
+    fn single_sample_histogram_every_quantile_is_the_sample() {
+        let mut h = Histogram::new();
+        h.record(12_345);
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 12_345, "q = {q}");
+        }
+        assert_eq!((h.count(), h.min(), h.max()), (1, 12_345, 12_345));
+        assert_eq!(h.mean(), 12_345.0);
+        // Clamping also holds for a single zero sample.
+        let mut z = Histogram::new();
+        z.record(0);
+        assert_eq!(z.quantile(0.5), 0);
+        assert_eq!(z.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn pow2_buckets_are_exact_cumulative_counts() {
+        let mut h = Histogram::new();
+        for v in [3u64, 40, 100, 1000, 1001] {
+            h.record(v);
+        }
+        let buckets = h.pow2_buckets();
+        // Boundaries span min..=max: 4 up through 1024.
+        assert_eq!(buckets.first().map(|b| b.0), Some(4));
+        assert_eq!(buckets.last().map(|b| b.0), Some(1024));
+        // Cumulative counts are monotone and exact at each boundary.
+        for (bound, cum) in &buckets {
+            let exact = [3u64, 40, 100, 1000, 1001]
+                .iter()
+                .filter(|&&v| v < *bound)
+                .count() as u64;
+            assert_eq!(*cum, exact, "bound {bound}");
+        }
+        assert_eq!(buckets.last().unwrap().1, 5);
+        assert!(buckets.windows(2).all(|w| w[0].1 <= w[1].1));
     }
 
     #[test]

@@ -23,22 +23,48 @@
 //!   engine records into, so hot paths never touch the registry's maps;
 //! * [`clock`] — the shared monotonic nanosecond clock all spans use.
 //!
+//! On top of the metric layer sits the **event layer** (this PR): the
+//! flight recorder and its consumers, sharing the same clock and the same
+//! attach-gated cost model:
+//!
+//! * [`FlightRecorder`] — a bounded, per-thread-sharded ring of typed
+//!   [`Event`]s covering every protocol hand-off in both engines;
+//! * [`trace`] — Chrome trace-event / Perfetto export of a recorder
+//!   snapshot, plus a serde-free JSON parser and schema validator;
+//! * [`PostmortemDumper`] — fault-/deadline-triggered dumps of the last N
+//!   events plus a registry snapshot;
+//! * [`critical`] — per-batch critical-path attribution of doorbell→retire
+//!   latency to the five protocol stages;
+//! * [`Observability`] — the bundle (`registry` + `sink` + `recorder` +
+//!   `postmortem` + deadline) a CAM attachment records into.
+//!
 //! Instrumentation cost when nobody is looking: counters and gauges are one
-//! relaxed atomic op; a histogram record is one uncontended sharded lock.
+//! relaxed atomic op; a histogram record is one uncontended sharded lock;
+//! an un-attached event site is a single atomic load.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod clock;
 mod control;
+pub mod critical;
+mod event;
 mod hist;
+mod obs;
+mod postmortem;
+mod recorder;
 mod registry;
 mod shared;
 mod sink;
 mod span;
+pub mod trace;
 
 pub use control::ControlMetrics;
+pub use event::{Event, EventKind};
 pub use hist::Histogram;
+pub use obs::Observability;
+pub use postmortem::{PostmortemConfig, PostmortemDumper};
+pub use recorder::{FlightRecorder, DEFAULT_CAPACITY_PER_SHARD};
 pub use registry::{Counter, Gauge, HistogramSummary, MetricsRegistry, MetricsSnapshot};
 pub use shared::{HistogramHandle, SharedHistogram};
 pub use sink::{NoopSink, TelemetrySink};

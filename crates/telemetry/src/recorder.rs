@@ -1,0 +1,306 @@
+//! The flight recorder: a bounded, per-thread-sharded ring of typed
+//! [`Event`]s.
+//!
+//! Design goals mirror the metric layer's:
+//!
+//! * **Cheap enough to leave on.** `emit` is one thread-local read, one
+//!   relaxed fetch-add for the global sequence number, and one uncontended
+//!   `parking_lot` lock (a single CAS when nobody shares the shard) around
+//!   a fixed-slot ring write. No allocation after the first event from a
+//!   thread. Threads are spread over [`SHARDS`] independent rings, and hot
+//!   emitters (poller, workers, device service threads) land on distinct
+//!   shards in practice, so the lock is effectively private — the same
+//!   sharding idiom as [`crate::SharedHistogram`].
+//! * **Bounded.** Each shard holds `capacity` slots; when full, the oldest
+//!   events are overwritten and counted in [`FlightRecorder::dropped`]. A
+//!   flight recorder, not a log: you always keep the most recent window.
+//! * **Optional.** Emit sites hold an `OnceLock<Arc<FlightRecorder>>`; when
+//!   nothing is attached, the cost is one atomic load, exactly like the
+//!   PR 1 metric hooks.
+//!
+//! `#![deny(unsafe_code)]` rules out a true lock-free ring here; the
+//! sharded-mutex scheme keeps the same order of cost without `unsafe`.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::clock;
+use crate::event::{Event, EventKind};
+
+/// Number of independent rings. Power of two so shard selection is a mask.
+const SHARDS: usize = 16;
+
+/// Default ring capacity per shard (events). 16 shards × 4096 slots ≈ 2.6 MB
+/// of 40-byte events — a deep enough window for thousands of batches.
+pub const DEFAULT_CAPACITY_PER_SHARD: usize = 4096;
+
+/// Process-wide dense thread ids, assigned on a thread's first emit.
+static NEXT_THREAD_ID: AtomicU32 = AtomicU32::new(0);
+
+/// Unique recorder instance ids, so per-thread "already introduced myself"
+/// caches survive a recorder being dropped and another allocated at the
+/// same address.
+static NEXT_RECORDER_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_ID: u32 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+    /// Recorder ids this thread has already registered its name with.
+    static INTRODUCED: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One bounded ring of events. Oldest slots are overwritten when full.
+struct Ring {
+    slots: Vec<Event>,
+    /// Next slot to write (wraps at capacity once the ring has filled).
+    head: usize,
+    /// Events overwritten because the ring was full.
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, ev: Event, capacity: usize) {
+        if self.slots.len() < capacity {
+            self.slots.push(ev);
+        } else {
+            self.slots[self.head] = ev;
+            self.dropped += 1;
+        }
+        self.head = (self.head + 1) % capacity;
+    }
+}
+
+/// Bounded, sharded, process-lifetime event recorder. See module docs.
+pub struct FlightRecorder {
+    id: u64,
+    capacity_per_shard: usize,
+    seq: AtomicU64,
+    shards: Vec<Mutex<Ring>>,
+    /// thread id → human-readable name, for trace track labels.
+    thread_names: Mutex<BTreeMap<u32, String>>,
+}
+
+impl FlightRecorder {
+    /// A recorder with [`DEFAULT_CAPACITY_PER_SHARD`] slots per shard.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY_PER_SHARD)
+    }
+
+    /// A recorder keeping at most `capacity_per_shard` events per shard
+    /// (minimum 1).
+    pub fn with_capacity(capacity_per_shard: usize) -> Self {
+        let capacity_per_shard = capacity_per_shard.max(1);
+        FlightRecorder {
+            id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
+            capacity_per_shard,
+            seq: AtomicU64::new(0),
+            shards: (0..SHARDS)
+                .map(|_| {
+                    Mutex::new(Ring {
+                        slots: Vec::new(),
+                        head: 0,
+                        dropped: 0,
+                    })
+                })
+                .collect(),
+            thread_names: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Records `kind` stamped with the shared monotonic clock
+    /// ([`clock::now_ns`]).
+    pub fn emit(&self, kind: EventKind) {
+        self.emit_at(clock::now_ns(), kind);
+    }
+
+    /// Records `kind` with an explicit timestamp — used for retroactive
+    /// stamps (e.g. a doorbell time observed later by the poller) and for
+    /// the DES engine's virtual clock.
+    pub fn emit_at(&self, ts_ns: u64, kind: EventKind) {
+        let tid = THREAD_ID.with(|t| *t);
+        self.introduce(tid);
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let ev = Event {
+            ts_ns,
+            seq,
+            thread: tid,
+            kind,
+        };
+        let shard = tid as usize & (SHARDS - 1);
+        self.shards[shard].lock().push(ev, self.capacity_per_shard);
+    }
+
+    /// Registers the calling thread's name the first time it emits into
+    /// this recorder. Cached thread-locally so steady-state emits skip it.
+    fn introduce(&self, tid: u32) {
+        let fresh = INTRODUCED.with(|seen| {
+            let mut seen = seen.borrow_mut();
+            if seen.contains(&self.id) {
+                false
+            } else {
+                seen.push(self.id);
+                true
+            }
+        });
+        if fresh {
+            let name = std::thread::current()
+                .name()
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("thread-{tid}"));
+            self.thread_names.lock().insert(tid, name);
+        }
+    }
+
+    /// Overrides the recorded name for the calling thread (track label in
+    /// trace exports).
+    pub fn name_current_thread(&self, name: &str) {
+        let tid = THREAD_ID.with(|t| *t);
+        self.introduce(tid);
+        self.thread_names.lock().insert(tid, name.to_owned());
+    }
+
+    /// All retained events, merged across shards and sorted by timestamp
+    /// (sequence number breaks ties, giving a stable total order).
+    pub fn snapshot(&self) -> Vec<Event> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            all.extend_from_slice(&shard.lock().slots);
+        }
+        all.sort_unstable_by_key(|e| (e.ts_ns, e.seq));
+        all
+    }
+
+    /// The most recent `n` events in timeline order (post-mortem window).
+    pub fn last_n(&self, n: usize) -> Vec<Event> {
+        let mut all = self.snapshot();
+        if all.len() > n {
+            all.drain(..all.len() - n);
+        }
+        all
+    }
+
+    /// Total events ever emitted (including ones since overwritten).
+    pub fn emitted(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Events lost to ring overwrite across all shards.
+    pub fn dropped(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().dropped).sum()
+    }
+
+    /// `(thread id, name)` pairs for every thread that has emitted here.
+    pub fn thread_names(&self) -> Vec<(u32, String)> {
+        self.thread_names
+            .lock()
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect()
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("emitted", &self.emitted())
+            .field("dropped", &self.dropped())
+            .field("capacity_per_shard", &self.capacity_per_shard)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn snapshot_is_time_ordered() {
+        let rec = FlightRecorder::new();
+        for i in 0..100u64 {
+            rec.emit_at(
+                1000 - i, // deliberately reverse order
+                EventKind::SimIssue { ssd: 0, req: i },
+            );
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.len(), 100);
+        assert!(snap.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        assert_eq!(rec.emitted(), 100);
+        assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_bounds_and_counts_drops() {
+        let rec = FlightRecorder::with_capacity(8);
+        for i in 0..50u64 {
+            rec.emit_at(i, EventKind::SimIssue { ssd: 0, req: i });
+        }
+        // Single thread → single shard → at most 8 retained.
+        let snap = rec.snapshot();
+        assert_eq!(snap.len(), 8);
+        assert_eq!(rec.dropped(), 42);
+        // The retained window is the most recent events.
+        assert!(snap.iter().all(|e| e.ts_ns >= 42));
+        let last = rec.last_n(3);
+        assert_eq!(last.len(), 3);
+        assert_eq!(last[2].ts_ns, 49);
+    }
+
+    #[test]
+    fn concurrent_emitters_get_distinct_threads_and_total_order() {
+        let rec = Arc::new(FlightRecorder::new());
+        let mut joins = Vec::new();
+        for t in 0..4u64 {
+            let rec = Arc::clone(&rec);
+            joins.push(
+                std::thread::Builder::new()
+                    .name(format!("emitter-{t}"))
+                    .spawn(move || {
+                        for i in 0..256u64 {
+                            rec.emit(EventKind::SimComplete {
+                                ssd: t as u16,
+                                req: i,
+                            });
+                        }
+                    })
+                    .unwrap(),
+            );
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.len(), 1024);
+        // Sequence numbers are unique across threads.
+        let mut seqs: Vec<u64> = snap.iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 1024);
+        // Every emitter thread registered a name.
+        let names = rec.thread_names();
+        for t in 0..4 {
+            assert!(
+                names.iter().any(|(_, n)| n == &format!("emitter-{t}")),
+                "missing emitter-{t} in {names:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn name_override_wins() {
+        let rec = FlightRecorder::new();
+        rec.emit(EventKind::QpDoorbell { qp: 0, sqes: 1 });
+        rec.name_current_thread("poller-0");
+        let names = rec.thread_names();
+        assert!(names.iter().any(|(_, n)| n == "poller-0"));
+    }
+}

@@ -85,6 +85,9 @@ pub struct HistogramSummary {
     pub p95: u64,
     /// 99th percentile.
     pub p99: u64,
+    /// Cumulative counts at power-of-two boundaries (Prometheus `_bucket`
+    /// series); see [`Histogram::pow2_buckets`].
+    pub pow2_buckets: Vec<(u64, u64)>,
 }
 
 impl From<&Histogram> for HistogramSummary {
@@ -99,6 +102,7 @@ impl From<&Histogram> for HistogramSummary {
             p90: h.quantile(0.90),
             p95: h.quantile(0.95),
             p99: h.quantile(0.99),
+            pow2_buckets: h.pow2_buckets(),
         }
     }
 }
@@ -180,7 +184,9 @@ impl MetricsSnapshot {
     }
 
     /// Serializes the snapshot in the Prometheus text exposition format.
-    /// Histograms are exposed as quantile series plus `_count`/`_sum`.
+    /// Histograms are exposed as cumulative `_bucket` series (power-of-two
+    /// `le` boundaries plus `+Inf`) with `_count`/`_sum`, alongside
+    /// pre-computed quantile series for human consumption.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::with_capacity(4096);
         let mut typed: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
@@ -201,7 +207,7 @@ impl MetricsSnapshot {
         for (name, h) in &self.histograms {
             let (base, labels) = split_labels(name);
             if typed.insert(base) {
-                let _ = writeln!(out, "# TYPE {base} summary");
+                let _ = writeln!(out, "# TYPE {base} histogram");
             }
             for (q, v) in [(0.5, h.p50), (0.9, h.p90), (0.95, h.p95), (0.99, h.p99)] {
                 let _ = writeln!(
@@ -211,6 +217,19 @@ impl MetricsSnapshot {
                     with_label(labels, &format!("quantile=\"{q}\""))
                 );
             }
+            for (bound, cum) in &h.pow2_buckets {
+                let _ = writeln!(
+                    out,
+                    "{base}_bucket{} {cum}",
+                    with_label(labels, &format!("le=\"{bound}\""))
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{base}_bucket{} {}",
+                with_label(labels, "le=\"+Inf\""),
+                h.count
+            );
             let _ = writeln!(out, "{base}_count{} {}", braced(labels), h.count);
             let _ = writeln!(out, "{base}_sum{} {}", braced(labels), h.sum);
         }
@@ -425,9 +444,48 @@ mod tests {
         assert!(text.contains("req_total{op=\"read\"} 5"));
         assert!(text.contains("# TYPE active gauge"));
         assert!(text.contains("active 3"));
-        assert!(text.contains("# TYPE lat_ns summary"));
+        assert!(text.contains("# TYPE lat_ns histogram"));
         assert!(text.contains("lat_ns{op=\"read\",quantile=\"0.5\"}"));
         assert!(text.contains("lat_ns_count{op=\"read\"} 1"));
         assert!(text.contains("lat_ns_sum{op=\"read\"} 1000"));
+    }
+
+    #[test]
+    fn prometheus_bucket_series_and_label_escaping() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("svc_ns{path=\"/a\\\"b\"}");
+        for v in [10u64, 100, 1000] {
+            h.record(v);
+        }
+        let text = reg.to_prometheus();
+        // Labels pass through exposition verbatim (escapes intact).
+        assert!(text.contains("svc_ns_count{path=\"/a\\\"b\"} 3"), "{text}");
+        // Cumulative power-of-two buckets, merged into the label set.
+        assert!(
+            text.contains("svc_ns_bucket{path=\"/a\\\"b\",le=\"16\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("svc_ns_bucket{path=\"/a\\\"b\",le=\"1024\"} 3"),
+            "{text}"
+        );
+        // +Inf bucket always equals _count.
+        assert!(
+            text.contains("svc_ns_bucket{path=\"/a\\\"b\",le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("svc_ns_sum{path=\"/a\\\"b\"} 1110"), "{text}");
+        // Bucket counts are monotone in le order.
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("svc_ns_bucket") && !l.contains("+Inf"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(!counts.is_empty());
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+        // An empty histogram still exposes a +Inf bucket of 0.
+        reg.histogram("idle_ns");
+        let text = reg.to_prometheus();
+        assert!(text.contains("idle_ns_bucket{le=\"+Inf\"} 0"), "{text}");
     }
 }

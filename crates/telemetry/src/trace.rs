@@ -1,0 +1,856 @@
+//! Chrome trace-event (Perfetto-loadable) export of a flight-recorder
+//! timeline, plus a dependency-free JSON parser used to validate traces in
+//! tests and tools (the workspace has no serde).
+//!
+//! Mapping (see `docs/OBSERVABILITY.md` for the full schema):
+//!
+//! * pid 1 = functional engine, pid 2 = DES timing engine — two process
+//!   groups on one timeline.
+//! * Each real thread that emitted events becomes a named track (pid 1);
+//!   each simulated SSD becomes a track under pid 2.
+//! * A batch is an **async span** (`ph:"b"` … `ph:"e"`, `cat:"batch"`,
+//!   `id:"ch<channel>:<seq>"`) opened at the GPU doorbell and closed at
+//!   region-4 retire, with an async instant (`ph:"n"`) at poller pickup.
+//! * Worker-side group work renders as **complete spans** (`ph:"X"`):
+//!   `stage+ring` (dequeue → SQ doorbell) and `await cqes` (doorbell →
+//!   last CQE) on the worker's track; NVMe command service, GPU kernels,
+//!   and `*_synchronize` waits are also `X` spans on their threads.
+//! * Queue-pair doorbells, fault injections, and scaler decisions are
+//!   **instants** (`ph:"i"`).
+//! * Simulated requests are async spans `cat:"sim"` on per-SSD tracks.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::{Event, EventKind};
+use crate::ControlMetrics;
+
+/// pid of the functional-engine process group in exported traces.
+pub const PID_FUNCTIONAL: u64 = 1;
+/// pid of the DES timing-engine process group in exported traces.
+pub const PID_SIM: u64 = 2;
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn op_name(op: u8) -> &'static str {
+    ControlMetrics::OPS
+        .get(op as usize)
+        .copied()
+        .unwrap_or("op?")
+}
+
+/// Microsecond timestamp field from nanoseconds (trace-event `ts` unit).
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+struct TraceWriter {
+    out: String,
+    first: bool,
+}
+
+impl TraceWriter {
+    fn new() -> Self {
+        TraceWriter {
+            out: String::from("{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n"),
+            first: true,
+        }
+    }
+
+    fn push(&mut self, record: String) {
+        if !self.first {
+            self.out.push_str(",\n");
+        }
+        self.first = false;
+        self.out.push_str("  ");
+        self.out.push_str(&record);
+    }
+
+    fn metadata(&mut self, pid: u64, tid: Option<u64>, which: &str, name: &str) {
+        let tid_field = tid.map(|t| format!("\"tid\": {t}, ")).unwrap_or_default();
+        self.push(format!(
+            "{{\"name\": \"{which}\", \"ph\": \"M\", \"pid\": {pid}, {tid_field}\"args\": \
+             {{\"name\": \"{}\"}}}}",
+            esc(name)
+        ));
+    }
+
+    #[allow(clippy::too_many_arguments)] // a trace record simply has this many fields
+    fn async_ev(
+        &mut self,
+        ph: char,
+        name: &str,
+        cat: &str,
+        id: &str,
+        pid: u64,
+        tid: u64,
+        ts_ns: u64,
+        args: &str,
+    ) {
+        self.push(format!(
+            "{{\"name\": \"{}\", \"cat\": \"{cat}\", \"ph\": \"{ph}\", \"id\": \"{}\", \
+             \"pid\": {pid}, \"tid\": {tid}, \"ts\": {}{args}}}",
+            esc(name),
+            esc(id),
+            us(ts_ns)
+        ));
+    }
+
+    fn complete(&mut self, name: &str, pid: u64, tid: u64, start_ns: u64, end_ns: u64, args: &str) {
+        let dur = end_ns.saturating_sub(start_ns);
+        self.push(format!(
+            "{{\"name\": \"{}\", \"ph\": \"X\", \"pid\": {pid}, \"tid\": {tid}, \"ts\": {}, \
+             \"dur\": {}{args}}}",
+            esc(name),
+            us(start_ns),
+            us(dur)
+        ));
+    }
+
+    fn instant(&mut self, name: &str, pid: u64, tid: u64, ts_ns: u64, args: &str) {
+        self.push(format!(
+            "{{\"name\": \"{}\", \"ph\": \"i\", \"s\": \"t\", \"pid\": {pid}, \"tid\": {tid}, \
+             \"ts\": {}{args}}}",
+            esc(name),
+            us(ts_ns)
+        ));
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push_str("\n]}\n");
+        self.out
+    }
+}
+
+/// Renders a recorder snapshot (plus its thread names) as Chrome
+/// trace-event JSON. `events` must be timeline-sorted, as
+/// [`crate::FlightRecorder::snapshot`] returns them.
+pub fn chrome_trace(events: &[Event], thread_names: &[(u32, String)]) -> String {
+    let mut w = TraceWriter::new();
+    w.metadata(
+        PID_FUNCTIONAL,
+        None,
+        "process_name",
+        "cam functional engine",
+    );
+    w.metadata(PID_SIM, None, "process_name", "cam DES timing engine");
+
+    // Name every functional track that actually emitted, and every
+    // simulated-SSD track referenced by DES events.
+    let names: BTreeMap<u32, &str> = thread_names.iter().map(|(t, n)| (*t, n.as_str())).collect();
+    let mut func_tids: Vec<u32> = Vec::new();
+    let mut sim_ssds: Vec<u16> = Vec::new();
+    for ev in events {
+        match ev.kind {
+            EventKind::SimIssue { ssd, .. } | EventKind::SimComplete { ssd, .. } => {
+                if !sim_ssds.contains(&ssd) {
+                    sim_ssds.push(ssd);
+                }
+            }
+            _ => {
+                if !func_tids.contains(&ev.thread) {
+                    func_tids.push(ev.thread);
+                }
+            }
+        }
+    }
+    func_tids.sort_unstable();
+    sim_ssds.sort_unstable();
+    for tid in &func_tids {
+        let fallback = format!("thread-{tid}");
+        let name = names.get(tid).copied().unwrap_or(&fallback);
+        w.metadata(PID_FUNCTIONAL, Some(*tid as u64), "thread_name", name);
+    }
+    for ssd in &sim_ssds {
+        w.metadata(
+            PID_SIM,
+            Some(*ssd as u64),
+            "thread_name",
+            &format!("sim-ssd{ssd}"),
+        );
+    }
+
+    // Pairing state.
+    let mut batch_op: BTreeMap<(u16, u64), u8> = BTreeMap::new(); // open async batch spans
+    let mut group_phase: BTreeMap<(u16, u64, u16), u64> = BTreeMap::new(); // last phase ts
+    let mut kernels: BTreeMap<u64, (u64, u32, u64)> = BTreeMap::new(); // id → (ts, tid, grid)
+
+    for ev in events {
+        let tid = ev.thread as u64;
+        match ev.kind {
+            EventKind::BatchDoorbell {
+                channel,
+                seq,
+                op,
+                requests,
+            } => {
+                batch_op.insert((channel, seq), op);
+                let args = format!(", \"args\": {{\"requests\": {requests}}}");
+                w.async_ev(
+                    'b',
+                    &format!("batch ch{channel} {}", op_name(op)),
+                    "batch",
+                    &format!("ch{channel}:{seq}"),
+                    PID_FUNCTIONAL,
+                    tid,
+                    ev.ts_ns,
+                    &args,
+                );
+            }
+            EventKind::BatchPickup { channel, seq } => {
+                if let Some(op) = batch_op.get(&(channel, seq)) {
+                    w.async_ev(
+                        'n',
+                        &format!("batch ch{channel} {}", op_name(*op)),
+                        "batch",
+                        &format!("ch{channel}:{seq}"),
+                        PID_FUNCTIONAL,
+                        tid,
+                        ev.ts_ns,
+                        ", \"args\": {\"step\": \"pickup\"}",
+                    );
+                }
+            }
+            EventKind::GroupDispatch {
+                channel, seq, ssd, ..
+            } => {
+                group_phase.insert((channel, seq, ssd), ev.ts_ns);
+            }
+            EventKind::GroupSubmit {
+                channel,
+                seq,
+                ssd,
+                sqes,
+                ..
+            } => {
+                if let Some(start) = group_phase.insert((channel, seq, ssd), ev.ts_ns) {
+                    let args = format!(
+                        ", \"args\": {{\"channel\": {channel}, \"batch\": {seq}, \"sqes\": {sqes}}}"
+                    );
+                    w.complete(
+                        &format!("stage+ring ssd{ssd}"),
+                        PID_FUNCTIONAL,
+                        tid,
+                        start,
+                        ev.ts_ns,
+                        &args,
+                    );
+                }
+            }
+            EventKind::GroupComplete {
+                channel,
+                seq,
+                ssd,
+                errors,
+                ..
+            } => {
+                if let Some(start) = group_phase.remove(&(channel, seq, ssd)) {
+                    let args = format!(
+                        ", \"args\": {{\"channel\": {channel}, \"batch\": {seq}, \
+                         \"errors\": {errors}}}"
+                    );
+                    w.complete(
+                        &format!("await cqes ssd{ssd}"),
+                        PID_FUNCTIONAL,
+                        tid,
+                        start,
+                        ev.ts_ns,
+                        &args,
+                    );
+                }
+            }
+            EventKind::BatchRetire {
+                channel,
+                seq,
+                errors,
+            } => {
+                let op = batch_op.remove(&(channel, seq)).unwrap_or(0);
+                let args = format!(", \"args\": {{\"errors\": {errors}}}");
+                w.async_ev(
+                    'e',
+                    &format!("batch ch{channel} {}", op_name(op)),
+                    "batch",
+                    &format!("ch{channel}:{seq}"),
+                    PID_FUNCTIONAL,
+                    tid,
+                    ev.ts_ns,
+                    &args,
+                );
+            }
+            EventKind::QpDoorbell { qp, sqes } => {
+                let args = format!(", \"args\": {{\"qp\": {qp}, \"sqes\": {sqes}}}");
+                w.instant("qp doorbell", PID_FUNCTIONAL, tid, ev.ts_ns, &args);
+            }
+            EventKind::NvmeCmd {
+                device,
+                opcode,
+                ok,
+                start_ns,
+            } => {
+                let verb = match opcode {
+                    1 => "write",
+                    2 => "read",
+                    _ => "flush",
+                };
+                let args = format!(", \"args\": {{\"device\": {device}, \"ok\": {ok}}}");
+                w.complete(
+                    &format!("nvme {verb}"),
+                    PID_FUNCTIONAL,
+                    tid,
+                    start_ns,
+                    ev.ts_ns,
+                    &args,
+                );
+            }
+            EventKind::KernelBegin { kernel, grid } => {
+                kernels.insert(kernel, (ev.ts_ns, ev.thread, grid));
+            }
+            EventKind::KernelEnd { kernel } => {
+                if let Some((start, ktid, grid)) = kernels.remove(&kernel) {
+                    let args = format!(", \"args\": {{\"grid\": {grid}}}");
+                    w.complete(
+                        &format!("kernel {kernel}"),
+                        PID_FUNCTIONAL,
+                        ktid as u64,
+                        start,
+                        ev.ts_ns,
+                        &args,
+                    );
+                }
+            }
+            EventKind::SyncWait { channel, start_ns } => {
+                w.complete(
+                    &format!("sync ch{channel}"),
+                    PID_FUNCTIONAL,
+                    tid,
+                    start_ns,
+                    ev.ts_ns,
+                    "",
+                );
+            }
+            EventKind::FaultInjected { lba, read } => {
+                let args = format!(", \"args\": {{\"lba\": {lba}, \"read\": {read}}}");
+                w.instant("fault injected", PID_FUNCTIONAL, tid, ev.ts_ns, &args);
+            }
+            EventKind::ScalerDecision { active, grew } => {
+                let args = format!(", \"args\": {{\"active\": {active}, \"grew\": {grew}}}");
+                w.instant("scaler", PID_FUNCTIONAL, tid, ev.ts_ns, &args);
+            }
+            EventKind::SimIssue { ssd, req } => {
+                w.async_ev(
+                    'b',
+                    &format!("io ssd{ssd}"),
+                    "sim",
+                    &format!("ssd{ssd}:{req}"),
+                    PID_SIM,
+                    ssd as u64,
+                    ev.ts_ns,
+                    "",
+                );
+            }
+            EventKind::SimComplete { ssd, req } => {
+                w.async_ev(
+                    'e',
+                    &format!("io ssd{ssd}"),
+                    "sim",
+                    &format!("ssd{ssd}:{req}"),
+                    PID_SIM,
+                    ssd as u64,
+                    ev.ts_ns,
+                    "",
+                );
+            }
+        }
+    }
+    w.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser (validation only — the workspace has no serde).
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Just enough structure to validate exported traces
+/// and post-mortem dumps in tests.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as f64).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("JSON error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn lit(&mut self, text: &str, val: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(val)
+        } else {
+            Err(self.err(&format!("expected '{text}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number bytes"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("short \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u bytes"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("bad utf8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parses a complete JSON document.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+/// Shape counts from a validated trace (see [`validate_chrome_trace`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total records in `traceEvents`.
+    pub events: usize,
+    /// `ph:"b"` async begins.
+    pub async_begin: usize,
+    /// `ph:"e"` async ends.
+    pub async_end: usize,
+    /// `ph:"X"` complete spans.
+    pub complete: usize,
+    /// `ph:"i"` instants.
+    pub instant: usize,
+    /// `ph:"M"` metadata records.
+    pub metadata: usize,
+    /// Distinct pids seen.
+    pub processes: usize,
+    /// Distinct `(pid, tid)` tracks named via `thread_name` metadata.
+    pub named_tracks: Vec<String>,
+}
+
+/// Parses `text` and checks every record against the trace-event schema:
+/// required `name`/`ph`/`pid` fields, `ts` on all non-metadata records,
+/// `cat` + `id` on async records, `dur` on complete spans, and balanced
+/// async begin/end counts per `(cat, id)`.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
+    let root = parse_json(text)?;
+    let events = root
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    let mut summary = TraceSummary::default();
+    let mut pids = Vec::new();
+    let mut open_async: BTreeMap<(String, String), i64> = BTreeMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let at = |msg: &str| format!("traceEvents[{i}]: {msg}");
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| at("missing ph"))?
+            .to_owned();
+        ev.get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| at("missing name"))?;
+        let pid = ev
+            .get("pid")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| at("missing pid"))? as u64;
+        if !pids.contains(&pid) {
+            pids.push(pid);
+        }
+        summary.events += 1;
+        match ph.as_str() {
+            "M" => {
+                summary.metadata += 1;
+                let which = ev.get("name").and_then(Json::as_str).unwrap_or("");
+                if which == "thread_name" {
+                    let label = ev
+                        .get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| at("thread_name without args.name"))?;
+                    summary.named_tracks.push(label.to_owned());
+                }
+            }
+            "b" | "e" | "n" => {
+                ev.get("ts")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| at("async record missing ts"))?;
+                let cat = ev
+                    .get("cat")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| at("async record missing cat"))?;
+                let id = ev
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| at("async record missing id"))?;
+                let slot = open_async
+                    .entry((cat.to_owned(), id.to_owned()))
+                    .or_insert(0);
+                match ph.as_str() {
+                    "b" => {
+                        *slot += 1;
+                        summary.async_begin += 1;
+                    }
+                    "e" => {
+                        *slot -= 1;
+                        summary.async_end += 1;
+                        if *slot < 0 {
+                            return Err(at(&format!("async end without begin ({cat}/{id})")));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            "X" => {
+                ev.get("ts")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| at("X record missing ts"))?;
+                ev.get("dur")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| at("X record missing dur"))?;
+                summary.complete += 1;
+            }
+            "i" => {
+                ev.get("ts")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| at("instant missing ts"))?;
+                summary.instant += 1;
+            }
+            other => return Err(at(&format!("unknown ph '{other}'"))),
+        }
+    }
+    if let Some(((cat, id), n)) = open_async.iter().find(|(_, n)| **n != 0) {
+        return Err(format!("unbalanced async span {cat}/{id}: {n} open"));
+    }
+    summary.processes = pids.len();
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlightRecorder;
+
+    fn sample_recorder() -> FlightRecorder {
+        let rec = FlightRecorder::new();
+        rec.name_current_thread("poller-0");
+        rec.emit_at(
+            100,
+            EventKind::BatchDoorbell {
+                channel: 0,
+                seq: 1,
+                op: 0,
+                requests: 8,
+            },
+        );
+        rec.emit_at(110, EventKind::BatchPickup { channel: 0, seq: 1 });
+        rec.emit_at(
+            120,
+            EventKind::GroupDispatch {
+                channel: 0,
+                seq: 1,
+                ssd: 0,
+                worker: 0,
+            },
+        );
+        rec.emit_at(130, EventKind::QpDoorbell { qp: 3, sqes: 8 });
+        rec.emit_at(
+            135,
+            EventKind::GroupSubmit {
+                channel: 0,
+                seq: 1,
+                ssd: 0,
+                worker: 0,
+                sqes: 8,
+            },
+        );
+        rec.emit_at(
+            150,
+            EventKind::NvmeCmd {
+                device: 0,
+                opcode: 2,
+                ok: true,
+                start_ns: 140,
+            },
+        );
+        rec.emit_at(
+            160,
+            EventKind::GroupComplete {
+                channel: 0,
+                seq: 1,
+                ssd: 0,
+                worker: 0,
+                errors: 0,
+            },
+        );
+        rec.emit_at(
+            170,
+            EventKind::BatchRetire {
+                channel: 0,
+                seq: 1,
+                errors: 0,
+            },
+        );
+        rec.emit_at(200, EventKind::SimIssue { ssd: 0, req: 0 });
+        rec.emit_at(260, EventKind::SimComplete { ssd: 0, req: 0 });
+        rec
+    }
+
+    #[test]
+    fn export_round_trips_through_validator() {
+        let rec = sample_recorder();
+        let json = chrome_trace(&rec.snapshot(), &rec.thread_names());
+        let summary = validate_chrome_trace(&json).expect("valid trace");
+        // One batch async span + one sim async span.
+        assert_eq!(summary.async_begin, 2);
+        assert_eq!(summary.async_end, 2);
+        // stage+ring, await cqes, nvme read.
+        assert_eq!(summary.complete, 3);
+        // qp doorbell instant.
+        assert_eq!(summary.instant, 1);
+        // Both engines present as processes.
+        assert_eq!(summary.processes, 2);
+        // Tracks for the poller thread and the simulated SSD.
+        assert!(summary.named_tracks.iter().any(|n| n == "poller-0"));
+        assert!(summary.named_tracks.iter().any(|n| n == "sim-ssd0"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_traces() {
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\": [{\"ph\": \"X\"}]}").is_err());
+        // Unbalanced async span.
+        let bad = "{\"traceEvents\": [{\"name\": \"a\", \"cat\": \"c\", \"ph\": \"b\", \
+                   \"id\": \"1\", \"pid\": 1, \"tid\": 0, \"ts\": 1}]}";
+        assert!(validate_chrome_trace(bad).is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_numbers() {
+        let v = parse_json("{\"a\\n\\\"b\": [1.5, -2e3, true, null, \"\\u0041\"]}").unwrap();
+        let arr = v.get("a\n\"b").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.5));
+        assert_eq!(arr[1].as_f64(), Some(-2000.0));
+        assert_eq!(arr[2], Json::Bool(true));
+        assert_eq!(arr[3], Json::Null);
+        assert_eq!(arr[4].as_str(), Some("A"));
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("[1] extra").is_err());
+    }
+}
