@@ -74,6 +74,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Generator)> {
             "Functional-engine telemetry benchmark (writes BENCH_repro.json)",
             bench,
         ),
+        (
+            "cache",
+            "GPU-memory block cache: hit rate / NVMe-submission sweep (writes cache_trace.json)",
+            cache,
+        ),
     ]
 }
 
@@ -654,7 +659,10 @@ fn bench() -> Vec<Table> {
 
     let recorder = Arc::new(FlightRecorder::new());
     let run = run_recorded(20, 64, Some(recorder));
-    let json = bench_json(&run);
+    // The cache sweep rides along so BENCH_repro.json carries hit rate,
+    // coalesced misses, and readahead accuracy per workload (S6).
+    let reports = crate::cache_run::run_cache_sweep(&[256, 2048]);
+    let json = bench_json(&run, Some(&reports));
     let path = "BENCH_repro.json";
     match std::fs::write(path, &json) {
         Ok(()) => {}
@@ -719,6 +727,76 @@ fn bench() -> Vec<Table> {
     vec![t, cp]
 }
 
+fn cache() -> Vec<Table> {
+    use crate::cache_run::{run_cache_sweep, run_cached, CacheWorkload};
+    use cam_telemetry::trace::{chrome_trace, validate_chrome_trace};
+    use cam_telemetry::FlightRecorder;
+    use std::sync::Arc;
+
+    let reports = run_cache_sweep(&[256, 2048]);
+    let mut t = Table::new(
+        "Block cache: cache size x workload sweep (cached vs uncached runs)",
+        &[
+            "workload",
+            "slots",
+            "accesses",
+            "uncached subs",
+            "cached subs",
+            "ratio",
+            "hit rate",
+            "coalesced",
+            "ra accuracy",
+            "read mean delta",
+        ],
+    );
+    for r in &reports {
+        t.row(vec![
+            r.workload.into(),
+            r.slots.to_string(),
+            r.accesses.to_string(),
+            r.uncached_submissions.to_string(),
+            r.cached_submissions.to_string(),
+            format!("{:.2}x", r.submission_ratio()),
+            pct(r.cache_hit_rate),
+            r.coalesced_misses.to_string(),
+            match r.readahead_accuracy {
+                Some(a) => pct(a),
+                None => "-".into(),
+            },
+            format!(
+                "{:+.0}%",
+                (r.cached_read_mean_ns / r.uncached_read_mean_ns.max(1.0) - 1.0) * 100.0
+            ),
+        ]);
+    }
+    t.note("subs = NVMe commands submitted; cached runs include readahead traffic");
+
+    // A recorded cached run, exported through the Chrome-trace pipeline and
+    // self-validated before writing — the cache events (access / evict /
+    // readahead / flush instants) must satisfy the PR-2 trace validator.
+    let rec = Arc::new(FlightRecorder::new());
+    let _ = run_cached(CacheWorkload::SeqScan, 1024, Some(Arc::clone(&rec)));
+    let trace = chrome_trace(&rec.snapshot(), &rec.thread_names());
+    let path = "cache_trace.json";
+    match validate_chrome_trace(&trace) {
+        Ok(summary) => {
+            match std::fs::write(path, &trace) {
+                Ok(()) => {}
+                Err(e) => eprintln!("warning: could not write {path}: {e}"),
+            }
+            t.note(format!(
+                "cached-mode trace valid: {} events across {} tracks, written to {path}",
+                summary.events,
+                summary.named_tracks.len(),
+            ));
+        }
+        Err(e) => {
+            t.note(format!("cached-mode trace FAILED validation: {e}"));
+        }
+    }
+    vec![t]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -729,7 +807,7 @@ mod tests {
         for want in [
             "tab1", "fig1", "fig2", "fig3", "fig4", "tab3", "tab4", "tab5", "fig8", "fig9",
             "fig10", "tab6", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "issue2",
-            "motiv",
+            "motiv", "bench", "cache",
         ] {
             assert!(ids.contains(&want), "missing {want}");
         }

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod cache_run;
 pub mod figures;
 mod table;
 pub mod telemetry_run;

@@ -132,8 +132,14 @@ pub fn run_traced(rounds: u64, batch: u64) -> (TelemetryRun, String) {
 }
 
 /// Renders the `BENCH_repro.json` report: workload shape, throughput, and
-/// p50/p99 for every protocol stage and for the doorbell→retire span.
-pub fn bench_json(run: &TelemetryRun) -> String {
+/// p50/p99 for every protocol stage and for the doorbell→retire span. When
+/// `cache` carries sweep results (see [`crate::cache_run`]), a `"cache"`
+/// section records per-workload hit rate, coalesced misses, readahead
+/// accuracy, and the cached-vs-uncached submission/latency deltas.
+pub fn bench_json(
+    run: &TelemetryRun,
+    cache: Option<&[crate::cache_run::CacheWorkloadReport]>,
+) -> String {
     let mut out = String::with_capacity(2048);
     out.push_str("{\n");
     let _ = writeln!(
@@ -186,6 +192,10 @@ pub fn bench_json(run: &TelemetryRun) -> String {
         );
     }
     out.push_str("  }");
+    if let Some(reports) = cache {
+        out.push_str(",\n  \"cache\": ");
+        out.push_str(&crate::cache_run::cache_section_json(reports));
+    }
     // Per-channel doorbell→retire latency attribution, only available when
     // the run carried a flight recorder.
     if !run.events.is_empty() {
@@ -221,7 +231,7 @@ mod tests {
     #[test]
     fn bench_json_is_balanced_and_complete() {
         let run = run_instrumented(2, 8);
-        let json = bench_json(&run);
+        let json = bench_json(&run, None);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         for key in [
             "\"workload\"",
@@ -252,7 +262,7 @@ mod tests {
             .filter(|e| matches!(e.kind, cam_telemetry::EventKind::BatchRetire { .. }))
             .count();
         assert_eq!(retires, 6);
-        let json = bench_json(&run);
+        let json = bench_json(&run, None);
         assert!(
             json.contains("\"critical_path\""),
             "missing section: {json}"

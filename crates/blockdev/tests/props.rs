@@ -47,6 +47,29 @@ proptest! {
         }
     }
 
+    /// The RAID-0 stripe map round-trips: reconstructing the array LBA from
+    /// the (member, member-LBA) pair the map produced always recovers the
+    /// original address — the forward map and its inverse agree.
+    #[test]
+    fn raid0_map_round_trips(n in 1usize..8, stripe in 1u64..16) {
+        let children: Vec<Arc<dyn BlockStore>> = (0..n)
+            .map(|_| Arc::new(SparseMemStore::new(BlockGeometry::new(512, 256)))
+                as Arc<dyn BlockStore>)
+            .collect();
+        let r = Raid0::new(children, stripe);
+        let blocks = r.geometry().blocks.min(2048);
+        for lba in 0..blocks {
+            let (child, clba) = r.map(Lba(lba));
+            // Inverse of the stripe math: member stripe index back to the
+            // array stripe index, plus the within-stripe offset.
+            let within = clba.index() % stripe;
+            let child_stripe = clba.index() / stripe;
+            let array_stripe = child_stripe * n as u64 + child as u64;
+            let back = array_stripe * stripe + within;
+            prop_assert_eq!(back, lba, "map({}) = ({}, {}) did not invert", lba, child, clba.index());
+        }
+    }
+
     /// RAID-0 behaves exactly like one flat store for any aligned access.
     #[test]
     fn raid0_equals_flat_store(

@@ -1,0 +1,521 @@
+//! [`BlockCache`] — a sharded, lock-striped block cache over pinned GPU
+//! memory, keyed by array LBA.
+//!
+//! Each shard owns a contiguous range of fixed-size slots inside one pinned
+//! [`GpuBuffer`] plus a private mutex, so lookups on different shards never
+//! contend. Within a shard:
+//!
+//! * **CLOCK eviction** — a hand sweeps the shard's slots; referenced slots
+//!   get a second chance, pinned or filling slots are never reclaimed, and
+//!   dirty slots are skipped (the caller flushes and retries on
+//!   [`Lookup::NeedFlush`]).
+//! * **Refcount pinning** — [`SlotPin`] holds a per-slot refcount; a pinned
+//!   block is never evicted mid-use.
+//! * **In-flight coalescing** — a miss transitions the slot to *Filling*
+//!   and hands the caller a [`FillTicket`]; concurrent lookups for the same
+//!   LBA get a [`SlotWait`] that blocks on the shard condvar until the one
+//!   outstanding NVMe fill completes, so N racing misses cost one request.
+//! * **Dirty tracking** — `write_back` data is absorbed into slots marked
+//!   dirty and flushed lazily via [`BlockCache::take_dirty`].
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+use cam_gpu::GpuBuffer;
+use cam_telemetry::{EventKind, FlightRecorder, MetricsRegistry};
+
+use crate::config::CacheConfig;
+use crate::metrics::CacheMetrics;
+
+/// Outcome of a [`BlockCache::lookup`].
+pub enum Lookup {
+    /// The block is resident; the pin keeps it so until dropped.
+    Hit(SlotPin),
+    /// A slot was reserved for this LBA; the caller owns the one fill.
+    Miss(FillTicket),
+    /// Another caller is already filling this LBA — wait instead of issuing
+    /// a second NVMe request.
+    InFlight(SlotWait),
+    /// No clean slot could be reclaimed, but dirty unpinned slots exist:
+    /// flush (see [`BlockCache::take_dirty`]) and retry.
+    NeedFlush,
+    /// Every slot in the LBA's shard is pinned or filling; the caller must
+    /// fall back to an uncached transfer or drain pins first.
+    Busy,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SlotState {
+    Free,
+    Filling,
+    Resident,
+}
+
+struct Slot {
+    lba: u64,
+    state: SlotState,
+    referenced: bool,
+    dirty: bool,
+    /// Set by speculative (readahead) fills, cleared by the first demand
+    /// access — the signal behind `cam_cache_readahead_hits_total`.
+    speculative: bool,
+    pins: u32,
+}
+
+struct Shard {
+    map: HashMap<u64, usize>,
+    slots: Vec<Slot>,
+    /// Global index of `slots[0]` (slot addresses are computed globally).
+    base: usize,
+    hand: usize,
+}
+
+struct ShardLock {
+    state: Mutex<Shard>,
+    /// Signalled whenever a fill completes or aborts.
+    filled: Condvar,
+}
+
+struct Inner {
+    buf: GpuBuffer,
+    block_size: u32,
+    shards: Vec<ShardLock>,
+    metrics: CacheMetrics,
+    recorder: Option<Arc<FlightRecorder>>,
+}
+
+/// The sharded block cache. Cheap to clone (an `Arc` handle).
+#[derive(Clone)]
+pub struct BlockCache {
+    inner: Arc<Inner>,
+}
+
+impl BlockCache {
+    /// Builds a cache over `buf`, which must hold at least `cfg.slots`
+    /// blocks of `block_size` bytes of pinned (DMA-able) memory.
+    pub fn new(
+        buf: GpuBuffer,
+        block_size: u32,
+        cfg: CacheConfig,
+        registry: &MetricsRegistry,
+        recorder: Option<Arc<FlightRecorder>>,
+    ) -> Self {
+        assert!(cfg.slots >= 1, "cache needs at least one slot");
+        let shards = cfg.shards.clamp(1, cfg.slots);
+        assert!(
+            buf.capacity() >= cfg.slots * block_size as usize,
+            "cache buffer too small: {} < {} slots x {} B",
+            buf.capacity(),
+            cfg.slots,
+            block_size
+        );
+        let metrics = CacheMetrics::new(registry);
+        metrics.slots.set(cfg.slots as u64);
+        let per = cfg.slots / shards;
+        let rem = cfg.slots % shards;
+        let mut base = 0usize;
+        let shard_locks = (0..shards)
+            .map(|s| {
+                let count = per + usize::from(s < rem);
+                let shard = Shard {
+                    map: HashMap::with_capacity(count),
+                    slots: (0..count)
+                        .map(|_| Slot {
+                            lba: 0,
+                            state: SlotState::Free,
+                            referenced: false,
+                            dirty: false,
+                            speculative: false,
+                            pins: 0,
+                        })
+                        .collect(),
+                    base,
+                    hand: 0,
+                };
+                base += count;
+                ShardLock {
+                    state: Mutex::new(shard),
+                    filled: Condvar::new(),
+                }
+            })
+            .collect();
+        BlockCache {
+            inner: Arc::new(Inner {
+                buf,
+                block_size,
+                shards: shard_locks,
+                metrics,
+                recorder,
+            }),
+        }
+    }
+
+    /// The cache's metric bundle (registered in the registry passed to
+    /// [`new`](Self::new)).
+    pub fn metrics(&self) -> &CacheMetrics {
+        &self.inner.metrics
+    }
+
+    /// Block size in bytes.
+    pub fn block_size(&self) -> u32 {
+        self.inner.block_size
+    }
+
+    /// Pinned address of global slot index `idx`.
+    fn slot_addr(&self, idx: usize) -> u64 {
+        self.inner.buf.addr() + idx as u64 * self.inner.block_size as u64
+    }
+
+    /// Multiplicative hash so strided LBA streams still spread over shards.
+    fn shard_of(&self, lba: u64) -> usize {
+        let h = lba.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        (h as usize) % self.inner.shards.len()
+    }
+
+    /// Whether `lba` currently has a slot (resident *or* filling). Racy by
+    /// nature — use only as a cheap filter (readahead candidate selection).
+    pub fn contains(&self, lba: u64) -> bool {
+        let sl = &self.inner.shards[self.shard_of(lba)];
+        sl.state.lock().unwrap().map.contains_key(&lba)
+    }
+
+    /// Classifies `lba`: resident (pin returned), absent (fill ticket
+    /// returned, slot reserved), or being filled by someone else (waiter
+    /// returned). See [`Lookup`] for the two backpressure outcomes.
+    pub fn lookup(&self, lba: u64) -> Lookup {
+        let si = self.shard_of(lba);
+        let sl = &self.inner.shards[si];
+        let mut s = sl.state.lock().unwrap();
+        if let Some(&idx) = s.map.get(&lba) {
+            match s.slots[idx].state {
+                SlotState::Resident => {
+                    let addr = self.slot_addr(s.base + idx);
+                    let slot = &mut s.slots[idx];
+                    slot.pins += 1;
+                    slot.referenced = true;
+                    if slot.speculative {
+                        slot.speculative = false;
+                        self.inner.metrics.readahead_hits.inc();
+                    }
+                    return Lookup::Hit(SlotPin {
+                        cache: self.clone(),
+                        shard: si,
+                        idx,
+                        lba,
+                        addr,
+                    });
+                }
+                SlotState::Filling => {
+                    return Lookup::InFlight(SlotWait {
+                        cache: self.clone(),
+                        shard: si,
+                        lba,
+                    });
+                }
+                // A mapped Free slot cannot happen (fill aborts unmap), but
+                // recover by dropping the stale mapping and allocating.
+                SlotState::Free => {
+                    s.map.remove(&lba);
+                }
+            }
+        }
+        // CLOCK sweep: two passes so every referenced bit can be cleared
+        // once before giving up.
+        let len = s.slots.len();
+        let mut dirty_seen = false;
+        let mut found = None;
+        for _ in 0..2 * len {
+            let idx = s.hand;
+            s.hand = (s.hand + 1) % len;
+            let (state, pins, referenced, dirty, old_lba) = {
+                let sl = &s.slots[idx];
+                (sl.state, sl.pins, sl.referenced, sl.dirty, sl.lba)
+            };
+            match state {
+                SlotState::Free => {
+                    found = Some(idx);
+                    break;
+                }
+                SlotState::Filling => continue,
+                SlotState::Resident => {
+                    if pins > 0 {
+                        continue;
+                    }
+                    if referenced {
+                        s.slots[idx].referenced = false;
+                        continue;
+                    }
+                    if dirty {
+                        dirty_seen = true;
+                        continue;
+                    }
+                    s.map.remove(&old_lba);
+                    self.inner.metrics.evictions.inc();
+                    if let Some(rec) = &self.inner.recorder {
+                        rec.emit(EventKind::CacheEvict {
+                            lba: old_lba,
+                            dirty: false,
+                        });
+                    }
+                    found = Some(idx);
+                    break;
+                }
+            }
+        }
+        match found {
+            Some(idx) => {
+                let addr = self.slot_addr(s.base + idx);
+                let slot = &mut s.slots[idx];
+                slot.lba = lba;
+                slot.state = SlotState::Filling;
+                slot.referenced = false;
+                slot.dirty = false;
+                slot.speculative = false;
+                slot.pins = 0;
+                s.map.insert(lba, idx);
+                Lookup::Miss(FillTicket {
+                    cache: self.clone(),
+                    shard: si,
+                    idx,
+                    lba,
+                    addr,
+                    done: false,
+                })
+            }
+            None if dirty_seen => Lookup::NeedFlush,
+            None => Lookup::Busy,
+        }
+    }
+
+    /// Claims up to `max` dirty, unpinned, resident slots for a flush: each
+    /// comes back pinned (so eviction and concurrent flushes skip it) with
+    /// its dirty bit already cleared — a racing `write_back` re-dirties the
+    /// slot and the *next* flush picks it up again.
+    pub fn take_dirty(&self, max: usize) -> Vec<SlotPin> {
+        let mut out = Vec::new();
+        for (si, sl) in self.inner.shards.iter().enumerate() {
+            if out.len() >= max {
+                break;
+            }
+            let mut s = sl.state.lock().unwrap();
+            let base = s.base;
+            for idx in 0..s.slots.len() {
+                if out.len() >= max {
+                    break;
+                }
+                let slot = &mut s.slots[idx];
+                if slot.state == SlotState::Resident && slot.dirty && slot.pins == 0 {
+                    slot.dirty = false;
+                    slot.pins = 1;
+                    let lba = slot.lba;
+                    out.push(SlotPin {
+                        cache: self.clone(),
+                        shard: si,
+                        idx,
+                        lba,
+                        addr: self.slot_addr(base + idx),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of dirty resident blocks (flush-loop termination check).
+    pub fn dirty_blocks(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|sl| {
+                let s = sl.state.lock().unwrap();
+                s.slots
+                    .iter()
+                    .filter(|sl| sl.state == SlotState::Resident && sl.dirty)
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Number of resident blocks.
+    pub fn resident_blocks(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|sl| {
+                let s = sl.state.lock().unwrap();
+                s.slots
+                    .iter()
+                    .filter(|sl| sl.state == SlotState::Resident)
+                    .count()
+            })
+            .sum()
+    }
+}
+
+/// A resident block, pinned against eviction until dropped.
+pub struct SlotPin {
+    cache: BlockCache,
+    shard: usize,
+    idx: usize,
+    lba: u64,
+    addr: u64,
+}
+
+impl SlotPin {
+    /// Pinned GPU-memory address of the cached block.
+    pub fn addr(&self) -> u64 {
+        self.addr
+    }
+
+    /// Array LBA of the cached block.
+    pub fn lba(&self) -> u64 {
+        self.lba
+    }
+
+    /// Marks the block dirty (its slot now differs from the array).
+    pub fn mark_dirty(&self) {
+        let sl = &self.cache.inner.shards[self.shard];
+        sl.state.lock().unwrap().slots[self.idx].dirty = true;
+    }
+}
+
+impl Drop for SlotPin {
+    fn drop(&mut self) {
+        let sl = &self.cache.inner.shards[self.shard];
+        let mut s = sl.state.lock().unwrap();
+        let slot = &mut s.slots[self.idx];
+        debug_assert!(slot.pins > 0, "unbalanced SlotPin drop");
+        slot.pins = slot.pins.saturating_sub(1);
+    }
+}
+
+/// Ownership of the one NVMe fill for a missed LBA. DMA the block into
+/// [`addr`](Self::addr), then [`complete`](Self::complete). Dropping the
+/// ticket without completing aborts the fill: the slot is freed and every
+/// [`SlotWait`] is woken (they observe the abort and fall back).
+pub struct FillTicket {
+    cache: BlockCache,
+    shard: usize,
+    idx: usize,
+    lba: u64,
+    addr: u64,
+    done: bool,
+}
+
+impl FillTicket {
+    /// Pinned GPU-memory address the fill must land at.
+    pub fn addr(&self) -> u64 {
+        self.addr
+    }
+
+    /// Array LBA being filled.
+    pub fn lba(&self) -> u64 {
+        self.lba
+    }
+
+    /// Publishes the filled block as resident and returns it pinned.
+    /// `dirty` marks slots populated from host data (write absorption)
+    /// rather than from the array.
+    pub fn complete(mut self, dirty: bool) -> SlotPin {
+        self.done = true;
+        let sl = &self.cache.inner.shards[self.shard];
+        {
+            let mut s = sl.state.lock().unwrap();
+            let slot = &mut s.slots[self.idx];
+            slot.state = SlotState::Resident;
+            slot.dirty = dirty;
+            slot.referenced = true;
+            slot.speculative = false;
+            slot.pins = 1;
+        }
+        sl.filled.notify_all();
+        SlotPin {
+            cache: self.cache.clone(),
+            shard: self.shard,
+            idx: self.idx,
+            lba: self.lba,
+            addr: self.addr,
+        }
+    }
+
+    /// Publishes a speculative (readahead) fill: resident, unpinned, and
+    /// flagged so the first demand access counts as a readahead hit.
+    pub fn complete_speculative(mut self) {
+        self.done = true;
+        let sl = &self.cache.inner.shards[self.shard];
+        {
+            let mut s = sl.state.lock().unwrap();
+            let slot = &mut s.slots[self.idx];
+            slot.state = SlotState::Resident;
+            slot.dirty = false;
+            slot.referenced = true;
+            slot.speculative = true;
+            slot.pins = 0;
+        }
+        sl.filled.notify_all();
+    }
+}
+
+impl Drop for FillTicket {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        let sl = &self.cache.inner.shards[self.shard];
+        {
+            let mut s = sl.state.lock().unwrap();
+            s.map.remove(&self.lba);
+            let slot = &mut s.slots[self.idx];
+            slot.state = SlotState::Free;
+            slot.dirty = false;
+            slot.speculative = false;
+            slot.pins = 0;
+        }
+        sl.filled.notify_all();
+    }
+}
+
+/// A coalesced miss: the LBA is being filled by another caller's
+/// [`FillTicket`]. [`wait`](Self::wait) blocks until that fill resolves.
+pub struct SlotWait {
+    cache: BlockCache,
+    shard: usize,
+    lba: u64,
+}
+
+impl SlotWait {
+    /// Blocks until the in-flight fill completes (returns the block pinned)
+    /// or aborts (returns `None`; the caller must fetch the block itself).
+    pub fn wait(self) -> Option<SlotPin> {
+        let sl = &self.cache.inner.shards[self.shard];
+        let mut s = sl.state.lock().unwrap();
+        loop {
+            match s.map.get(&self.lba).copied() {
+                None => return None,
+                Some(idx) => match s.slots[idx].state {
+                    SlotState::Resident => {
+                        let addr = self.cache.slot_addr(s.base + idx);
+                        let slot = &mut s.slots[idx];
+                        slot.pins += 1;
+                        slot.referenced = true;
+                        if slot.speculative {
+                            slot.speculative = false;
+                            self.cache.inner.metrics.readahead_hits.inc();
+                        }
+                        return Some(SlotPin {
+                            cache: self.cache.clone(),
+                            shard: self.shard,
+                            idx,
+                            lba: self.lba,
+                            addr,
+                        });
+                    }
+                    SlotState::Filling => {
+                        s = sl.filled.wait(s).unwrap();
+                    }
+                    SlotState::Free => return None,
+                },
+            }
+        }
+    }
+}

@@ -1,0 +1,568 @@
+//! [`CachedDevice`] — the cached data path over an unchanged CAM doorbell
+//! protocol — and [`CachedBackend`], its [`StorageBackend`] adapter.
+//!
+//! Hits are served straight from pinned GPU memory (no doorbell round
+//! trip); misses are batched into one demand read per `prefetch`, DMA'd by
+//! the SSDs **directly into cache slots**, and copied to the caller's
+//! destination at synchronize. `write_back` is absorbed into dirty slots
+//! and flushed lazily. Speculative readahead batches ride a third channel
+//! so they never occupy the demand channels.
+
+use std::sync::{Arc, Mutex};
+
+use cam_core::{BatchTicket, CamContext, CamDevice, CamError, ChannelOp};
+use cam_gpu::OutOfMemory;
+use cam_hostos::IoDir;
+use cam_iostacks::{BackendError, IoRequest, Rig, StorageBackend};
+use cam_nvme::spec::Status;
+use cam_nvme::DmaSpace;
+use cam_telemetry::{EventKind, FlightRecorder};
+
+use crate::cache::{BlockCache, FillTicket, Lookup, SlotWait};
+use crate::config::CacheConfig;
+use crate::readahead::ReadaheadEngine;
+
+/// Fig. 7 channel conventions, shared with `cam_core`.
+const READ_CHANNEL: usize = 0;
+const WRITE_CHANNEL: usize = 1;
+/// Speculative traffic rides its own channel so readahead never makes a
+/// demand `prefetch` see `ChannelBusy`.
+const READAHEAD_CHANNEL: usize = 2;
+
+/// One outstanding demand read batch and its pending resolutions.
+struct ReadBatch {
+    /// `None` when every access was a hit or coalesced (no NVMe traffic).
+    ticket: Option<BatchTicket>,
+    /// Misses owned by this batch: fill ticket + caller destination.
+    fills: Vec<(FillTicket, u64)>,
+    /// Coalesced misses: waiter + `(lba, destination)` for the fallback.
+    waits: Vec<(SlotWait, u64, u64)>,
+}
+
+struct DevState {
+    read: Option<ReadBatch>,
+    ra: ReadaheadEngine,
+    /// The single outstanding speculative batch, if any.
+    ra_outstanding: Option<(BatchTicket, Vec<FillTicket>)>,
+    /// `readahead_hits` counter value when the last batch was issued, and
+    /// that batch's size — the accuracy sample fed back to the engine.
+    ra_hits_at_issue: u64,
+    ra_last_issue: u32,
+}
+
+/// The cached device-side API: drop-in `prefetch` / `write_back` /
+/// `*_synchronize` with a [`BlockCache`] in front of the doorbell protocol.
+///
+/// Thread-safe (`&self` everywhere), but like [`CamDevice`] it carries
+/// single-outstanding-batch semantics: one un-synchronized `prefetch` at a
+/// time.
+pub struct CachedDevice {
+    dev: CamDevice,
+    cache: BlockCache,
+    dma: Arc<dyn DmaSpace>,
+    block_size: u64,
+    /// Array capacity in blocks — readahead never speculates past the end.
+    array_blocks: u64,
+    ra_enabled: bool,
+    ra_budget: u32,
+    flush_batch: usize,
+    recorder: Option<Arc<FlightRecorder>>,
+    state: Mutex<DevState>,
+}
+
+impl CachedDevice {
+    /// Builds the cached layer over an attached context: allocates
+    /// `cfg.slots` blocks of pinned GPU memory for the cache and wires the
+    /// context's registry/recorder through. `attach` itself is untouched —
+    /// this is the opt-in path.
+    ///
+    /// Readahead requires `CamConfig::n_channels >= 3` (the speculative
+    /// channel); with fewer channels it is silently disabled.
+    pub fn attach(rig: &Rig, cam: &CamContext, cfg: CacheConfig) -> Result<Self, OutOfMemory> {
+        let buf = cam.alloc(cfg.slots * cam.block_size() as usize)?;
+        let cache = BlockCache::new(
+            buf,
+            cam.block_size(),
+            cfg,
+            cam.registry(),
+            cam.recorder().cloned(),
+        );
+        Ok(Self::over_cache(rig, cam, cache, cfg))
+    }
+
+    /// [`attach`](Self::attach) with a caller-built cache (shared caches,
+    /// tests).
+    pub fn over_cache(rig: &Rig, cam: &CamContext, cache: BlockCache, cfg: CacheConfig) -> Self {
+        let dev = cam.device();
+        let ra_enabled = cfg.readahead.enable && dev.n_channels() > READAHEAD_CHANNEL;
+        CachedDevice {
+            dev,
+            cache,
+            dma: rig.dma_space(),
+            block_size: cam.block_size() as u64,
+            array_blocks: rig.array_blocks(),
+            ra_enabled,
+            ra_budget: cfg.readahead.budget_blocks.max(1),
+            flush_batch: cfg.flush_batch.max(1),
+            recorder: cam.recorder().cloned(),
+            state: Mutex::new(DevState {
+                read: None,
+                ra: ReadaheadEngine::new(cfg.readahead),
+                ra_outstanding: None,
+                ra_hits_at_issue: 0,
+                ra_last_issue: 0,
+            }),
+        }
+    }
+
+    /// The cache behind this device.
+    pub fn cache(&self) -> &BlockCache {
+        &self.cache
+    }
+
+    /// Array block size in bytes.
+    pub fn block_size(&self) -> u64 {
+        self.block_size
+    }
+
+    /// Cached `prefetch`: block `i` of `lbas` lands at `dest_addr + i *
+    /// block_size`, from cache when resident, from the SSDs otherwise.
+    pub fn prefetch(&self, lbas: &[u64], dest_addr: u64) -> Result<(), CamError> {
+        let pairs: Vec<(u64, u64)> = lbas
+            .iter()
+            .enumerate()
+            .map(|(i, &lba)| (lba, dest_addr + i as u64 * self.block_size))
+            .collect();
+        self.prefetch_pairs(&pairs)
+    }
+
+    /// Cached `prefetch` with an explicit destination per block.
+    pub fn prefetch_pairs(&self, pairs: &[(u64, u64)]) -> Result<(), CamError> {
+        if pairs.is_empty() {
+            return Ok(());
+        }
+        let mut st = self.state.lock().unwrap();
+        if st.read.is_some() {
+            return Err(CamError::ChannelBusy);
+        }
+        self.reap_readahead(&mut st, false);
+
+        let m = self.cache.metrics();
+        let (mut hits, mut misses, mut coalesced) = (0u32, 0u32, 0u32);
+        let mut fills: Vec<(FillTicket, u64)> = Vec::new();
+        let mut waits: Vec<(SlotWait, u64, u64)> = Vec::new();
+        let mut direct: Vec<(u64, u64)> = Vec::new();
+        for &(lba, dest) in pairs {
+            loop {
+                match self.cache.lookup(lba) {
+                    Lookup::Hit(pin) => {
+                        self.copy_block(pin.addr(), dest)?;
+                        hits += 1;
+                        break;
+                    }
+                    Lookup::Miss(t) => {
+                        fills.push((t, dest));
+                        misses += 1;
+                        break;
+                    }
+                    Lookup::InFlight(w) => {
+                        waits.push((w, lba, dest));
+                        coalesced += 1;
+                        break;
+                    }
+                    Lookup::NeedFlush => self.flush_locked()?,
+                    Lookup::Busy => {
+                        // Shard exhausted by pins/fills: serve this block
+                        // uncached rather than stall the batch.
+                        direct.push((lba, dest));
+                        misses += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        m.hits.add(hits as u64);
+        m.misses.add(misses as u64);
+        m.coalesced.add(coalesced as u64);
+        if let Some(rec) = &self.recorder {
+            rec.emit(EventKind::CacheAccess {
+                channel: READ_CHANNEL as u16,
+                hits,
+                misses,
+                coalesced,
+            });
+        }
+
+        // One demand batch covers every real miss: fills DMA into their
+        // cache slots, uncached fallbacks into the caller's buffer.
+        let ticket = if fills.is_empty() && direct.is_empty() {
+            None
+        } else {
+            let mut lbas = Vec::with_capacity(fills.len() + direct.len());
+            let mut addrs = Vec::with_capacity(fills.len() + direct.len());
+            for (t, _) in &fills {
+                lbas.push(t.lba());
+                addrs.push(t.addr());
+            }
+            for &(lba, dest) in &direct {
+                lbas.push(lba);
+                addrs.push(dest);
+            }
+            Some(
+                self.dev
+                    .submit_scatter(READ_CHANNEL, ChannelOp::Read, &lbas, |i| addrs[i], 1)?,
+            )
+        };
+        st.read = Some(ReadBatch {
+            ticket,
+            fills,
+            waits,
+        });
+        self.maybe_readahead(&mut st, pairs[0].0);
+        Ok(())
+    }
+
+    /// Blocks until the outstanding `prefetch` is fully resolved: the
+    /// demand batch retired, every fill published to the cache, and every
+    /// destination populated.
+    pub fn prefetch_synchronize(&self) -> Result<(), CamError> {
+        let mut st = self.state.lock().unwrap();
+        self.synchronize_read_locked(&mut st)
+    }
+
+    fn synchronize_read_locked(&self, st: &mut DevState) -> Result<(), CamError> {
+        let Some(rb) = st.read.take() else {
+            return Ok(());
+        };
+        let mut result = Ok(());
+        if let Some(t) = rb.ticket {
+            result = t.wait();
+        }
+        for (fill, dest) in rb.fills {
+            if result.is_ok() {
+                let pin = fill.complete(false);
+                result = self.copy_block(pin.addr(), dest);
+            }
+            // On error the fill ticket drops un-completed, freeing the slot
+            // and waking coalesced waiters into their fallback path.
+        }
+        if !rb.waits.is_empty() {
+            // Coalesced waiters may be waiting on speculative fills — make
+            // sure those are published before blocking on the condvar.
+            self.reap_readahead(st, true);
+            for (wait, lba, dest) in rb.waits {
+                match wait.wait() {
+                    Some(pin) => {
+                        let r = self.copy_block(pin.addr(), dest);
+                        if result.is_ok() {
+                            result = r;
+                        }
+                    }
+                    None => {
+                        // The owning fill aborted: fetch the block
+                        // uncached so the caller still gets its data.
+                        let r = self
+                            .dev
+                            .submit_scatter(READ_CHANNEL, ChannelOp::Read, &[lba], |_| dest, 1)
+                            .and_then(|t| t.wait());
+                        if result.is_ok() {
+                            result = r;
+                        }
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// Cached `write_back`: block `i` at `src_addr + i * block_size` is
+    /// absorbed into a dirty cache slot for `lbas[i]` — no SSD I/O until a
+    /// flush. Visible to subsequent cached reads immediately on return.
+    pub fn write_back(&self, lbas: &[u64], src_addr: u64) -> Result<(), CamError> {
+        let pairs: Vec<(u64, u64)> = lbas
+            .iter()
+            .enumerate()
+            .map(|(i, &lba)| (lba, src_addr + i as u64 * self.block_size))
+            .collect();
+        self.write_back_pairs(&pairs)
+    }
+
+    /// Cached `write_back` with an explicit source per block.
+    pub fn write_back_pairs(&self, pairs: &[(u64, u64)]) -> Result<(), CamError> {
+        if pairs.is_empty() {
+            return Ok(());
+        }
+        let mut st = self.state.lock().unwrap();
+        // A pending prefetch may hold fills for the very LBAs being
+        // written; resolve it first so absorb-over-fill is ordered.
+        self.synchronize_read_locked(&mut st)?;
+        self.reap_readahead(&mut st, false);
+        let mut absorbed = 0u64;
+        let mut direct: Vec<(u64, u64)> = Vec::new();
+        for &(lba, src) in pairs {
+            loop {
+                match self.cache.lookup(lba) {
+                    Lookup::Hit(pin) => {
+                        self.copy_block(src, pin.addr())?;
+                        pin.mark_dirty();
+                        absorbed += 1;
+                        break;
+                    }
+                    Lookup::Miss(t) => {
+                        // Write-allocate: the slot is born dirty from host
+                        // data, no fill from the array needed.
+                        self.copy_block(src, t.addr())?;
+                        drop(t.complete(true));
+                        absorbed += 1;
+                        break;
+                    }
+                    Lookup::InFlight(w) => {
+                        // A speculative fill is racing this write: wait it
+                        // out, then overwrite. Aborted fills retry.
+                        self.reap_readahead(&mut st, true);
+                        if let Some(pin) = w.wait() {
+                            self.copy_block(src, pin.addr())?;
+                            pin.mark_dirty();
+                            absorbed += 1;
+                            break;
+                        }
+                    }
+                    Lookup::NeedFlush => self.flush_locked()?,
+                    Lookup::Busy => {
+                        direct.push((lba, src));
+                        break;
+                    }
+                }
+            }
+        }
+        self.cache.metrics().write_absorbed.add(absorbed);
+        if !direct.is_empty() {
+            // Write-through fallback for exhausted shards, synchronous so
+            // ordering against later absorbed writes holds.
+            let lbas: Vec<u64> = direct.iter().map(|&(lba, _)| lba).collect();
+            let addrs: Vec<u64> = direct.iter().map(|&(_, src)| src).collect();
+            self.dev
+                .submit_scatter(WRITE_CHANNEL, ChannelOp::Write, &lbas, |i| addrs[i], 1)?
+                .wait()?;
+        }
+        Ok(())
+    }
+
+    /// With absorption, `write_back` returns with the data already visible
+    /// to cached reads; durability on the array is [`flush`](Self::flush)'s
+    /// job. This is a deliberate semantic shift from the uncached device —
+    /// kept as a method so call sites stay source-compatible.
+    pub fn write_back_synchronize(&self) -> Result<(), CamError> {
+        Ok(())
+    }
+
+    /// Writes every dirty block back to the array (batched on the write
+    /// channel) and blocks until durable.
+    pub fn flush(&self) -> Result<(), CamError> {
+        let _st = self.state.lock().unwrap();
+        self.flush_locked()
+    }
+
+    /// Flush loop body; callers hold the state lock (or are inside a state
+    /// lock already) so flush batches never interleave.
+    fn flush_locked(&self) -> Result<(), CamError> {
+        loop {
+            let pins = self.cache.take_dirty(self.flush_batch);
+            if pins.is_empty() {
+                return Ok(());
+            }
+            let lbas: Vec<u64> = pins.iter().map(|p| p.lba()).collect();
+            let addrs: Vec<u64> = pins.iter().map(|p| p.addr()).collect();
+            self.dev
+                .submit_scatter(WRITE_CHANNEL, ChannelOp::Write, &lbas, |i| addrs[i], 1)?
+                .wait()?;
+            self.cache.metrics().flushed_blocks.add(lbas.len() as u64);
+            if let Some(rec) = &self.recorder {
+                rec.emit(EventKind::CacheFlush {
+                    blocks: lbas.len() as u32,
+                });
+            }
+            drop(pins);
+        }
+    }
+
+    /// Collects a finished speculative batch: publishes its fills as
+    /// resident speculative blocks (or aborts them if the batch errored).
+    /// With `block`, waits for an unfinished batch instead of leaving it.
+    fn reap_readahead(&self, st: &mut DevState, block: bool) {
+        let Some((ticket, fills)) = st.ra_outstanding.take() else {
+            return;
+        };
+        if !block && !ticket.is_done() {
+            st.ra_outstanding = Some((ticket, fills));
+            return;
+        }
+        match ticket.wait() {
+            Ok(()) => {
+                for f in fills {
+                    f.complete_speculative();
+                }
+            }
+            // Errored speculation: drop the tickets so the slots free up
+            // and any waiter falls back to a demand fetch.
+            Err(_) => drop(fills),
+        }
+    }
+
+    /// Feeds the stream detector and issues at most one speculative batch.
+    fn maybe_readahead(&self, st: &mut DevState, batch_start: u64) {
+        if !self.ra_enabled {
+            return;
+        }
+        let m = self.cache.metrics();
+        // Close the accuracy loop on the previous issue before predicting.
+        if st.ra_last_issue > 0 {
+            let acc =
+                (m.readahead_hits.get() - st.ra_hits_at_issue) as f64 / st.ra_last_issue as f64;
+            st.ra.feedback(acc);
+            st.ra_last_issue = 0;
+        }
+        let Some((pred_start, window)) = st.ra.observe(batch_start) else {
+            return;
+        };
+        if st.ra_outstanding.is_some() {
+            return; // single outstanding speculative batch
+        }
+        let mut fills: Vec<FillTicket> = Vec::new();
+        let end = pred_start
+            .saturating_add(window as u64)
+            .min(self.array_blocks);
+        for lba in pred_start..end {
+            if fills.len() >= self.ra_budget as usize {
+                break;
+            }
+            if self.cache.contains(lba) {
+                continue;
+            }
+            match self.cache.lookup(lba) {
+                Lookup::Miss(t) => fills.push(t),
+                Lookup::Hit(pin) => drop(pin),
+                Lookup::InFlight(w) => drop(w),
+                // Never flush or stall for speculation.
+                Lookup::NeedFlush | Lookup::Busy => break,
+            }
+        }
+        if fills.is_empty() {
+            return;
+        }
+        let lbas: Vec<u64> = fills.iter().map(|f| f.lba()).collect();
+        let addrs: Vec<u64> = fills.iter().map(|f| f.addr()).collect();
+        match self
+            .dev
+            .submit_scatter(READAHEAD_CHANNEL, ChannelOp::Read, &lbas, |i| addrs[i], 1)
+        {
+            Ok(ticket) => {
+                m.readahead_issued.add(lbas.len() as u64);
+                st.ra_hits_at_issue = m.readahead_hits.get();
+                st.ra_last_issue = lbas.len() as u32;
+                if let Some(rec) = &self.recorder {
+                    rec.emit(EventKind::Readahead {
+                        lba: pred_start,
+                        blocks: lbas.len() as u32,
+                        window,
+                    });
+                }
+                st.ra_outstanding = Some((ticket, fills));
+            }
+            // Channel busy or batch too large: dropping the fills aborts
+            // them; speculation just skips this round.
+            Err(_) => drop(fills),
+        }
+    }
+
+    /// Host-side copy of one block between pinned addresses (cache slot ↔
+    /// caller buffer), through the same DMA space the SSDs use.
+    fn copy_block(&self, src: u64, dst: u64) -> Result<(), CamError> {
+        let mut buf = vec![0u8; self.block_size as usize];
+        self.dma
+            .dma_read(src, &mut buf)
+            .map_err(|_| CamError::Io { failed: 1 })?;
+        self.dma
+            .dma_write(dst, &buf)
+            .map_err(|_| CamError::Io { failed: 1 })?;
+        Ok(())
+    }
+}
+
+/// [`StorageBackend`] adapter over [`CachedDevice`]: the evaluation
+/// workloads (sort, GEMM, GNN, DLRM) run unchanged with the cache in the
+/// path. Multi-block requests are expanded to per-block cache accesses.
+pub struct CachedBackend {
+    dev: Arc<CachedDevice>,
+    /// Per-submit cap — expansion can exceed the channel's region-1 size.
+    max_batch: usize,
+}
+
+impl CachedBackend {
+    /// Wraps a cached device. `max_batch` must not exceed the context's
+    /// `CamConfig::max_batch`.
+    pub fn new(dev: Arc<CachedDevice>, max_batch: usize) -> Self {
+        CachedBackend {
+            dev,
+            max_batch: max_batch.max(1),
+        }
+    }
+
+    /// The device (for flushes and cache inspection after a run).
+    pub fn device(&self) -> &Arc<CachedDevice> {
+        &self.dev
+    }
+}
+
+fn to_backend(e: CamError) -> BackendError {
+    match e {
+        CamError::BatchTooLarge {
+            requested,
+            capacity,
+        } => BackendError::BatchTooLarge {
+            needed: requested,
+            capacity,
+        },
+        _ => BackendError::Command(Status::DataTransferError),
+    }
+}
+
+impl StorageBackend for CachedBackend {
+    fn name(&self) -> &'static str {
+        "CAM+cache"
+    }
+
+    fn staged_data_path(&self) -> bool {
+        false
+    }
+
+    fn execute_batch(&self, reqs: &[IoRequest]) -> Result<(), BackendError> {
+        let bs = self.dev.block_size();
+        // Preserve request order across direction changes: consecutive
+        // same-direction runs become cached batches.
+        let mut i = 0;
+        while i < reqs.len() {
+            let dir = reqs[i].dir;
+            let mut pairs: Vec<(u64, u64)> = Vec::new();
+            while i < reqs.len() && reqs[i].dir == dir {
+                let r = &reqs[i];
+                for b in 0..r.blocks as u64 {
+                    pairs.push((r.lba + b, r.addr + b * bs));
+                }
+                i += 1;
+            }
+            for chunk in pairs.chunks(self.max_batch) {
+                match dir {
+                    IoDir::Read => {
+                        self.dev.prefetch_pairs(chunk).map_err(to_backend)?;
+                        self.dev.prefetch_synchronize().map_err(to_backend)?;
+                    }
+                    IoDir::Write => {
+                        self.dev.write_back_pairs(chunk).map_err(to_backend)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}

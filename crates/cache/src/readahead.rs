@@ -1,0 +1,149 @@
+//! [`ReadaheadEngine`] — per-channel sequential/strided stream detection
+//! with an accuracy-adapted window.
+//!
+//! Pure decision logic, no I/O: [`CachedDevice`](crate::CachedDevice) feeds
+//! it the start LBA of every demand batch and issues the speculative
+//! batches it suggests.
+
+use crate::config::ReadaheadConfig;
+
+/// Detects a stable stride between successive demand-batch start LBAs and
+/// predicts where the stream goes next.
+#[derive(Debug)]
+pub struct ReadaheadEngine {
+    cfg: ReadaheadConfig,
+    window: u32,
+    last_start: Option<u64>,
+    stride: Option<i64>,
+    /// Consecutive transitions with the same nonzero stride.
+    confirmed: u32,
+}
+
+impl ReadaheadEngine {
+    /// A fresh detector with the configured initial window.
+    pub fn new(cfg: ReadaheadConfig) -> Self {
+        let window = cfg
+            .initial_window
+            .clamp(cfg.min_window.max(1), cfg.max_window.max(1));
+        ReadaheadEngine {
+            cfg,
+            window,
+            last_start: None,
+            stride: None,
+            confirmed: 0,
+        }
+    }
+
+    /// Current speculative window in blocks.
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// Observes a demand batch starting at `start`. Returns
+    /// `Some((predicted_start, blocks))` when the inter-batch stride has
+    /// held for two consecutive transitions — the caller should prefetch
+    /// `blocks` blocks from one stride past `start`.
+    pub fn observe(&mut self, start: u64) -> Option<(u64, u32)> {
+        let prediction = match self.last_start {
+            None => None,
+            Some(prev) => {
+                let stride = start as i64 - prev as i64;
+                if stride != 0 && self.stride == Some(stride) {
+                    self.confirmed += 1;
+                } else {
+                    self.confirmed = 0;
+                }
+                self.stride = Some(stride);
+                // Two stable transitions (three aligned batches) before
+                // speculating; descending streams are not worth chasing.
+                if self.confirmed >= 1 && stride > 0 {
+                    let blocks = self.window.min(self.cfg.budget_blocks.max(1));
+                    Some((start.saturating_add(stride as u64), blocks))
+                } else {
+                    None
+                }
+            }
+        };
+        self.last_start = Some(start);
+        prediction
+    }
+
+    /// Adapts the window from the accuracy of the previous issue (fraction
+    /// of its speculative blocks that served a demand access): ≥ 0.75 grows
+    /// the window ×2, ≤ 0.25 halves it, in between leaves it alone.
+    pub fn feedback(&mut self, accuracy: f64) {
+        if accuracy >= 0.75 {
+            self.window = (self.window.saturating_mul(2)).min(self.cfg.max_window.max(1));
+        } else if accuracy <= 0.25 {
+            self.window = (self.window / 2).max(self.cfg.min_window.max(1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> ReadaheadEngine {
+        ReadaheadEngine::new(ReadaheadConfig::default())
+    }
+
+    #[test]
+    fn sequential_stream_predicts_after_two_stable_strides() {
+        let mut ra = engine();
+        assert_eq!(ra.observe(0), None); // first batch: nothing to compare
+        assert_eq!(ra.observe(32), None); // stride 32 seen once
+        let (start, blocks) = ra.observe(64).expect("stride confirmed");
+        assert_eq!(start, 96);
+        assert_eq!(blocks, ra.window());
+        // The stream keeps predicting as long as the stride holds.
+        assert_eq!(ra.observe(96).map(|p| p.0), Some(128));
+    }
+
+    #[test]
+    fn strided_stream_is_detected_and_random_breaks_it() {
+        let mut ra = engine();
+        ra.observe(10);
+        ra.observe(110);
+        assert_eq!(ra.observe(210).map(|p| p.0), Some(310));
+        // A random jump resets confirmation.
+        assert_eq!(ra.observe(5000), None);
+        assert_eq!(ra.observe(5100), None);
+        assert_eq!(ra.observe(5200).map(|p| p.0), Some(5300));
+    }
+
+    #[test]
+    fn window_adapts_within_bounds() {
+        let cfg = ReadaheadConfig {
+            min_window: 4,
+            initial_window: 8,
+            max_window: 32,
+            ..ReadaheadConfig::default()
+        };
+        let mut ra = ReadaheadEngine::new(cfg);
+        ra.feedback(1.0);
+        assert_eq!(ra.window(), 16);
+        ra.feedback(0.9);
+        ra.feedback(0.9);
+        assert_eq!(ra.window(), 32); // clamped at max
+        ra.feedback(0.5);
+        assert_eq!(ra.window(), 32); // mid accuracy: unchanged
+        ra.feedback(0.0);
+        ra.feedback(0.0);
+        ra.feedback(0.0);
+        ra.feedback(0.0);
+        assert_eq!(ra.window(), 4); // clamped at min
+    }
+
+    #[test]
+    fn descending_and_repeated_streams_never_predict() {
+        let mut ra = engine();
+        ra.observe(300);
+        ra.observe(200);
+        assert_eq!(ra.observe(100), None); // stable but descending
+        let mut ra = engine();
+        ra.observe(50);
+        ra.observe(50);
+        assert_eq!(ra.observe(50), None); // zero stride (repeats = cache hits)
+    }
+}

@@ -1,0 +1,331 @@
+//! End-to-end tests of the cached data path: byte-exactness against the
+//! uncached device, NVMe traffic reduction, write absorption with lazy
+//! durability, in-batch LBA dedup (control-plane side), and the empty-batch
+//! no-op contracts.
+
+use std::sync::Arc;
+
+use cam_blockdev::{BlockStore, Lba};
+use cam_cache::{CacheConfig, CachedBackend, CachedDevice, ReadaheadConfig};
+use cam_core::{CamBackend, CamConfig, CamContext};
+use cam_iostacks::{Rig, RigConfig, StorageBackend};
+use cam_workloads::gemm::{load_matrix, out_of_core_gemm, OocGemmConfig};
+use cam_workloads::sort::{out_of_core_sort, read_elems, OocSortConfig};
+
+const BS: usize = 4096;
+
+fn small_rig(n_ssds: usize) -> Rig {
+    Rig::new(RigConfig {
+        n_ssds,
+        blocks_per_ssd: 4096,
+        ..RigConfig::default()
+    })
+}
+
+/// Attach with the three channels the cached path uses (read, write,
+/// readahead).
+fn cached_setup(rig: &Rig, cache: CacheConfig) -> (CamContext, Arc<CachedDevice>) {
+    let cam = CamContext::attach(
+        rig,
+        CamConfig {
+            n_channels: 3,
+            ..CamConfig::default()
+        },
+    );
+    let dev = Arc::new(CachedDevice::attach(rig, &cam, cache).unwrap());
+    (cam, dev)
+}
+
+fn load_pattern(rig: &Rig, blocks: u64) {
+    let raid = rig.raid_view();
+    for b in 0..blocks {
+        let fill = (b % 251) as u8 + 1;
+        raid.write(Lba(b), &vec![fill; BS]).unwrap();
+    }
+}
+
+fn no_readahead() -> CacheConfig {
+    CacheConfig {
+        readahead: ReadaheadConfig {
+            enable: false,
+            ..ReadaheadConfig::default()
+        },
+        ..CacheConfig::default()
+    }
+}
+
+#[test]
+fn repeated_reads_hit_without_nvme_traffic() {
+    let rig = small_rig(2);
+    load_pattern(&rig, 64);
+    let (cam, dev) = cached_setup(&rig, no_readahead());
+    let dst = cam.alloc(32 * BS).unwrap();
+    let lbas: Vec<u64> = (0..32).collect();
+
+    for round in 0..4 {
+        dev.prefetch(&lbas, dst.addr()).unwrap();
+        dev.prefetch_synchronize().unwrap();
+        let data = dst.to_vec();
+        for (i, &lba) in lbas.iter().enumerate() {
+            let fill = (lba % 251) as u8 + 1;
+            assert!(
+                data[i * BS..(i + 1) * BS].iter().all(|&b| b == fill),
+                "round {round}, lba {lba}"
+            );
+        }
+    }
+
+    let snap = cam.registry().snapshot();
+    // Round 1 misses 32 blocks; rounds 2-4 are pure hits.
+    assert_eq!(snap.counter("cam_cache_misses_total"), 32);
+    assert_eq!(snap.counter("cam_cache_hits_total"), 3 * 32);
+    assert_eq!(snap.sum_counters("cam_ssd_submitted_total"), 32);
+    assert_eq!(dev.cache().metrics().hit_rate(), Some(0.75));
+}
+
+#[test]
+fn duplicate_lbas_in_one_cached_batch_coalesce() {
+    let rig = small_rig(2);
+    load_pattern(&rig, 16);
+    let (cam, dev) = cached_setup(&rig, no_readahead());
+    let dst = cam.alloc(4 * BS).unwrap();
+    // The same block requested four times in one batch: one fill, three
+    // coalesced waiters, every destination populated.
+    dev.prefetch(&[5, 5, 5, 5], dst.addr()).unwrap();
+    dev.prefetch_synchronize().unwrap();
+    let fill = 5u8 + 1;
+    assert!(dst.to_vec().iter().all(|&b| b == fill));
+
+    let snap = cam.registry().snapshot();
+    assert_eq!(snap.counter("cam_cache_misses_total"), 1);
+    assert_eq!(snap.counter("cam_cache_coalesced_total"), 3);
+    assert_eq!(snap.sum_counters("cam_ssd_submitted_total"), 1);
+}
+
+#[test]
+fn empty_batches_are_noops_on_both_devices() {
+    // S1 regression: an empty prefetch/write_back is Ok(()) and publishes
+    // nothing — the subsequent synchronize must not hang or error.
+    let rig = small_rig(1);
+    let cam = CamContext::attach(&rig, CamConfig::default());
+    let dev = cam.device();
+    dev.prefetch(&[], 0xdead_beef).unwrap();
+    dev.prefetch_synchronize().unwrap();
+    dev.write_back(&[], 0xdead_beef).unwrap();
+    dev.write_back_synchronize().unwrap();
+    assert_eq!(cam.stats().batches, 0);
+
+    let rig = small_rig(1);
+    let (cam, cached) = cached_setup(&rig, no_readahead());
+    cached.prefetch(&[], 0xdead_beef).unwrap();
+    cached.prefetch_synchronize().unwrap();
+    cached.write_back(&[], 0xdead_beef).unwrap();
+    cached.write_back_synchronize().unwrap();
+    assert_eq!(cam.stats().batches, 0);
+    assert_eq!(
+        cam.registry()
+            .snapshot()
+            .sum_counters("cam_ssd_submitted_total"),
+        0
+    );
+}
+
+#[test]
+fn uncached_duplicate_lbas_dedup_to_one_submission_per_unique() {
+    // S2: the control plane drops duplicate LBAs from a read batch before
+    // the stripe split and replicates the data to every requested
+    // destination at retire.
+    let rig = small_rig(2);
+    load_pattern(&rig, 8);
+    let cam = CamContext::attach(&rig, CamConfig::default());
+    let dev = cam.device();
+    let dst = cam.alloc(6 * BS).unwrap();
+    // 6 requests, 3 unique LBAs.
+    let lbas = [2u64, 3, 2, 4, 3, 2];
+    dev.prefetch(&lbas, dst.addr()).unwrap();
+    dev.prefetch_synchronize().unwrap();
+
+    let data = dst.to_vec();
+    for (i, &lba) in lbas.iter().enumerate() {
+        let fill = (lba % 251) as u8 + 1;
+        assert!(
+            data[i * BS..(i + 1) * BS].iter().all(|&b| b == fill),
+            "request {i} (lba {lba}) did not receive data"
+        );
+    }
+    let snap = cam.registry().snapshot();
+    assert_eq!(snap.sum_counters("cam_ssd_submitted_total"), 3);
+    assert_eq!(snap.counter("cam_dedup_dropped_total"), 3);
+    // The batch still accounts for all six requests.
+    assert_eq!(cam.stats().requests, 6);
+}
+
+#[test]
+fn write_absorption_is_lazy_and_flush_makes_it_durable() {
+    let rig = small_rig(2);
+    load_pattern(&rig, 8);
+    let (cam, dev) = cached_setup(&rig, no_readahead());
+    let src = cam.alloc(2 * BS).unwrap();
+    src.write(0, &vec![0xAA; 2 * BS]);
+
+    dev.write_back(&[3, 4], src.addr()).unwrap();
+    dev.write_back_synchronize().unwrap();
+    // Absorbed, not written: the media still holds the old pattern...
+    let raid = rig.raid_view();
+    let mut blk = vec![0u8; BS];
+    raid.read(Lba(3), &mut blk).unwrap();
+    assert!(blk.iter().all(|&b| b == 4)); // (3 % 251) + 1
+    assert_eq!(
+        cam.registry()
+            .snapshot()
+            .sum_counters("cam_ssd_submitted_total"),
+        0
+    );
+    assert_eq!(dev.cache().dirty_blocks(), 2);
+
+    // ...but a cached read observes the new data immediately.
+    let dst = cam.alloc(2 * BS).unwrap();
+    dev.prefetch(&[3, 4], dst.addr()).unwrap();
+    dev.prefetch_synchronize().unwrap();
+    assert!(dst.to_vec().iter().all(|&b| b == 0xAA));
+
+    // Flush: now the array is updated and the slots are clean.
+    dev.flush().unwrap();
+    assert_eq!(dev.cache().dirty_blocks(), 0);
+    raid.read(Lba(3), &mut blk).unwrap();
+    assert!(blk.iter().all(|&b| b == 0xAA));
+    raid.read(Lba(4), &mut blk).unwrap();
+    assert!(blk.iter().all(|&b| b == 0xAA));
+    let snap = cam.registry().snapshot();
+    assert_eq!(snap.counter("cam_cache_write_absorbed_total"), 2);
+    assert_eq!(snap.counter("cam_cache_flushed_blocks_total"), 2);
+}
+
+#[test]
+fn readahead_speculates_on_sequential_streams_and_hits() {
+    let rig = small_rig(2);
+    load_pattern(&rig, 512);
+    let (cam, dev) = cached_setup(&rig, CacheConfig::default());
+    let dst = cam.alloc(16 * BS).unwrap();
+    // A strictly sequential scan: batches of 16 blocks, back to back.
+    for batch in 0..16u64 {
+        let lbas: Vec<u64> = (batch * 16..(batch + 1) * 16).collect();
+        dev.prefetch(&lbas, dst.addr()).unwrap();
+        dev.prefetch_synchronize().unwrap();
+        let fill = ((batch * 16) % 251) as u8 + 1;
+        assert_eq!(dst.to_vec()[0], fill, "batch {batch} data");
+    }
+    let snap = cam.registry().snapshot();
+    assert!(
+        snap.counter("cam_cache_readahead_issued_total") > 0,
+        "sequential stream triggered speculation"
+    );
+    assert!(
+        snap.counter("cam_cache_readahead_hits_total") > 0,
+        "speculated blocks served later demand accesses"
+    );
+}
+
+#[test]
+fn sort_is_byte_exact_with_cache_and_media_matches_after_flush() {
+    let sort_cfg = OocSortConfig {
+        total_elems: 16 * 1024,
+        run_elems: 4 * 1024,
+        block_size: BS as u32,
+        data_lba: 0,
+        scratch_lba: 16,
+    };
+
+    // Reference: the uncached CAM backend.
+    let rig_a = small_rig(2);
+    let cam_a = CamContext::attach(&rig_a, CamConfig::default());
+    let be_a = CamBackend::new(cam_a.device(), 2048);
+    seed_sort_input(&rig_a, &sort_cfg);
+    let base_a = out_of_core_sort(&be_a, rig_a.gpu(), &sort_cfg).unwrap();
+    let sorted_a = read_elems(&be_a, rig_a.gpu(), BS as u32, base_a, sort_cfg.total_elems).unwrap();
+
+    // Same input through the cached backend on a second rig.
+    let rig_b = small_rig(2);
+    let (_cam_b, dev_b) = cached_setup(&rig_b, CacheConfig::with_slots(64));
+    let be_b = CachedBackend::new(Arc::clone(&dev_b), 2048);
+    seed_sort_input(&rig_b, &sort_cfg);
+    let base_b = out_of_core_sort(&be_b, rig_b.gpu(), &sort_cfg).unwrap();
+    assert_eq!(base_a, base_b, "same merge-pass parity");
+    let sorted_b = read_elems(&be_b, rig_b.gpu(), BS as u32, base_b, sort_cfg.total_elems).unwrap();
+
+    assert_eq!(sorted_a, sorted_b, "cached sort is byte-exact");
+    assert!(sorted_b.windows(2).all(|w| w[0] <= w[1]), "actually sorted");
+
+    // After a flush the media of both rigs agree block for block.
+    dev_b.flush().unwrap();
+    let (raid_a, raid_b) = (rig_a.raid_view(), rig_b.raid_view());
+    let mut blk_a = vec![0u8; BS];
+    let mut blk_b = vec![0u8; BS];
+    for lba in 0..32u64 {
+        raid_a.read(Lba(lba), &mut blk_a).unwrap();
+        raid_b.read(Lba(lba), &mut blk_b).unwrap();
+        assert_eq!(blk_a, blk_b, "media diverged at lba {lba}");
+    }
+}
+
+fn seed_sort_input(rig: &Rig, cfg: &OocSortConfig) {
+    // Deterministic pseudo-random u32 keys, packed into blocks.
+    let raid = rig.raid_view();
+    let per_block = BS / 4;
+    let mut x = 0x1234_5678u32;
+    for b in 0..(cfg.total_elems as usize / per_block) {
+        let mut bytes = Vec::with_capacity(BS);
+        for _ in 0..per_block {
+            x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            bytes.extend_from_slice(&x.to_le_bytes());
+        }
+        raid.write(Lba(cfg.data_lba + b as u64), &bytes).unwrap();
+    }
+}
+
+#[test]
+fn gemm_is_byte_exact_with_cache() {
+    let gemm_cfg = OocGemmConfig {
+        n: 64,
+        tile: 32,
+        block_size: BS as u32,
+        base_lba: 0,
+    };
+    let n = gemm_cfg.n as usize;
+    let a: Vec<f32> = (0..n * n).map(|i| ((i % 17) as f32) - 8.0).collect();
+    let b: Vec<f32> = (0..n * n).map(|i| ((i % 13) as f32) * 0.5).collect();
+
+    let rig_u = small_rig(2);
+    let cam_u = CamContext::attach(&rig_u, CamConfig::default());
+    let be_u = CamBackend::new(cam_u.device(), 2048);
+    load_matrix(&be_u, rig_u.gpu(), &gemm_cfg, 0, &a).unwrap();
+    load_matrix(&be_u, rig_u.gpu(), &gemm_cfg, 1, &b).unwrap();
+    let c_uncached = out_of_core_gemm(&be_u, rig_u.gpu(), &gemm_cfg).unwrap();
+
+    let rig_c = small_rig(2);
+    let (cam_c, dev_c) = cached_setup(&rig_c, CacheConfig::default());
+    let be_c = CachedBackend::new(Arc::clone(&dev_c), 2048);
+    load_matrix(&be_c, rig_c.gpu(), &gemm_cfg, 0, &a).unwrap();
+    load_matrix(&be_c, rig_c.gpu(), &gemm_cfg, 1, &b).unwrap();
+    let c_cached = out_of_core_gemm(&be_c, rig_c.gpu(), &gemm_cfg).unwrap();
+
+    // Byte-exact: identical f32 bit patterns, not approximate equality.
+    assert_eq!(c_uncached.len(), c_cached.len());
+    for (i, (x, y)) in c_uncached.iter().zip(&c_cached).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "C[{i}] diverged");
+    }
+    // The repeated operand-tile reads (each A tile read tpd times) must
+    // have produced cache hits.
+    let snap = cam_c.registry().snapshot();
+    assert!(snap.counter("cam_cache_hits_total") > 0);
+}
+
+#[test]
+fn cached_backend_reports_name_and_direct_path() {
+    let rig = small_rig(1);
+    let (_cam, dev) = cached_setup(&rig, no_readahead());
+    let be = CachedBackend::new(dev, 64);
+    assert_eq!(be.name(), "CAM+cache");
+    assert!(!be.staged_data_path());
+    assert_eq!(be.device().block_size(), BS as u64);
+}

@@ -170,6 +170,7 @@ impl CamContext {
         }
         let control = ControlPlane::start(
             rig.devices(),
+            rig.dma_space(),
             Arc::clone(&channels),
             ControlConfig {
                 queue_depth: cfg.queue_depth,
@@ -349,6 +350,11 @@ impl CamDevice {
     /// block_size`). Only the leading thread does work; returns without
     /// blocking so computation on previously-fetched data proceeds.
     pub fn prefetch(&self, lbas: &[u64], dest_addr: u64) -> Result<(), CamError> {
+        // An empty fetch has nothing to wait for: skip the doorbell round
+        // trip entirely instead of publishing an empty batch.
+        if lbas.is_empty() {
+            return Ok(());
+        }
         self.submit(READ_CHANNEL, ChannelOp::Read, lbas, dest_addr)
             .map(|_| ())
     }
@@ -362,6 +368,10 @@ impl CamDevice {
     /// `write_back`: asynchronously write pinned GPU memory at `src_addr`
     /// back to `lbas` on the SSDs.
     pub fn write_back(&self, lbas: &[u64], src_addr: u64) -> Result<(), CamError> {
+        // Same as `prefetch`: nothing to make durable, nothing to publish.
+        if lbas.is_empty() {
+            return Ok(());
+        }
         self.submit(WRITE_CHANNEL, ChannelOp::Write, lbas, src_addr)
             .map(|_| ())
     }

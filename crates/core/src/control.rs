@@ -17,7 +17,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use cam_nvme::spec::{Sqe, Status};
-use cam_nvme::{NvmeDevice, QueuePair};
+use cam_nvme::{DmaSpace, NvmeDevice, QueuePair};
 use cam_simkit::Dur;
 use cam_telemetry::{
     clock, BatchSpan, ControlMetrics, EventKind, FlightRecorder, Observability, PostmortemDumper,
@@ -151,10 +151,19 @@ struct BatchState {
     /// Telemetry timeline ([`clock::now_ns`]) anchors of this batch's span.
     doorbell_ns: u64,
     pickup_ns: u64,
+    /// Duplicate read requests removed before dispatch: `(primary address,
+    /// duplicate address)` pairs, replicated by a host-side DMA copy right
+    /// before retire so every destination the GPU asked for is populated.
+    dups: Vec<(u64, u64)>,
+    /// Blocks per request (the replication copy length, in blocks).
+    blocks: u32,
 }
 
 struct Shared {
     channels: Arc<Vec<Channel>>,
+    /// Pinned address space shared with the SSDs, for host-side copies
+    /// (duplicate-LBA replication at retire).
+    dma: Arc<dyn DmaSpace>,
     /// `qps[ssd][worker]` — each worker's private queue pair per SSD.
     qps: Vec<Vec<Arc<QueuePair>>>,
     n_ssds: usize,
@@ -206,6 +215,7 @@ impl ControlPlane {
     /// joined, so an `Err` leaves nothing running.
     pub(crate) fn start(
         devices: &[NvmeDevice],
+        dma: Arc<dyn DmaSpace>,
         channels: Arc<Vec<Channel>>,
         cfg: ControlConfig,
         metrics: Arc<ControlMetrics>,
@@ -233,6 +243,7 @@ impl ControlPlane {
         metrics.workers_max.set(scaler.max() as u64);
         let shared = Arc::new(Shared {
             channels,
+            dma,
             qps,
             n_ssds,
             stripe_blocks: cfg.stripe_blocks,
@@ -358,7 +369,7 @@ fn poller_loop(sh: &Shared, senders: &[Sender<WorkItem>]) {
             };
             progress = true;
             last_seen[ch_idx] = seq;
-            let (op, blocks, reqs) = ch.snapshot();
+            let (op, blocks, mut reqs) = ch.snapshot();
             let pickup_ns = clock::now_ns();
             let doorbell_ns = ch.published_at_ns();
             let now = Instant::now();
@@ -400,6 +411,34 @@ fn poller_loop(sh: &Shared, senders: &[Sender<WorkItem>]) {
                     },
                 );
             }
+            // Duplicate LBAs in one read batch would fetch the same blocks
+            // from the SSD several times. Keep the first destination per
+            // LBA, drop the rest from dispatch, and remember them as copy
+            // pairs: the retiring worker replicates the fetched data to
+            // every duplicate destination before region 4 is written, so
+            // the GPU still sees all of its destinations populated.
+            // Requests in a batch share `blocks`, so equal start LBAs cover
+            // identical ranges. Writes are left untouched (last-writer
+            // semantics would change if we collapsed them).
+            let requests = reqs.len() as u64;
+            let mut dups: Vec<(u64, u64)> = Vec::new();
+            if op == ChannelOp::Read {
+                let mut first: std::collections::HashMap<u64, u64> =
+                    std::collections::HashMap::with_capacity(reqs.len());
+                reqs.retain(|&(lba, addr)| match first.entry(lba) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        dups.push((*e.get(), addr));
+                        false
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(addr);
+                        true
+                    }
+                });
+                if !dups.is_empty() {
+                    sh.metrics.dedup_dropped.add(dups.len() as u64);
+                }
+            }
             // Split the batch by stripe across SSDs. Requests that cross a
             // stripe boundary become several stripe-contiguous runs — the
             // CPU control plane owns the striping, so GPU code never needs
@@ -429,11 +468,13 @@ fn poller_loop(sh: &Shared, senders: &[Sender<WorkItem>]) {
                 op: op_idx,
                 remaining: AtomicUsize::new(n_groups),
                 errors: AtomicU64::new(0),
-                requests: reqs.len() as u64,
+                requests,
                 dispatched: now,
                 compute_gap,
                 doorbell_ns,
                 pickup_ns,
+                dups,
+                blocks,
             });
             let active = sh
                 .active_workers
@@ -574,6 +615,19 @@ fn worker_loop(sh: &Shared, wid: usize, rx: Receiver<WorkItem>) {
         if item.batch.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             let b = &item.batch;
             let m = &sh.metrics;
+            // Replicate deduplicated reads to their duplicate destinations
+            // before region 4 is written — after retire the GPU is free to
+            // read any of them.
+            if !b.dups.is_empty() {
+                let mut buf = vec![0u8; b.blocks as usize * sh.block_size as usize];
+                for &(src, dst) in &b.dups {
+                    if sh.dma.dma_read(src, &mut buf).is_err()
+                        || sh.dma.dma_write(dst, &buf).is_err()
+                    {
+                        b.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
             let batch_errors = b.errors.load(Ordering::Relaxed);
             let io = Dur::from_secs_f64(b.dispatched.elapsed().as_secs_f64());
             sh.channels[b.channel].retire(b.seq, batch_errors);

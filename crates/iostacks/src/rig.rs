@@ -160,6 +160,16 @@ impl Rig {
     pub fn raid_view(&self) -> Raid0 {
         Raid0::new(self.stores.clone(), self.stripe_blocks)
     }
+
+    /// A DMA view over both pinned regions (GPU device memory and the host
+    /// bounce buffer) — the same address space the SSDs themselves DMA
+    /// through, for host-side copies between pinned buffers.
+    pub fn dma_space(&self) -> Arc<dyn DmaSpace> {
+        Arc::new(DmaRouter::new(vec![
+            self.gpu.memory().region() as Arc<dyn DmaSpace>,
+            Arc::clone(&self.bounce) as Arc<dyn DmaSpace>,
+        ]))
+    }
 }
 
 #[cfg(test)]

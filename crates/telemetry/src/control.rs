@@ -25,6 +25,7 @@ use crate::span::Stage;
 /// | `cam_batch_total_ns` | histogram | `channel`, `op` |
 /// | `cam_ssd_submit_ns` / `cam_ssd_complete_ns` | histogram | `ssd` |
 /// | `cam_ssd_submitted_total` / `cam_ssd_completed_total` | counter | `ssd` |
+/// | `cam_dedup_dropped_total` | counter | — |
 /// | `cam_sync_wait_ns` | histogram | — |
 pub struct ControlMetrics {
     /// Batches retired.
@@ -49,6 +50,9 @@ pub struct ControlMetrics {
     pub scaler_grow: Counter,
     /// Scaler shrink decisions.
     pub scaler_shrink: Counter,
+    /// Duplicate LBAs removed from read batches before group dispatch (the
+    /// dropped requests are served by a host-side copy at retire).
+    pub dedup_dropped: Counter,
     /// Time host threads spent spinning in `synchronize_*`.
     pub sync_wait_ns: HistogramHandle,
     /// Per-SSD submit-phase latency (worker dequeue → doorbell rung).
@@ -99,6 +103,7 @@ impl ControlMetrics {
             workers_max: reg.gauge("cam_workers_max"),
             scaler_grow: reg.counter("cam_scaler_grow_total"),
             scaler_shrink: reg.counter("cam_scaler_shrink_total"),
+            dedup_dropped: reg.counter("cam_dedup_dropped_total"),
             sync_wait_ns: reg.histogram("cam_sync_wait_ns"),
             ssd_submit_ns: (0..n_ssds)
                 .map(|i| reg.histogram(&format!("cam_ssd_submit_ns{{ssd=\"{i}\"}}")))

@@ -152,6 +152,38 @@ pub enum EventKind {
         /// `true` if the count grew.
         grew: bool,
     },
+    /// One cache-mediated access batch was classified (block cache layer).
+    CacheAccess {
+        /// Channel the demand traffic rides.
+        channel: u16,
+        /// Blocks served from resident slots.
+        hits: u32,
+        /// Blocks that required an NVMe fill.
+        misses: u32,
+        /// Misses absorbed by an already in-flight fill for the same LBA.
+        coalesced: u32,
+    },
+    /// The CLOCK hand reclaimed a resident slot.
+    CacheEvict {
+        /// Array LBA the evicted slot held.
+        lba: u64,
+        /// Whether the slot was dirty (forced a flush before reuse).
+        dirty: bool,
+    },
+    /// The readahead engine issued a speculative prefetch batch.
+    Readahead {
+        /// First LBA of the speculative window.
+        lba: u64,
+        /// Blocks issued.
+        blocks: u32,
+        /// Window size after the adaptive update.
+        window: u32,
+    },
+    /// Dirty slots were written back to the array in one flush batch.
+    CacheFlush {
+        /// Dirty blocks flushed.
+        blocks: u32,
+    },
     /// DES engine: a simulated request was issued to an SSD.
     SimIssue {
         /// Simulated SSD index.
@@ -185,6 +217,10 @@ impl EventKind {
             EventKind::SyncWait { .. } => "sync_wait",
             EventKind::FaultInjected { .. } => "fault_injected",
             EventKind::ScalerDecision { .. } => "scaler_decision",
+            EventKind::CacheAccess { .. } => "cache_access",
+            EventKind::CacheEvict { .. } => "cache_evict",
+            EventKind::Readahead { .. } => "readahead",
+            EventKind::CacheFlush { .. } => "cache_flush",
             EventKind::SimIssue { .. } => "sim_issue",
             EventKind::SimComplete { .. } => "sim_complete",
         }
@@ -311,6 +347,34 @@ impl Event {
             EventKind::ScalerDecision { active, grew } => {
                 let _ = write!(out, ", \"active\": {active}, \"grew\": {grew}");
             }
+            EventKind::CacheAccess {
+                channel,
+                hits,
+                misses,
+                coalesced,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"channel\": {channel}, \"hits\": {hits}, \"misses\": {misses}, \
+                     \"coalesced\": {coalesced}"
+                );
+            }
+            EventKind::CacheEvict { lba, dirty } => {
+                let _ = write!(out, ", \"lba\": {lba}, \"dirty\": {dirty}");
+            }
+            EventKind::Readahead {
+                lba,
+                blocks,
+                window,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"lba\": {lba}, \"blocks\": {blocks}, \"window\": {window}"
+                );
+            }
+            EventKind::CacheFlush { blocks } => {
+                let _ = write!(out, ", \"blocks\": {blocks}");
+            }
             EventKind::SimIssue { ssd, req } | EventKind::SimComplete { ssd, req } => {
                 let _ = write!(out, ", \"ssd\": {ssd}, \"req\": {req}");
             }
@@ -394,6 +458,22 @@ mod tests {
                 active: 2,
                 grew: false,
             },
+            EventKind::CacheAccess {
+                channel: 0,
+                hits: 6,
+                misses: 2,
+                coalesced: 1,
+            },
+            EventKind::CacheEvict {
+                lba: 42,
+                dirty: true,
+            },
+            EventKind::Readahead {
+                lba: 64,
+                blocks: 8,
+                window: 16,
+            },
+            EventKind::CacheFlush { blocks: 3 },
             EventKind::SimIssue { ssd: 0, req: 0 },
             EventKind::SimComplete { ssd: 0, req: 0 },
         ];

@@ -351,6 +351,36 @@ pub fn chrome_trace(events: &[Event], thread_names: &[(u32, String)]) -> String 
                 let args = format!(", \"args\": {{\"active\": {active}, \"grew\": {grew}}}");
                 w.instant("scaler", PID_FUNCTIONAL, tid, ev.ts_ns, &args);
             }
+            EventKind::CacheAccess {
+                channel,
+                hits,
+                misses,
+                coalesced,
+            } => {
+                let args = format!(
+                    ", \"args\": {{\"channel\": {channel}, \"hits\": {hits}, \
+                     \"misses\": {misses}, \"coalesced\": {coalesced}}}"
+                );
+                w.instant("cache access", PID_FUNCTIONAL, tid, ev.ts_ns, &args);
+            }
+            EventKind::CacheEvict { lba, dirty } => {
+                let args = format!(", \"args\": {{\"lba\": {lba}, \"dirty\": {dirty}}}");
+                w.instant("cache evict", PID_FUNCTIONAL, tid, ev.ts_ns, &args);
+            }
+            EventKind::Readahead {
+                lba,
+                blocks,
+                window,
+            } => {
+                let args = format!(
+                    ", \"args\": {{\"lba\": {lba}, \"blocks\": {blocks}, \"window\": {window}}}"
+                );
+                w.instant("readahead", PID_FUNCTIONAL, tid, ev.ts_ns, &args);
+            }
+            EventKind::CacheFlush { blocks } => {
+                let args = format!(", \"args\": {{\"blocks\": {blocks}}}");
+                w.instant("cache flush", PID_FUNCTIONAL, tid, ev.ts_ns, &args);
+            }
             EventKind::SimIssue { ssd, req } => {
                 w.async_ev(
                     'b',

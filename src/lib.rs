@@ -4,7 +4,10 @@
 //! GPU-Initiated, CPU-Managed SSD Management for Batching Storage Access"*
 //! (Song et al., ICDE 2025). Everything runs over simulated hardware built
 //! in this workspace — see the README for the architecture tour and
-//! `DESIGN.md` for the per-experiment index.
+//! `DESIGN.md` for the per-experiment index. The optional GPU-memory block
+//! cache ([`CachedDevice`]) layers hit-serving, write absorption, miss
+//! coalescing, and adaptive readahead over the unchanged doorbell protocol
+//! — see `docs/CACHE.md`.
 //!
 //! ## Quickstart
 //!
@@ -38,6 +41,10 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub use cam_cache::{
+    BlockCache, CacheConfig, CacheMetrics, CachedBackend, CachedDevice, ReadaheadConfig,
+    ReadaheadEngine,
+};
 pub use cam_core::{
     BatchTicket, CamBackend, CamConfig, CamContext, CamDevice, CamError, Channel, ChannelOp,
     ControlStats, DoubleBuffer, DynamicScaler,
