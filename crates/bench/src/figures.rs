@@ -660,9 +660,12 @@ fn bench() -> Vec<Table> {
     let recorder = Arc::new(FlightRecorder::new());
     let run = run_recorded(20, 64, Some(recorder));
     // The cache sweep rides along so BENCH_repro.json carries hit rate,
-    // coalesced misses, and readahead accuracy per workload (S6).
+    // coalesced misses, and readahead accuracy per workload (S6), and the
+    // pipelining experiment proves in-flight depth > 1 per SSD with lower
+    // read latency than the blocking baseline.
     let reports = crate::cache_run::run_cache_sweep(&[256, 2048]);
-    let json = bench_json(&run, Some(&reports));
+    let pipeline = crate::pipeline_run::run_pipeline_experiment(16);
+    let json = bench_json(&run, Some(&reports), Some(&pipeline));
     let path = "BENCH_repro.json";
     match std::fs::write(path, &json) {
         Ok(()) => {}
@@ -724,7 +727,45 @@ fn bench() -> Vec<Table> {
             ),
         ]);
     }
-    vec![t, cp]
+
+    // Multi-channel pipelining: the reactor's in-flight depth and its
+    // latency win over the blocking group-at-a-time baseline.
+    let mut pl = Table::new(
+        "Pipelining: per-SSD in-flight depth and mean read latency vs. blocking baseline",
+        &[
+            "mode",
+            "mean depth/ssd",
+            "peak depth/ssd",
+            "mean read (us)",
+            "batches",
+        ],
+    );
+    for m in [&pipeline.pipelined, &pipeline.blocking] {
+        let depth = m
+            .inflight_mean
+            .iter()
+            .map(|v| format!("{v:.2}"))
+            .collect::<Vec<_>>()
+            .join("/");
+        let peak = m
+            .inflight_peak
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("/");
+        pl.row(vec![
+            if m.pipelined { "pipelined" } else { "blocking" }.into(),
+            depth,
+            peak,
+            format!("{:.1}", m.mean_read_ns as f64 / 1e3),
+            m.batches.to_string(),
+        ]);
+    }
+    pl.note(format!(
+        "4 channels x 4 SSDs, 1 worker; read latency speedup {:.2}x",
+        pipeline.speedup()
+    ));
+    vec![t, cp, pl]
 }
 
 fn cache() -> Vec<Table> {

@@ -17,6 +17,7 @@
 
 pub mod cache_run;
 pub mod figures;
+pub mod pipeline_run;
 mod table;
 pub mod telemetry_run;
 

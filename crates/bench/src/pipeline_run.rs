@@ -1,0 +1,231 @@
+//! Multi-channel pipelining experiment: the same contended read workload
+//! driven through the pipelined reactor and through the blocking
+//! group-at-a-time baseline, with the per-SSD in-flight depth sampled live
+//! from the `cam_inflight{ssd}` gauges.
+//!
+//! Four channels each keep one single-block-per-SSD read batch outstanding
+//! against a slow 4-SSD rig (a real service latency per burst), so batches
+//! from different channels *can* overlap on every SSD. The pipelined
+//! reactor keeps them overlapped — sustained in-flight depth above one per
+//! SSD and one amortized service round for the whole burst — while the
+//! blocking baseline serializes group after group and pays the service
+//! latency per command.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use cam_core::{CamConfig, CamContext, ChannelOp};
+use cam_iostacks::{Rig, RigConfig};
+use cam_telemetry::{MetricsRegistry, Observability};
+
+const N_SSDS: usize = 4;
+const N_CHANNELS: usize = 4;
+/// Injected device service latency per burst — slow enough that overlap
+/// (or its absence) dominates the measured latency.
+const SERVICE_LATENCY: Duration = Duration::from_micros(200);
+
+/// One mode's measurements.
+pub struct PipelineModeReport {
+    /// Whether the reactor ran pipelined.
+    pub pipelined: bool,
+    /// Time-mean in-flight depth per SSD, sampled from `cam_inflight{ssd}`.
+    pub inflight_mean: Vec<f64>,
+    /// High-water in-flight depth per SSD (`cam_inflight_peak{ssd}`).
+    pub inflight_peak: Vec<u64>,
+    /// Mean doorbell→retire read latency across all channels, nanoseconds.
+    pub mean_read_ns: u64,
+    /// Read batches retired.
+    pub batches: u64,
+}
+
+/// The pipelined run and its blocking baseline, side by side.
+pub struct PipelineReport {
+    /// Measurements with the pipelined reactor.
+    pub pipelined: PipelineModeReport,
+    /// Measurements with the blocking group-at-a-time baseline.
+    pub blocking: PipelineModeReport,
+}
+
+impl PipelineReport {
+    /// Blocking-over-pipelined mean read latency ratio (> 1 = pipelining
+    /// wins).
+    pub fn speedup(&self) -> f64 {
+        if self.pipelined.mean_read_ns == 0 {
+            0.0
+        } else {
+            self.blocking.mean_read_ns as f64 / self.pipelined.mean_read_ns as f64
+        }
+    }
+}
+
+/// Runs the experiment in both modes: `rounds` read batches per channel,
+/// four channels driven concurrently.
+pub fn run_pipeline_experiment(rounds: u64) -> PipelineReport {
+    PipelineReport {
+        pipelined: run_mode(true, rounds),
+        blocking: run_mode(false, rounds),
+    }
+}
+
+fn run_mode(pipelined: bool, rounds: u64) -> PipelineModeReport {
+    let rig = Rig::new(RigConfig {
+        n_ssds: N_SSDS,
+        blocks_per_ssd: 4096,
+        stripe_blocks: 1,
+        burst_latency: Some(SERVICE_LATENCY),
+        ..RigConfig::default()
+    });
+    let registry = Arc::new(MetricsRegistry::new());
+    let cfg = CamConfig {
+        n_channels: N_CHANNELS,
+        // One worker owning all four SSDs: any overlap across channels must
+        // come from the reactor's pipelining, not from thread parallelism.
+        workers: Some(1),
+        pipelined,
+        ..CamConfig::default()
+    };
+    let obs = Observability::with_registry(Arc::clone(&registry));
+    let cam = CamContext::attach_observed(&rig, cfg, obs);
+    let metrics = Arc::clone(cam.metrics());
+
+    // Sampler: time-mean of the live per-SSD in-flight gauges while the
+    // workload runs.
+    let stop = Arc::new(AtomicBool::new(false));
+    let sampler = {
+        let metrics = Arc::clone(&metrics);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut sums = vec![0u64; N_SSDS];
+            let mut samples = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                for (ssd, sum) in sums.iter_mut().enumerate() {
+                    *sum += metrics.inflight[ssd].get();
+                }
+                samples += 1;
+                std::thread::sleep(Duration::from_micros(20));
+            }
+            (sums, samples)
+        })
+    };
+
+    // Four driver threads, one per channel, each keeping one batch of one
+    // single-block read per SSD outstanding (stripe 1: LBA k lands on SSD
+    // k mod 4), over disjoint LBA windows.
+    std::thread::scope(|s| {
+        for ch in 0..N_CHANNELS {
+            let dev = cam.device();
+            let buf = cam.alloc(N_SSDS * cam.block_size() as usize).unwrap();
+            s.spawn(move || {
+                let base = ch as u64 * 512;
+                for round in 0..rounds {
+                    let lo = base + (round % 64) * N_SSDS as u64;
+                    let lbas: Vec<u64> = (lo..lo + N_SSDS as u64).collect();
+                    let ticket = dev
+                        .submit(ch, ChannelOp::Read, &lbas, buf.addr())
+                        .expect("submit");
+                    ticket.wait().expect("batch retires cleanly");
+                }
+            });
+        }
+    });
+    stop.store(true, Ordering::Release);
+    let (sums, samples) = sampler.join().expect("sampler");
+
+    let snapshot = registry.snapshot();
+    let (mut total_ns, mut batches) = (0u128, 0u64);
+    for ch in 0..N_CHANNELS {
+        let name = format!("cam_batch_total_ns{{channel=\"{ch}\",op=\"read\"}}");
+        if let Some(h) = snapshot.histogram(&name) {
+            total_ns += h.sum;
+            batches += h.count;
+        }
+    }
+    PipelineModeReport {
+        pipelined,
+        inflight_mean: sums
+            .iter()
+            .map(|&s| s as f64 / samples.max(1) as f64)
+            .collect(),
+        inflight_peak: (0..N_SSDS)
+            .map(|ssd| snapshot.gauge(&format!("cam_inflight_peak{{ssd=\"{ssd}\"}}")))
+            .collect(),
+        mean_read_ns: (total_ns / u128::from(batches.max(1))) as u64,
+        batches,
+    }
+}
+
+/// The `"pipeline"` section of `BENCH_repro.json`.
+pub fn pipeline_section_json(report: &PipelineReport) -> String {
+    let mode = |m: &PipelineModeReport| {
+        let means = m
+            .inflight_mean
+            .iter()
+            .map(|v| format!("{v:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let peaks = m
+            .inflight_peak
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"inflight_mean\": [{means}], \"inflight_peak\": [{peaks}], \
+             \"mean_read_ns\": {}, \"batches\": {}}}",
+            m.mean_read_ns, m.batches
+        )
+    };
+    let mut out = String::with_capacity(512);
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "    \"workload\": {{\"channels\": {N_CHANNELS}, \"ssds\": {N_SSDS}, \
+         \"service_latency_ns\": {}}},",
+        SERVICE_LATENCY.as_nanos()
+    );
+    let _ = writeln!(out, "    \"pipelined\": {},", mode(&report.pipelined));
+    let _ = writeln!(out, "    \"blocking\": {},", mode(&report.blocking));
+    let _ = writeln!(out, "    \"read_latency_speedup\": {:.2}", report.speedup());
+    out.push_str("  }");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelined_mode_sustains_depth_and_beats_blocking_latency() {
+        let report = run_pipeline_experiment(16);
+        assert_eq!(report.pipelined.batches, 16 * N_CHANNELS as u64);
+        assert_eq!(report.blocking.batches, 16 * N_CHANNELS as u64);
+        for (ssd, &mean) in report.pipelined.inflight_mean.iter().enumerate() {
+            assert!(
+                mean > 1.0,
+                "pipelined SSD {ssd} mean in-flight depth {mean:.3} <= 1"
+            );
+        }
+        for (ssd, &peak) in report.pipelined.inflight_peak.iter().enumerate() {
+            assert!(peak > 1, "pipelined SSD {ssd} peak {peak} <= 1");
+        }
+        assert!(
+            report.pipelined.mean_read_ns <= report.blocking.mean_read_ns,
+            "pipelined {} ns > blocking {} ns",
+            report.pipelined.mean_read_ns,
+            report.blocking.mean_read_ns
+        );
+        let json = pipeline_section_json(&report);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        for key in [
+            "\"pipelined\"",
+            "\"blocking\"",
+            "\"inflight_mean\"",
+            "\"mean_read_ns\"",
+            "\"read_latency_speedup\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

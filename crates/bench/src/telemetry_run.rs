@@ -135,10 +135,15 @@ pub fn run_traced(rounds: u64, batch: u64) -> (TelemetryRun, String) {
 /// p50/p99 for every protocol stage and for the doorbell→retire span. When
 /// `cache` carries sweep results (see [`crate::cache_run`]), a `"cache"`
 /// section records per-workload hit rate, coalesced misses, readahead
-/// accuracy, and the cached-vs-uncached submission/latency deltas.
+/// accuracy, and the cached-vs-uncached submission/latency deltas. When
+/// `pipeline` carries the multi-channel pipelining experiment (see
+/// [`crate::pipeline_run`]), a `"pipeline"` section records per-SSD
+/// in-flight depth and read latency for the pipelined reactor vs. the
+/// blocking baseline.
 pub fn bench_json(
     run: &TelemetryRun,
     cache: Option<&[crate::cache_run::CacheWorkloadReport]>,
+    pipeline: Option<&crate::pipeline_run::PipelineReport>,
 ) -> String {
     let mut out = String::with_capacity(2048);
     out.push_str("{\n");
@@ -196,6 +201,10 @@ pub fn bench_json(
         out.push_str(",\n  \"cache\": ");
         out.push_str(&crate::cache_run::cache_section_json(reports));
     }
+    if let Some(report) = pipeline {
+        out.push_str(",\n  \"pipeline\": ");
+        out.push_str(&crate::pipeline_run::pipeline_section_json(report));
+    }
     // Per-channel doorbell→retire latency attribution, only available when
     // the run carried a flight recorder.
     if !run.events.is_empty() {
@@ -231,7 +240,7 @@ mod tests {
     #[test]
     fn bench_json_is_balanced_and_complete() {
         let run = run_instrumented(2, 8);
-        let json = bench_json(&run, None);
+        let json = bench_json(&run, None, None);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         for key in [
             "\"workload\"",
@@ -262,7 +271,7 @@ mod tests {
             .filter(|e| matches!(e.kind, cam_telemetry::EventKind::BatchRetire { .. }))
             .count();
         assert_eq!(retires, 6);
-        let json = bench_json(&run, None);
+        let json = bench_json(&run, None, None);
         assert!(
             json.contains("\"critical_path\""),
             "missing section: {json}"

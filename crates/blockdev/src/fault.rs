@@ -5,10 +5,12 @@
 //! instead of silently corrupting data, and that CAM's channels recover
 //! after a failed batch (`CamError::Io` then clean subsequent batches).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use cam_telemetry::{Counter, EventKind, FlightRecorder, MetricsRegistry};
+use parking_lot::Mutex;
 
 use crate::lba::{BlockGeometry, Lba};
 use crate::store::{BlockError, BlockStore};
@@ -24,6 +26,21 @@ pub enum FaultKind {
     Both,
 }
 
+/// Whether an injected fault clears on retry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultMode {
+    /// The fault never clears: every matching access fails with a
+    /// non-retryable error ([`BlockError::Media`] with `transient: false`).
+    Permanent,
+    /// The fault clears after `fail_times` failed attempts per `(lba,
+    /// direction)` pair; retries beyond that succeed. `u32::MAX` models a
+    /// stuck-but-nominally-transient command that only a deadline can end.
+    Transient {
+        /// Failed attempts before the access starts succeeding.
+        fail_times: u32,
+    },
+}
+
 /// Deterministic fault policy.
 #[derive(Clone, Copy, Debug)]
 pub struct FaultPolicy {
@@ -33,24 +50,50 @@ pub struct FaultPolicy {
     pub lba_range: (u64, u64),
     /// Additionally fail every `every`-th matching access (1 = all).
     pub every: u64,
+    /// Whether injected faults clear on retry.
+    pub mode: FaultMode,
 }
 
 impl FaultPolicy {
-    /// Fails every read in the LBA range.
+    /// Fails every read in the LBA range, permanently.
     pub fn reads_in(from: u64, to: u64) -> Self {
         FaultPolicy {
             kind: FaultKind::Read,
             lba_range: (from, to),
             every: 1,
+            mode: FaultMode::Permanent,
         }
     }
 
-    /// Fails every write in the LBA range.
+    /// Fails every write in the LBA range, permanently.
     pub fn writes_in(from: u64, to: u64) -> Self {
         FaultPolicy {
             kind: FaultKind::Write,
             lba_range: (from, to),
             every: 1,
+            mode: FaultMode::Permanent,
+        }
+    }
+
+    /// Fails the first `fail_times` read attempts of every block in the LBA
+    /// range with a transient media error, then lets retries through.
+    pub fn transient_reads_in(from: u64, to: u64, fail_times: u32) -> Self {
+        FaultPolicy {
+            kind: FaultKind::Read,
+            lba_range: (from, to),
+            every: 1,
+            mode: FaultMode::Transient { fail_times },
+        }
+    }
+
+    /// Fails the first `fail_times` write attempts of every block in the LBA
+    /// range with a transient media error, then lets retries through.
+    pub fn transient_writes_in(from: u64, to: u64, fail_times: u32) -> Self {
+        FaultPolicy {
+            kind: FaultKind::Write,
+            lba_range: (from, to),
+            every: 1,
+            mode: FaultMode::Transient { fail_times },
         }
     }
 }
@@ -62,6 +105,8 @@ pub struct FaultyStore {
     policy: FaultPolicy,
     matches: AtomicU64,
     injected: AtomicU64,
+    /// Transient mode: failed-attempt count per `(lba, is_read)` pair.
+    attempts: Mutex<HashMap<(u64, bool), u32>>,
     /// Telemetry: mirrors `injected` into a registry counter once attached.
     injected_metric: OnceLock<Counter>,
     /// Event layer: emits a [`EventKind::FaultInjected`] per injection once
@@ -78,6 +123,7 @@ impl FaultyStore {
             policy,
             matches: AtomicU64::new(0),
             injected: AtomicU64::new(0),
+            attempts: Mutex::new(HashMap::new()),
             injected_metric: OnceLock::new(),
             recorder: OnceLock::new(),
         }
@@ -116,8 +162,23 @@ impl FaultyStore {
         {
             return false;
         }
-        let n = self.matches.fetch_add(1, Ordering::Relaxed);
-        if n.is_multiple_of(self.policy.every) {
+        let fail = match self.policy.mode {
+            FaultMode::Permanent => {
+                let n = self.matches.fetch_add(1, Ordering::Relaxed);
+                n.is_multiple_of(self.policy.every)
+            }
+            FaultMode::Transient { fail_times } => {
+                let mut attempts = self.attempts.lock();
+                let seen = attempts.entry((lba.index(), is_read)).or_insert(0);
+                if *seen < fail_times {
+                    *seen = seen.saturating_add(1);
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if fail {
             self.injected.fetch_add(1, Ordering::Relaxed);
             if let Some(c) = self.injected_metric.get() {
                 c.inc();
@@ -128,19 +189,23 @@ impl FaultyStore {
                     read: is_read,
                 });
             }
-            true
-        } else {
-            false
         }
+        fail
     }
 
     fn fault(&self, lba: Lba, len: usize) -> BlockError {
-        // Media error surfaced as an addressing failure: the command layer
-        // maps any BlockError to a failed completion status.
-        BlockError::OutOfRange {
-            lba,
-            count: (len / self.inner.geometry().block_size as usize) as u64,
-            blocks: self.inner.geometry().blocks,
+        match self.policy.mode {
+            // Media error surfaced as an addressing failure: the command
+            // layer maps any BlockError to a failed completion status.
+            FaultMode::Permanent => BlockError::OutOfRange {
+                lba,
+                count: (len / self.inner.geometry().block_size as usize) as u64,
+                blocks: self.inner.geometry().blocks,
+            },
+            FaultMode::Transient { .. } => BlockError::Media {
+                lba,
+                transient: true,
+            },
         }
     }
 }
@@ -193,6 +258,7 @@ mod tests {
             kind: FaultKind::Read,
             lba_range: (0, 1024),
             every: 3,
+            mode: FaultMode::Permanent,
         });
         let mut buf = vec![0u8; 512];
         let mut failures = 0;
@@ -222,6 +288,38 @@ mod tests {
         let _ = s.read(Lba(0), &mut buf);
         assert_eq!(reg.snapshot().counter("cam_fault_injected_total"), 5);
         assert_eq!(reg2.snapshot().counter("cam_fault_injected_total"), 0);
+    }
+
+    #[test]
+    fn transient_faults_clear_after_fail_times_attempts() {
+        let s = wrapped(FaultPolicy::transient_reads_in(0, 8, 2));
+        let mut buf = vec![0u8; 512];
+        // First two attempts on the same block fail transiently, then clear.
+        assert_eq!(
+            s.read(Lba(3), &mut buf),
+            Err(BlockError::Media {
+                lba: Lba(3),
+                transient: true
+            })
+        );
+        assert!(s.read(Lba(3), &mut buf).is_err());
+        assert!(s.read(Lba(3), &mut buf).is_ok());
+        assert!(s.read(Lba(3), &mut buf).is_ok());
+        // Attempt counters are per block: a different LBA starts fresh.
+        assert!(s.read(Lba(4), &mut buf).is_err());
+        assert_eq!(s.injected(), 3);
+        // Writes are unaffected by a read-only transient policy.
+        assert!(s.write(Lba(3), &buf).is_ok());
+    }
+
+    #[test]
+    fn stuck_transient_fault_never_clears() {
+        let s = wrapped(FaultPolicy::transient_reads_in(0, 8, u32::MAX));
+        let mut buf = vec![0u8; 512];
+        for _ in 0..16 {
+            assert!(s.read(Lba(1), &mut buf).is_err());
+        }
+        assert_eq!(s.injected(), 16);
     }
 
     #[test]

@@ -28,7 +28,7 @@ mod raid;
 mod store;
 
 pub use extent::{Extent, ExtentAllocator};
-pub use fault::{FaultKind, FaultPolicy, FaultyStore};
+pub use fault::{FaultKind, FaultMode, FaultPolicy, FaultyStore};
 pub use lba::{BlockGeometry, Lba};
 pub use raid::Raid0;
 pub use store::{BlockError, BlockStore, SparseMemStore};

@@ -27,6 +27,15 @@ pub enum BlockError {
         /// Store block size.
         block_size: u32,
     },
+    /// The media failed the access (injected by [`crate::FaultyStore`]).
+    /// Transient media errors clear on a later attempt; permanent ones
+    /// never do.
+    Media {
+        /// First block of the failed access.
+        lba: Lba,
+        /// Whether a retry of the same access may succeed.
+        transient: bool,
+    },
 }
 
 impl fmt::Display for BlockError {
@@ -40,6 +49,10 @@ impl fmt::Display for BlockError {
                     f,
                     "buffer of {len} bytes is not a nonzero multiple of block size {block_size}"
                 )
+            }
+            BlockError::Media { lba, transient } => {
+                let class = if *transient { "transient" } else { "permanent" };
+                write!(f, "{class} media error at {lba}")
             }
         }
     }

@@ -12,7 +12,7 @@ use cam_telemetry::{
     Observability, TelemetrySink,
 };
 
-use crate::control::{ControlConfig, ControlPlane, ControlStats};
+use crate::engine::{ControlConfig, ControlPlane, ControlStats};
 use crate::regions::{Channel, ChannelOp, PublishError};
 
 /// Configuration for [`CamContext::attach`] (`CAM_init`).
@@ -31,6 +31,20 @@ pub struct CamConfig {
     /// Worker threads to spawn; defaults to `ceil(N/2)` for `N` SSDs
     /// (Fig. 12: one thread drives two SSDs without degradation).
     pub workers: Option<usize>,
+    /// Re-submissions allowed per command after a transient NVMe failure
+    /// (0 disables retries).
+    pub max_retries: u32,
+    /// Base of the per-command exponential retry backoff; doubles per
+    /// attempt.
+    pub retry_backoff_ns: u64,
+    /// Per-command deadline from dispatch to final completion. A command
+    /// over it is failed (surfacing as [`CamError::Io`] at synchronize) —
+    /// the worker thread is never wedged. `None` = unbounded.
+    pub cmd_deadline_ns: Option<u64>,
+    /// Pipelined reactor: workers keep commands from multiple batches in
+    /// flight per SSD up to queue depth. Turn off for the blocking
+    /// group-at-a-time baseline (benchmarks only).
+    pub pipelined: bool,
 }
 
 impl Default for CamConfig {
@@ -41,6 +55,10 @@ impl Default for CamConfig {
             queue_depth: 1024,
             dynamic_scaling: false,
             workers: None,
+            max_retries: 3,
+            retry_backoff_ns: 20_000,
+            cmd_deadline_ns: None,
+            pipelined: true,
         }
     }
 }
@@ -143,7 +161,7 @@ impl CamContext {
         cfg: CamConfig,
         obs: Observability,
     ) -> Result<Self, CamError> {
-        assert!(cfg.n_channels >= 1 && cfg.n_channels <= 64);
+        assert!(cfg.n_channels >= 1);
         let channels = Arc::new(
             (0..cfg.n_channels)
                 .map(|_| Channel::new(cfg.max_batch))
@@ -178,6 +196,10 @@ impl CamContext {
                 max_workers,
                 stripe_blocks: rig.stripe_blocks(),
                 block_size: rig.block_size(),
+                max_retries: cfg.max_retries,
+                retry_backoff_ns: cfg.retry_backoff_ns,
+                cmd_deadline_ns: cfg.cmd_deadline_ns,
+                pipelined: cfg.pipelined,
             },
             Arc::clone(&metrics),
             &obs,

@@ -1,0 +1,134 @@
+//! The per-(worker, SSD) in-flight command table.
+//!
+//! Every submitted command gets a CID from here; every reaped CQE is
+//! matched back to its originating request through it. CIDs wrap at
+//! `u16::MAX` but never collide with a command still in flight — the
+//! allocator skips in-use slots, so a late completion can never be
+//! attributed to the wrong request after CID reuse.
+
+use std::collections::HashMap;
+
+/// CID-keyed table of commands awaiting their completion.
+pub(super) struct InflightTable<T> {
+    slots: HashMap<u16, T>,
+    next_cid: u16,
+    capacity: usize,
+}
+
+impl<T> InflightTable<T> {
+    /// A table bounded by the queue depth (and by the 16-bit CID space).
+    pub fn new(depth: usize) -> Self {
+        InflightTable {
+            slots: HashMap::with_capacity(depth.min(u16::MAX as usize)),
+            next_cid: 0,
+            capacity: depth.min(u16::MAX as usize),
+        }
+    }
+
+    /// Commands currently in flight.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether another command can be admitted.
+    pub fn is_full(&self) -> bool {
+        self.slots.len() >= self.capacity
+    }
+
+    /// Allocates the next free CID, or `None` when the table is full. The
+    /// CID is not reserved until [`put`](Self::put) — callers that abort a
+    /// submission (SQ full) simply drop it.
+    pub fn alloc_cid(&mut self) -> Option<u16> {
+        if self.is_full() {
+            return None;
+        }
+        // At most `capacity` slots are occupied and capacity ≤ the CID
+        // space, so a free CID exists within one wrap.
+        loop {
+            let cid = self.next_cid;
+            self.next_cid = self.next_cid.wrapping_add(1);
+            if !self.slots.contains_key(&cid) {
+                return Some(cid);
+            }
+        }
+    }
+
+    /// Records `cmd` as in flight under `cid`.
+    pub fn put(&mut self, cid: u16, cmd: T) {
+        let prev = self.slots.insert(cid, cmd);
+        debug_assert!(prev.is_none(), "CID {cid} double-allocated");
+    }
+
+    /// Matches a completion back to its command; `None` for a stale or
+    /// unknown CID.
+    pub fn remove(&mut self, cid: u16) -> Option<T> {
+        self.slots.remove(&cid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cids_round_trip() {
+        let mut t: InflightTable<&str> = InflightTable::new(8);
+        let a = t.alloc_cid().unwrap();
+        t.put(a, "a");
+        let b = t.alloc_cid().unwrap();
+        t.put(b, "b");
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.remove(a), Some("a"));
+        assert_eq!(t.remove(a), None, "second reap of the same CID is stale");
+        assert_eq!(t.remove(b), Some("b"));
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn capacity_bounds_admission() {
+        let mut t: InflightTable<u32> = InflightTable::new(2);
+        let a = t.alloc_cid().unwrap();
+        t.put(a, 0);
+        let b = t.alloc_cid().unwrap();
+        t.put(b, 1);
+        assert!(t.is_full());
+        assert_eq!(t.alloc_cid(), None);
+        t.remove(a).unwrap();
+        assert!(t.alloc_cid().is_some());
+    }
+
+    #[test]
+    fn wrapping_allocator_skips_live_cids() {
+        let mut t: InflightTable<u32> = InflightTable::new(usize::from(u16::MAX));
+        // Park a command on CID 0, then walk the allocator through a full
+        // wrap of the CID space: it must hand out every other CID once and
+        // never 0 again while it is live.
+        let first = t.alloc_cid().unwrap();
+        assert_eq!(first, 0);
+        t.put(first, 42);
+        for _ in 0..u32::from(u16::MAX) - 1 {
+            let cid = t.alloc_cid().unwrap();
+            assert_ne!(cid, 0, "live CID must not be reissued");
+            t.put(cid, 0);
+            t.remove(cid).unwrap();
+        }
+        // The allocator has wrapped past 0; the parked command is intact.
+        let cid = t.alloc_cid().unwrap();
+        assert_ne!(cid, 0);
+        assert_eq!(t.remove(0), Some(42));
+    }
+
+    #[test]
+    fn aborted_allocation_leaves_no_residue() {
+        let mut t: InflightTable<u32> = InflightTable::new(4);
+        let cid = t.alloc_cid().unwrap();
+        // Caller hit SqFull and never called put: the slot stays free.
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.remove(cid), None);
+        let again = t.alloc_cid().unwrap();
+        t.put(again, 7);
+        assert_eq!(t.remove(again), Some(7));
+    }
+}

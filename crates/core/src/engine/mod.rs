@@ -1,0 +1,379 @@
+//! The CPU user-space control plane (§ III-A), as a layered engine.
+//!
+//! One persistent **polling thread** ([`dispatch`]) watches every channel's
+//! doorbell ("CAM does not require persistent threads on the GPU. Instead,
+//! it requires a persistent thread on the CPU"). When a batch arrives it is
+//! deduplicated, split by stripe across SSDs, and handed to **worker
+//! threads**; each worker runs a completion-driven [`reactor`] over private
+//! queue pairs (SPDK's no-locks-in-the-I/O-path discipline): commands from
+//! *multiple* batches' groups are kept in flight per SSD up to queue depth,
+//! completions are reaped opportunistically and matched back to their
+//! originating request through a per-(worker, SSD) [`inflight`] command
+//! table, transient failures are re-submitted with bounded exponential
+//! backoff ([`retry`]), and batch retirement is pure completion accounting
+//! ([`retire`]) — no thread ever blocks on one group. The last group of a
+//! batch retires it by writing region 4 and feeds the [`DynamicScaler`]
+//! with the batch's compute/I/O times.
+//!
+//! [`DynamicScaler`]: crate::DynamicScaler
+
+mod dispatch;
+mod inflight;
+mod reactor;
+mod retire;
+mod retry;
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use cam_nvme::{DmaSpace, NvmeDevice, QueuePair};
+use cam_simkit::Dur;
+use cam_telemetry::{
+    ControlMetrics, FlightRecorder, Observability, PostmortemDumper, TelemetrySink,
+};
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+
+use crate::regions::{Channel, ChannelOp};
+use crate::scaler::DynamicScaler;
+
+use dispatch::WorkItem;
+use retry::RetryPolicy;
+
+/// Index into [`ControlMetrics::OPS`] for a channel operation.
+fn op_index(op: ChannelOp) -> usize {
+    match op {
+        ChannelOp::Read => 0,
+        ChannelOp::Write => 1,
+    }
+}
+
+/// Control-plane configuration (subset of [`CamConfig`]).
+///
+/// [`CamConfig`]: crate::CamConfig
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ControlConfig {
+    pub queue_depth: usize,
+    pub dynamic_scaling: bool,
+    /// Worker threads spawned (= the scaler's upper bound).
+    pub max_workers: usize,
+    pub stripe_blocks: u64,
+    pub block_size: u32,
+    /// Re-submissions allowed per command after a transient NVMe failure.
+    pub max_retries: u32,
+    /// Base of the exponential retry backoff (doubles per attempt).
+    pub retry_backoff_ns: u64,
+    /// Per-command budget from group dispatch to final completion; a
+    /// command over it is failed (the command, not the worker thread).
+    pub cmd_deadline_ns: Option<u64>,
+    /// Pipelined reactor (in-flight depth > 1 per SSD across batches) vs.
+    /// the blocking group-at-a-time baseline.
+    pub pipelined: bool,
+}
+
+/// A point-in-time snapshot of control-plane counters.
+///
+/// Derived from the telemetry registry: every field is readable as a
+/// `cam_*` metric too (see [`ControlMetrics`]); this struct is the
+/// ergonomic host-API view.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ControlStats {
+    /// Batches retired.
+    pub batches: u64,
+    /// Requests completed.
+    pub requests: u64,
+    /// Commands that failed.
+    pub errors: u64,
+    /// Commands re-submitted after a transient NVMe failure.
+    pub retries: u64,
+    /// Commands abandoned because their deadline expired.
+    pub cmd_timeouts: u64,
+    /// Extra requests created by stripe-boundary splitting.
+    pub stripe_splits: u64,
+    /// Workers currently active (≤ spawned workers).
+    pub active_workers: usize,
+    /// Mean I/O time per batch (doorbell → region-4 write). `None` until a
+    /// batch has retired — a snapshot with no batches has no mean, and
+    /// reporting 0 silently would poison downstream rate math.
+    pub mean_io: Option<Dur>,
+    /// Mean GPU-side gap between batches (retire → next doorbell), the
+    /// control plane's estimate of computation time. `None` until the first
+    /// gap is observed.
+    pub mean_compute: Option<Dur>,
+    /// Cumulative I/O time across all batches (the numerator of
+    /// [`mean_io`](Self::mean_io); kept so snapshots can be diffed).
+    pub total_io: Dur,
+    /// Cumulative observed compute gaps (numerator of
+    /// [`mean_compute`](Self::mean_compute)).
+    pub total_compute: Dur,
+    /// Number of compute-gap observations (denominator of
+    /// [`mean_compute`](Self::mean_compute)).
+    pub compute_samples: u64,
+}
+
+impl ControlStats {
+    /// Counters accumulated since `earlier` (an older snapshot of the same
+    /// control plane): cumulative fields are subtracted and the means
+    /// recomputed over the interval, so per-phase workloads can be measured
+    /// without resetting the registry. `active_workers` is a gauge and keeps
+    /// the current (later) value.
+    pub fn diff(&self, earlier: &ControlStats) -> ControlStats {
+        let batches = self.batches.saturating_sub(earlier.batches);
+        let io_ns = self
+            .total_io
+            .as_ns()
+            .saturating_sub(earlier.total_io.as_ns());
+        let compute_ns = self
+            .total_compute
+            .as_ns()
+            .saturating_sub(earlier.total_compute.as_ns());
+        let samples = self.compute_samples.saturating_sub(earlier.compute_samples);
+        ControlStats {
+            batches,
+            requests: self.requests.saturating_sub(earlier.requests),
+            errors: self.errors.saturating_sub(earlier.errors),
+            retries: self.retries.saturating_sub(earlier.retries),
+            cmd_timeouts: self.cmd_timeouts.saturating_sub(earlier.cmd_timeouts),
+            stripe_splits: self.stripe_splits.saturating_sub(earlier.stripe_splits),
+            active_workers: self.active_workers,
+            mean_io: mean_dur(io_ns, batches),
+            mean_compute: mean_dur(compute_ns, samples),
+            total_io: Dur::ns(io_ns),
+            total_compute: Dur::ns(compute_ns),
+            compute_samples: samples,
+        }
+    }
+
+    /// Mean I/O time in seconds, NaN-safe: `None` when no batch retired.
+    pub fn mean_io_secs(&self) -> Option<f64> {
+        self.mean_io.map(|d| d.as_secs_f64())
+    }
+
+    /// Mean compute gap in seconds, NaN-safe: `None` without observations.
+    pub fn mean_compute_secs(&self) -> Option<f64> {
+        self.mean_compute.map(|d| d.as_secs_f64())
+    }
+}
+
+/// `total / n` as a duration, or `None` when there are no observations —
+/// never a silent 0.
+fn mean_dur(total_ns: u64, n: u64) -> Option<Dur> {
+    (n > 0).then(|| Dur::ns(total_ns / n))
+}
+
+/// State shared by the poller, the workers, and the host-facing
+/// [`ControlPlane`] handle.
+struct Shared {
+    channels: Arc<Vec<Channel>>,
+    /// Pinned address space shared with the SSDs, for host-side copies
+    /// (duplicate-LBA replication at retire).
+    dma: Arc<dyn DmaSpace>,
+    /// `qps[ssd][worker]` — each worker's private queue pair per SSD.
+    qps: Vec<Vec<Arc<QueuePair>>>,
+    n_ssds: usize,
+    stripe_blocks: u64,
+    block_size: u32,
+    active_workers: AtomicUsize,
+    stop: AtomicBool,
+    scaler: Mutex<DynamicScaler>,
+    dynamic: bool,
+    /// All counters/histograms live in the registry behind these handles —
+    /// the control plane keeps no parallel ad-hoc stat atomics.
+    metrics: Arc<ControlMetrics>,
+    sink: Arc<dyn TelemetrySink>,
+    /// Event layer: protocol-stage events per batch when attached.
+    recorder: Option<Arc<FlightRecorder>>,
+    /// Post-mortem dumper, triggered at retire on errors or deadline
+    /// overrun.
+    postmortem: Option<Arc<PostmortemDumper>>,
+    /// Doorbell→retire budget for the post-mortem trigger.
+    deadline_ns: Option<u64>,
+    /// Per-command retry/backoff/deadline policy for the reactor.
+    retry: RetryPolicy,
+    /// Pipelined reactor vs. blocking group-at-a-time baseline.
+    pipelined: bool,
+    /// Per-channel retire timestamps for compute-gap estimation, sized to
+    /// the channel count (a fixed-size array would drop samples for the
+    /// channels beyond it).
+    last_retire: Mutex<Vec<Option<Instant>>>,
+}
+
+impl Shared {
+    fn map(&self, lba: u64) -> (usize, u64) {
+        let n = self.n_ssds as u64;
+        let stripe = lba / self.stripe_blocks;
+        let within = lba % self.stripe_blocks;
+        (
+            (stripe % n) as usize,
+            (stripe / n) * self.stripe_blocks + within,
+        )
+    }
+}
+
+/// The running control plane. Stops and joins its threads on drop.
+pub(crate) struct ControlPlane {
+    shared: Arc<Shared>,
+    senders: Vec<Sender<WorkItem>>,
+    poller: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ControlPlane {
+    /// Spawns the poller and worker threads.
+    ///
+    /// Fails with the OS error if any thread cannot be spawned (resource
+    /// exhaustion); threads spawned before the failure are stopped and
+    /// joined, so an `Err` leaves nothing running.
+    pub(crate) fn start(
+        devices: &[NvmeDevice],
+        dma: Arc<dyn DmaSpace>,
+        channels: Arc<Vec<Channel>>,
+        cfg: ControlConfig,
+        metrics: Arc<ControlMetrics>,
+        obs: &Observability,
+    ) -> std::io::Result<Self> {
+        let n_ssds = devices.len();
+        assert!(n_ssds >= 1);
+        let max_workers = cfg.max_workers.max(1);
+        let qps: Vec<Vec<Arc<QueuePair>>> = devices
+            .iter()
+            .map(|d| {
+                (0..max_workers)
+                    .map(|_| d.add_queue_pair(cfg.queue_depth))
+                    .collect()
+            })
+            .collect();
+        let scaler = if cfg.dynamic_scaling {
+            DynamicScaler::for_ssds(n_ssds)
+        } else {
+            DynamicScaler::with_bounds(max_workers, max_workers)
+        };
+        let initial = scaler.active().min(max_workers);
+        metrics.active_workers.set(initial as u64);
+        metrics.workers_min.set(scaler.min() as u64);
+        metrics.workers_max.set(scaler.max() as u64);
+        let n_channels = channels.len();
+        let shared = Arc::new(Shared {
+            channels,
+            dma,
+            qps,
+            n_ssds,
+            stripe_blocks: cfg.stripe_blocks,
+            block_size: cfg.block_size,
+            active_workers: AtomicUsize::new(initial),
+            stop: AtomicBool::new(false),
+            scaler: Mutex::new(scaler),
+            dynamic: cfg.dynamic_scaling,
+            metrics,
+            sink: Arc::clone(&obs.sink),
+            recorder: obs.recorder.clone(),
+            postmortem: obs.postmortem.clone(),
+            deadline_ns: obs.batch_deadline_ns,
+            retry: RetryPolicy {
+                max_retries: cfg.max_retries,
+                backoff_base_ns: cfg.retry_backoff_ns,
+                deadline_ns: cfg.cmd_deadline_ns,
+            },
+            pipelined: cfg.pipelined,
+            last_retire: Mutex::new(vec![None; n_channels]),
+        });
+
+        // Any spawn failure unwinds what was already started: without the
+        // stop flag + joins, a half-built plane would leak live workers
+        // holding the shared state.
+        let abort = |shared: &Arc<Shared>, workers: Vec<JoinHandle<()>>, e: std::io::Error| {
+            shared.stop.store(true, Ordering::Release);
+            for w in workers {
+                let _ = w.join();
+            }
+            e
+        };
+        let mut senders = Vec::with_capacity(max_workers);
+        let mut workers = Vec::with_capacity(max_workers);
+        for wid in 0..max_workers {
+            let (tx, rx) = crossbeam::channel::unbounded::<WorkItem>();
+            let sh = Arc::clone(&shared);
+            match std::thread::Builder::new()
+                .name(format!("cam-worker{wid}"))
+                .spawn(move || reactor::worker_loop(&sh, wid, rx))
+            {
+                Ok(h) => {
+                    senders.push(tx);
+                    workers.push(h);
+                }
+                Err(e) => {
+                    drop(tx);
+                    drop(senders); // disconnect worker queues
+                    return Err(abort(&shared, workers, e));
+                }
+            }
+        }
+        let poller = {
+            let sh = Arc::clone(&shared);
+            let poller_senders = senders.clone();
+            match std::thread::Builder::new()
+                .name("cam-poller".to_string())
+                .spawn(move || dispatch::poller_loop(&sh, &poller_senders))
+            {
+                Ok(h) => h,
+                Err(e) => {
+                    drop(senders);
+                    return Err(abort(&shared, workers, e));
+                }
+            }
+        };
+        Ok(ControlPlane {
+            shared,
+            senders,
+            poller: Some(poller),
+            workers,
+        })
+    }
+
+    pub(crate) fn stats(&self) -> ControlStats {
+        let sh = &self.shared;
+        let m = &sh.metrics;
+        let batches = m.batches.get();
+        let samples = m.compute_samples.get();
+        let io_ns = m.io_time_ns.get();
+        let compute_ns = m.compute_time_ns.get();
+        ControlStats {
+            batches,
+            requests: m.requests.get(),
+            errors: m.errors.get(),
+            retries: m.retries.get(),
+            cmd_timeouts: m.cmd_timeouts.get(),
+            stripe_splits: m.stripe_splits.get(),
+            active_workers: sh.active_workers.load(Ordering::Relaxed),
+            mean_io: mean_dur(io_ns, batches),
+            mean_compute: mean_dur(compute_ns, samples),
+            total_io: Dur::ns(io_ns),
+            total_compute: Dur::ns(compute_ns),
+            compute_samples: samples,
+        }
+    }
+
+    /// Number of worker threads spawned (scaling happens within these).
+    pub(crate) fn max_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    pub(crate) fn stop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.senders.clear(); // disconnect worker queues
+        if let Some(p) = self.poller.take() {
+            let _ = p.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ControlPlane {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

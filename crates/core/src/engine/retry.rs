@@ -1,0 +1,155 @@
+//! Per-command retry, backoff, and deadline policy.
+//!
+//! Transient NVMe failures ([`Status::is_transient`]) are re-submitted with
+//! bounded exponential backoff; deterministic failures are not. A
+//! per-command deadline converts a command that keeps failing transiently
+//! (or keeps waiting out backoff) into a failed *command* — never a wedged
+//! worker thread.
+
+use cam_nvme::spec::Status;
+
+/// What the reactor should do with a failed command.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(super) enum Verdict {
+    /// Re-queue the command; do not submit it before `at_ns`.
+    Retry {
+        /// Earliest re-submission time on the telemetry clock.
+        at_ns: u64,
+    },
+    /// Fail the command: the error is deterministic or retries are
+    /// exhausted.
+    Permanent,
+    /// Fail the command: its deadline expired.
+    TimedOut,
+}
+
+/// The retry policy one control plane runs under.
+#[derive(Clone, Copy, Debug)]
+pub(super) struct RetryPolicy {
+    /// Re-submissions allowed per command (0 = never retry).
+    pub max_retries: u32,
+    /// Backoff before retry `n` is `base << (n - 1)`, capped.
+    pub backoff_base_ns: u64,
+    /// Per-command budget from dispatch to final completion.
+    pub deadline_ns: Option<u64>,
+}
+
+/// Cap on the backoff exponent (and thereby the backoff itself): ten
+/// doublings of the base is already ~1000×; anything further just wedges
+/// the command until its deadline.
+const MAX_BACKOFF_SHIFT: u32 = 10;
+
+impl RetryPolicy {
+    /// Backoff to apply after failed attempt number `attempt` (1-based).
+    pub fn backoff_ns(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(MAX_BACKOFF_SHIFT);
+        self.backoff_base_ns.saturating_mul(1u64 << shift)
+    }
+
+    /// Classifies a failed completion. `attempts` counts submissions so far
+    /// (≥ 1); `deadline_ns` is the command's absolute deadline, if any.
+    pub fn classify(
+        &self,
+        status: Status,
+        attempts: u32,
+        now_ns: u64,
+        deadline_ns: Option<u64>,
+    ) -> Verdict {
+        debug_assert!(!status.is_ok(), "classify is for failed completions");
+        if deadline_ns.is_some_and(|d| now_ns >= d) {
+            return Verdict::TimedOut;
+        }
+        if !status.is_transient() || attempts > self.max_retries {
+            return Verdict::Permanent;
+        }
+        Verdict::Retry {
+            at_ns: now_ns + self.backoff_ns(attempts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            backoff_base_ns: 1000,
+            deadline_ns: Some(1_000_000),
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = policy();
+        assert_eq!(p.backoff_ns(1), 1000);
+        assert_eq!(p.backoff_ns(2), 2000);
+        assert_eq!(p.backoff_ns(3), 4000);
+        assert_eq!(p.backoff_ns(11), 1000 << 10);
+        assert_eq!(p.backoff_ns(40), 1000 << 10, "exponent capped");
+        // Saturates rather than overflowing for absurd bases.
+        let wide = RetryPolicy {
+            backoff_base_ns: u64::MAX / 2,
+            ..p
+        };
+        assert_eq!(wide.backoff_ns(5), u64::MAX);
+    }
+
+    #[test]
+    fn transient_failures_retry_with_growing_backoff() {
+        let p = policy();
+        assert_eq!(
+            p.classify(Status::TransientMediaError, 1, 100, Some(10_000)),
+            Verdict::Retry { at_ns: 100 + 1000 }
+        );
+        assert_eq!(
+            p.classify(Status::TransientMediaError, 2, 100, Some(10_000)),
+            Verdict::Retry { at_ns: 100 + 2000 }
+        );
+    }
+
+    #[test]
+    fn deterministic_failures_never_retry() {
+        let p = policy();
+        for s in [
+            Status::LbaOutOfRange,
+            Status::InvalidField,
+            Status::DataTransferError,
+            Status::MediaError,
+        ] {
+            assert_eq!(p.classify(s, 1, 0, None), Verdict::Permanent);
+        }
+    }
+
+    #[test]
+    fn retries_are_bounded() {
+        let p = policy();
+        assert!(matches!(
+            p.classify(Status::TransientMediaError, 3, 0, None),
+            Verdict::Retry { .. }
+        ));
+        assert_eq!(
+            p.classify(Status::TransientMediaError, 4, 0, None),
+            Verdict::Permanent
+        );
+    }
+
+    #[test]
+    fn deadline_beats_every_other_outcome() {
+        let p = policy();
+        assert_eq!(
+            p.classify(Status::TransientMediaError, 1, 5000, Some(5000)),
+            Verdict::TimedOut
+        );
+        assert_eq!(
+            p.classify(Status::MediaError, 1, 9000, Some(5000)),
+            Verdict::TimedOut
+        );
+        // No deadline → no timeout.
+        assert!(matches!(
+            p.classify(Status::TransientMediaError, 1, u64::MAX / 2, None),
+            Verdict::Retry { .. }
+        ));
+    }
+}

@@ -69,14 +69,14 @@
 
 mod api;
 mod backend;
-mod control;
+mod engine;
 mod pipeline;
 mod regions;
 mod scaler;
 
 pub use api::{BatchTicket, CamConfig, CamContext, CamDevice, CamError};
 pub use backend::CamBackend;
-pub use control::ControlStats;
+pub use engine::ControlStats;
 pub use pipeline::DoubleBuffer;
 pub use regions::{Channel, ChannelOp, PublishError};
 pub use scaler::DynamicScaler;

@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use cam_blockdev::{
-    BlockGeometry, BlockStore, FaultKind, FaultPolicy, FaultyStore, SparseMemStore,
+    BlockGeometry, BlockStore, FaultKind, FaultMode, FaultPolicy, FaultyStore, SparseMemStore,
 };
 use cam_core::{CamBackend, CamConfig, CamContext, CamError};
 use cam_iostacks::{IoRequest, Rig, RigConfig, StorageBackend};
@@ -95,6 +95,7 @@ fn backend_adapter_propagates_injected_faults() {
             kind: FaultKind::Read,
             lba_range: (0, 4096),
             every: 1,
+            mode: FaultMode::Permanent,
         },
     );
     let cam = CamContext::attach(&rig, CamConfig::default());
@@ -208,6 +209,7 @@ fn intermittent_faults_fail_some_batches_only() {
             kind: FaultKind::Read,
             lba_range: (0, 4096),
             every: 4,
+            mode: FaultMode::Permanent,
         },
     );
     let cam = CamContext::attach(&rig, CamConfig::default());

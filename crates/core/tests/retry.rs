@@ -1,0 +1,176 @@
+//! Retry and deadline coverage: transient device faults must be retired
+//! transparently by the reactor's retry policy (zero batch errors), while
+//! permanently-failing commands are bounded by their deadline — failing the
+//! command, never wedging the worker.
+
+use std::sync::Arc;
+
+use cam_blockdev::{BlockGeometry, BlockStore, FaultPolicy, FaultyStore, SparseMemStore};
+use cam_core::{CamConfig, CamContext, CamError};
+use cam_iostacks::{Rig, RigConfig};
+use cam_telemetry::{EventKind, FlightRecorder, MetricsRegistry, Observability};
+
+/// Builds a rig whose first SSD injects faults per `policy`; the second SSD
+/// (when present) stays healthy.
+fn faulty_rig(n_ssds: usize, policy: FaultPolicy) -> (Rig, Arc<FaultyStore>) {
+    let cfg = RigConfig {
+        n_ssds,
+        blocks_per_ssd: 4096,
+        ..RigConfig::default()
+    };
+    let faulty = Arc::new(FaultyStore::new(
+        Arc::new(SparseMemStore::new(BlockGeometry::new(
+            cfg.block_size,
+            cfg.blocks_per_ssd,
+        ))),
+        policy,
+    ));
+    let mut stores: Vec<Arc<dyn BlockStore>> = vec![Arc::clone(&faulty) as Arc<dyn BlockStore>];
+    for _ in 1..n_ssds {
+        stores.push(Arc::new(SparseMemStore::new(BlockGeometry::new(
+            cfg.block_size,
+            cfg.blocks_per_ssd,
+        ))));
+    }
+    (Rig::with_stores(cfg, stores), faulty)
+}
+
+/// A config with fast retries so tests complete quickly.
+fn retrying_config() -> CamConfig {
+    CamConfig {
+        max_retries: 3,
+        retry_backoff_ns: 1_000,
+        ..CamConfig::default()
+    }
+}
+
+#[test]
+fn transient_faults_are_retired_transparently() {
+    // Every read on SSD 0 fails its first two attempts with a transient
+    // media error, then succeeds. With max_retries = 3 the whole batch must
+    // retire with zero errors — the GPU never sees the faults.
+    let (rig, faulty) = faulty_rig(2, FaultPolicy::transient_reads_in(0, 4096, 2));
+    let registry = Arc::new(MetricsRegistry::new());
+    let recorder = Arc::new(FlightRecorder::new());
+    let obs = Observability::recorded(Arc::clone(&registry), Arc::clone(&recorder));
+    let cam = CamContext::attach_observed(&rig, retrying_config(), obs);
+    let dev = cam.device();
+    let buf = cam.alloc(16 * 4096).unwrap();
+
+    dev.prefetch(&(0..16).collect::<Vec<_>>(), buf.addr())
+        .unwrap();
+    dev.prefetch_synchronize()
+        .expect("transient faults must not surface");
+
+    let stats = cam.stats();
+    assert_eq!(stats.errors, 0, "no batch errors after retries");
+    // 8 requests land on the faulty SSD, each failing twice before success.
+    assert_eq!(stats.retries, 16);
+    assert_eq!(faulty.injected(), 16);
+    assert_eq!(stats.cmd_timeouts, 0);
+
+    // The retries are visible in both exposition layers.
+    let text = registry.to_prometheus();
+    assert!(text.contains("cam_retries_total 16"), "prometheus: {text}");
+    let retry_events = recorder
+        .snapshot()
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::CmdRetry { .. }))
+        .count();
+    assert_eq!(retry_events, 16);
+}
+
+#[test]
+fn transient_write_faults_are_retried_too() {
+    let (rig, faulty) = faulty_rig(1, FaultPolicy::transient_writes_in(0, 4096, 1));
+    let cam = CamContext::attach(&rig, retrying_config());
+    let dev = cam.device();
+    let src = cam.alloc(4 * 4096).unwrap();
+    src.write(0, &[0x5au8; 4 * 4096]);
+
+    dev.write_back(&[10, 11, 12, 13], src.addr()).unwrap();
+    dev.write_back_synchronize().unwrap();
+    assert_eq!(cam.stats().retries, 4);
+    assert_eq!(faulty.injected(), 4);
+
+    // The retried writes actually landed on media.
+    let out = cam.alloc(4 * 4096).unwrap();
+    dev.prefetch(&[10, 11, 12, 13], out.addr()).unwrap();
+    dev.prefetch_synchronize().unwrap();
+    assert!(out.to_vec().iter().all(|&b| b == 0x5a));
+}
+
+#[test]
+fn permanent_faults_are_not_retried() {
+    // Legacy every-Nth policies inject deterministic (non-transient)
+    // errors: the retry engine must fail them immediately, preserving the
+    // exact error counts the fault suite asserts.
+    let (rig, faulty) = faulty_rig(2, FaultPolicy::reads_in(100, 200));
+    let cam = CamContext::attach(&rig, retrying_config());
+    let dev = cam.device();
+    let buf = cam.alloc(16 * 4096).unwrap();
+
+    let lbas: Vec<u64> = (200..216).collect(); // 8 requests hit the faulty SSD
+    dev.prefetch(&lbas, buf.addr()).unwrap();
+    match dev.prefetch_synchronize() {
+        Err(CamError::Io { failed }) => assert_eq!(failed, 8),
+        other => panic!("expected Io error, got {other:?}"),
+    }
+    let stats = cam.stats();
+    assert_eq!(stats.retries, 0, "deterministic faults must not retry");
+    assert_eq!(faulty.injected(), 8, "exactly one attempt per command");
+}
+
+#[test]
+fn stuck_command_fails_by_deadline_without_wedging_the_worker() {
+    // LBA range 0..1 on the only SSD never stops failing transiently. With
+    // an effectively unbounded retry budget, only the per-command deadline
+    // ends it — as a failed command, after which the channel keeps working.
+    let (rig, _faulty) = faulty_rig(1, FaultPolicy::transient_reads_in(0, 1, u32::MAX));
+    let registry = Arc::new(MetricsRegistry::new());
+    let cfg = CamConfig {
+        max_retries: u32::MAX,
+        retry_backoff_ns: 1_000,
+        cmd_deadline_ns: Some(3_000_000), // 3 ms
+        ..CamConfig::default()
+    };
+    let obs = Observability::with_registry(Arc::clone(&registry));
+    let cam = CamContext::attach_observed(&rig, cfg, obs);
+    let dev = cam.device();
+    let buf = cam.alloc(4 * 4096).unwrap();
+
+    // One stuck command amid healthy ones: exactly one failure surfaces.
+    dev.prefetch(&[0, 1, 2, 3], buf.addr()).unwrap();
+    match dev.prefetch_synchronize() {
+        Err(CamError::Io { failed }) => assert_eq!(failed, 1),
+        other => panic!("expected the stuck command to fail, got {other:?}"),
+    }
+    let stats = cam.stats();
+    assert!(stats.cmd_timeouts >= 1, "stats: {stats:?}");
+    assert!(
+        stats.retries > 0,
+        "the command was retried before timing out"
+    );
+    assert!(registry.to_prometheus().contains("cam_cmd_timeouts_total"));
+
+    // The worker thread survived: a healthy batch retires normally.
+    dev.prefetch(&[2, 3], buf.addr()).unwrap();
+    dev.prefetch_synchronize().unwrap();
+}
+
+#[test]
+fn blocking_baseline_still_retries() {
+    // The blocking (non-pipelined) mode shares the reactor code path, so
+    // retry transparency holds there too.
+    let (rig, _faulty) = faulty_rig(1, FaultPolicy::transient_reads_in(0, 4096, 1));
+    let cfg = CamConfig {
+        pipelined: false,
+        ..retrying_config()
+    };
+    let cam = CamContext::attach(&rig, cfg);
+    let dev = cam.device();
+    let buf = cam.alloc(4 * 4096).unwrap();
+    dev.prefetch(&[0, 1, 2, 3], buf.addr()).unwrap();
+    dev.prefetch_synchronize().unwrap();
+    assert_eq!(cam.stats().retries, 4);
+}

@@ -381,6 +381,12 @@ fn block_err_status(e: BlockError) -> Status {
     match e {
         BlockError::OutOfRange { .. } => Status::LbaOutOfRange,
         BlockError::BadBuffer { .. } => Status::InvalidField,
+        BlockError::Media {
+            transient: true, ..
+        } => Status::TransientMediaError,
+        BlockError::Media {
+            transient: false, ..
+        } => Status::MediaError,
     }
 }
 

@@ -42,6 +42,7 @@ pub struct QpStats {
     submitted: AtomicU64,
     completed: AtomicU64,
     doorbells: AtomicU64,
+    peak_inflight: AtomicU64,
 }
 
 impl QpStats {
@@ -58,6 +59,13 @@ impl QpStats {
     /// Doorbell rings. `submitted / doorbells` is the mean batch size.
     pub fn doorbells(&self) -> u64 {
         self.doorbells.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of commands in flight, sampled at each doorbell.
+    /// A pipelined control plane shows values above the per-group batch
+    /// size here; a blocking one never exceeds it.
+    pub fn peak_in_flight(&self) -> u64 {
+        self.peak_inflight.load(Ordering::Relaxed)
     }
 }
 
@@ -156,7 +164,11 @@ impl QueuePair {
                 .push(sqe)
                 .expect("SQ overflow despite depth accounting");
         }
-        self.stats.submitted.fetch_add(n as u64, Ordering::Release);
+        let submitted = self.stats.submitted.fetch_add(n as u64, Ordering::Release) + n as u64;
+        let now_inflight = submitted - self.stats.completed();
+        self.stats
+            .peak_inflight
+            .fetch_max(now_inflight, Ordering::Relaxed);
         self.stats.doorbells.fetch_add(1, Ordering::Relaxed);
         if let Some(h) = self.doorbell_batch.get() {
             h.record(n as u64);
@@ -264,6 +276,7 @@ mod tests {
         assert!(qp.poll_cqe().is_some());
         qp.submit(Sqe::read(3, 0, 1, 0)).unwrap();
         assert_eq!(qp.in_flight(), 2);
+        assert_eq!(qp.stats().peak_in_flight(), 2);
     }
 
     #[test]

@@ -81,6 +81,11 @@ pub enum Status {
     InvalidField,
     /// The DMA address was outside every registered region.
     DataTransferError,
+    /// The media failed the access and a retry will not help.
+    MediaError,
+    /// The media failed the access but the condition may clear: the host is
+    /// expected to retry the command (bounded by its retry policy).
+    TransientMediaError,
 }
 
 impl Status {
@@ -88,6 +93,13 @@ impl Status {
     #[inline]
     pub fn is_ok(self) -> bool {
         self == Status::Success
+    }
+
+    /// Whether a retry of the same command may succeed. Only transient
+    /// media errors qualify; addressing and DMA failures are deterministic.
+    #[inline]
+    pub fn is_transient(self) -> bool {
+        self == Status::TransientMediaError
     }
 }
 
@@ -120,5 +132,19 @@ mod tests {
     fn status_predicate() {
         assert!(Status::Success.is_ok());
         assert!(!Status::LbaOutOfRange.is_ok());
+    }
+
+    #[test]
+    fn only_transient_media_errors_are_retryable() {
+        assert!(Status::TransientMediaError.is_transient());
+        for s in [
+            Status::Success,
+            Status::LbaOutOfRange,
+            Status::InvalidField,
+            Status::DataTransferError,
+            Status::MediaError,
+        ] {
+            assert!(!s.is_transient(), "{s:?} must not be retryable");
+        }
     }
 }

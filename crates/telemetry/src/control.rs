@@ -27,6 +27,11 @@ use crate::span::Stage;
 /// | `cam_ssd_submitted_total` / `cam_ssd_completed_total` | counter | `ssd` |
 /// | `cam_dedup_dropped_total` | counter | — |
 /// | `cam_sync_wait_ns` | histogram | — |
+/// | `cam_retries_total` | counter | — |
+/// | `cam_cmd_timeouts_total` | counter | — |
+/// | `cam_stripe_splits_total` | counter | — |
+/// | `cam_inflight` | gauge | `ssd` |
+/// | `cam_inflight_peak` | gauge | `ssd` |
 pub struct ControlMetrics {
     /// Batches retired.
     pub batches: Counter,
@@ -53,8 +58,20 @@ pub struct ControlMetrics {
     /// Duplicate LBAs removed from read batches before group dispatch (the
     /// dropped requests are served by a host-side copy at retire).
     pub dedup_dropped: Counter,
+    /// Commands re-submitted after a transient NVMe failure.
+    pub retries: Counter,
+    /// Commands abandoned because their deadline expired.
+    pub cmd_timeouts: Counter,
+    /// Extra requests created by stripe-boundary splitting (runs emitted
+    /// minus requests submitted).
+    pub stripe_splits: Counter,
     /// Time host threads spent spinning in `synchronize_*`.
     pub sync_wait_ns: HistogramHandle,
+    /// Per-SSD commands currently in flight (sampled at each doorbell and
+    /// reap by the owning worker).
+    pub inflight: Vec<Gauge>,
+    /// Per-SSD high-water mark of in-flight commands.
+    pub inflight_peak: Vec<Gauge>,
     /// Per-SSD submit-phase latency (worker dequeue → doorbell rung).
     pub ssd_submit_ns: Vec<HistogramHandle>,
     /// Per-SSD completion-phase latency (doorbell rung → last CQE).
@@ -104,7 +121,16 @@ impl ControlMetrics {
             scaler_grow: reg.counter("cam_scaler_grow_total"),
             scaler_shrink: reg.counter("cam_scaler_shrink_total"),
             dedup_dropped: reg.counter("cam_dedup_dropped_total"),
+            retries: reg.counter("cam_retries_total"),
+            cmd_timeouts: reg.counter("cam_cmd_timeouts_total"),
+            stripe_splits: reg.counter("cam_stripe_splits_total"),
             sync_wait_ns: reg.histogram("cam_sync_wait_ns"),
+            inflight: (0..n_ssds)
+                .map(|i| reg.gauge(&format!("cam_inflight{{ssd=\"{i}\"}}")))
+                .collect(),
+            inflight_peak: (0..n_ssds)
+                .map(|i| reg.gauge(&format!("cam_inflight_peak{{ssd=\"{i}\"}}")))
+                .collect(),
             ssd_submit_ns: (0..n_ssds)
                 .map(|i| reg.histogram(&format!("cam_ssd_submit_ns{{ssd=\"{i}\"}}")))
                 .collect(),

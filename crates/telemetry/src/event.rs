@@ -184,6 +184,33 @@ pub enum EventKind {
         /// Dirty blocks flushed.
         blocks: u32,
     },
+    /// The reactor re-queued a command after a transient NVMe failure.
+    CmdRetry {
+        /// Channel index of the owning batch.
+        channel: u16,
+        /// Batch sequence number.
+        seq: u64,
+        /// SSD the command targets.
+        ssd: u16,
+        /// Command identifier the failed attempt carried.
+        cid: u16,
+        /// Attempt number that just failed (1 = first submission).
+        attempt: u32,
+    },
+    /// A command exhausted its deadline and was failed without retiring the
+    /// worker thread.
+    CmdTimeout {
+        /// Channel index of the owning batch.
+        channel: u16,
+        /// Batch sequence number.
+        seq: u64,
+        /// SSD the command targets.
+        ssd: u16,
+        /// Command identifier of the abandoned attempt.
+        cid: u16,
+        /// Submission attempts made before the deadline fired.
+        attempts: u32,
+    },
     /// DES engine: a simulated request was issued to an SSD.
     SimIssue {
         /// Simulated SSD index.
@@ -221,6 +248,8 @@ impl EventKind {
             EventKind::CacheEvict { .. } => "cache_evict",
             EventKind::Readahead { .. } => "readahead",
             EventKind::CacheFlush { .. } => "cache_flush",
+            EventKind::CmdRetry { .. } => "cmd_retry",
+            EventKind::CmdTimeout { .. } => "cmd_timeout",
             EventKind::SimIssue { .. } => "sim_issue",
             EventKind::SimComplete { .. } => "sim_complete",
         }
@@ -234,7 +263,9 @@ impl EventKind {
             | EventKind::GroupDispatch { channel, seq, .. }
             | EventKind::GroupSubmit { channel, seq, .. }
             | EventKind::GroupComplete { channel, seq, .. }
-            | EventKind::BatchRetire { channel, seq, .. } => Some((channel, seq)),
+            | EventKind::BatchRetire { channel, seq, .. }
+            | EventKind::CmdRetry { channel, seq, .. }
+            | EventKind::CmdTimeout { channel, seq, .. } => Some((channel, seq)),
             _ => None,
         }
     }
@@ -375,6 +406,32 @@ impl Event {
             EventKind::CacheFlush { blocks } => {
                 let _ = write!(out, ", \"blocks\": {blocks}");
             }
+            EventKind::CmdRetry {
+                channel,
+                seq,
+                ssd,
+                cid,
+                attempt,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"channel\": {channel}, \"batch\": {seq}, \"ssd\": {ssd}, \
+                     \"cid\": {cid}, \"attempt\": {attempt}"
+                );
+            }
+            EventKind::CmdTimeout {
+                channel,
+                seq,
+                ssd,
+                cid,
+                attempts,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"channel\": {channel}, \"batch\": {seq}, \"ssd\": {ssd}, \
+                     \"cid\": {cid}, \"attempts\": {attempts}"
+                );
+            }
             EventKind::SimIssue { ssd, req } | EventKind::SimComplete { ssd, req } => {
                 let _ = write!(out, ", \"ssd\": {ssd}, \"req\": {req}");
             }
@@ -474,6 +531,20 @@ mod tests {
                 window: 16,
             },
             EventKind::CacheFlush { blocks: 3 },
+            EventKind::CmdRetry {
+                channel: 0,
+                seq: 1,
+                ssd: 2,
+                cid: 7,
+                attempt: 1,
+            },
+            EventKind::CmdTimeout {
+                channel: 0,
+                seq: 1,
+                ssd: 2,
+                cid: 7,
+                attempts: 3,
+            },
             EventKind::SimIssue { ssd: 0, req: 0 },
             EventKind::SimComplete { ssd: 0, req: 0 },
         ];

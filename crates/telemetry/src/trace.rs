@@ -381,6 +381,32 @@ pub fn chrome_trace(events: &[Event], thread_names: &[(u32, String)]) -> String 
                 let args = format!(", \"args\": {{\"blocks\": {blocks}}}");
                 w.instant("cache flush", PID_FUNCTIONAL, tid, ev.ts_ns, &args);
             }
+            EventKind::CmdRetry {
+                channel,
+                seq,
+                ssd,
+                cid,
+                attempt,
+            } => {
+                let args = format!(
+                    ", \"args\": {{\"channel\": {channel}, \"batch\": {seq}, \"ssd\": {ssd}, \
+                     \"cid\": {cid}, \"attempt\": {attempt}}}"
+                );
+                w.instant("cmd retry", PID_FUNCTIONAL, tid, ev.ts_ns, &args);
+            }
+            EventKind::CmdTimeout {
+                channel,
+                seq,
+                ssd,
+                cid,
+                attempts,
+            } => {
+                let args = format!(
+                    ", \"args\": {{\"channel\": {channel}, \"batch\": {seq}, \"ssd\": {ssd}, \
+                     \"cid\": {cid}, \"attempts\": {attempts}}}"
+                );
+                w.instant("cmd timeout", PID_FUNCTIONAL, tid, ev.ts_ns, &args);
+            }
             EventKind::SimIssue { ssd, req } => {
                 w.async_ev(
                     'b',
