@@ -1,0 +1,504 @@
+//! Model-fidelity experiment: one seeded workload, two drivers of the same
+//! protocol layer.
+//!
+//! The threaded control plane (`cam-core`) and the DES driver
+//! (`cam_iostacks::cam_des`) both execute `cam-protocol`'s state machines.
+//! This experiment drives a matched multi-channel read workload — with
+//! duplicate LBAs and stripe-boundary crossings, so the planner has real
+//! decisions to make — through both, in pipelined and blocking mode, and
+//! compares:
+//!
+//! * **Decisions** ([`DecisionCounters`]): batches, requests, dedup drops,
+//!   stripe splits, groups, first submissions, retries, timeouts. These are
+//!   timing-independent, so all four runs must agree *exactly* with a pure
+//!   `plan_batch` replay.
+//! * **Timing trends**: per-SSD in-flight depth and doorbell→retire
+//!   latency. Wall-clock and virtual-time magnitudes differ (the rig
+//!   injects a 200 µs service latency; the DES runs calibrated P5510
+//!   models), so agreement is judged on *relative* terms — the reported
+//!   depth error and whether both drivers see the pipelined reactor beat
+//!   the blocking baseline.
+//!
+//! The `"fidelity"` section of `BENCH_repro.json` records all of it; see
+//! `docs/TIMING.md` for the methodology.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use cam_core::{CamConfig, CamContext, ChannelOp};
+use cam_iostacks::cam_des::{run_cam_des, CamDesBatch, CamDesConfig};
+use cam_iostacks::des::cam_thread_cost;
+use cam_iostacks::{Rig, RigConfig};
+use cam_protocol::{plan_batch, DecisionCounters, PlanConfig};
+use cam_telemetry::{EventKind, FlightRecorder, MetricsRegistry, Observability};
+
+/// SSDs in the array (both drivers).
+pub const N_SSDS: usize = 4;
+/// Channels driven concurrently (both drivers).
+pub const N_CHANNELS: usize = 4;
+const STRIPE_BLOCKS: u64 = 2;
+const BLOCK_SIZE: u32 = 4096;
+/// Blocks per request: 2 blocks starting at an odd LBA cross a stripe
+/// boundary, so roughly half the surviving requests split.
+const BLOCKS_PER_REQ: u32 = 2;
+const BATCH_REQS: usize = 16;
+/// Per-channel LBA window; 16 picks per batch from 96 slots makes
+/// duplicate LBAs (and thus dedup decisions) near-certain.
+const LBA_WINDOW: u64 = 96;
+/// Injected functional-rig service latency per burst (as in
+/// [`crate::pipeline_run`]): slow enough that overlap dominates.
+const SERVICE_LATENCY: Duration = Duration::from_micros(200);
+const SEED: u64 = 0x5EED_CAFE;
+
+/// One driver × mode measurement.
+pub struct FidelityModeReport {
+    /// Whether the reactor ran pipelined.
+    pub pipelined: bool,
+    /// Mean doorbell→retire latency, ns (wall-clock or virtual).
+    pub mean_read_ns: u64,
+    /// Mean in-flight depth per SSD (sampled gauges / time-weighted).
+    pub inflight_mean: Vec<f64>,
+    /// Peak in-flight depth per SSD.
+    pub inflight_peak: Vec<u64>,
+    /// Batches retired.
+    pub batches: u64,
+    /// Protocol decisions the run made.
+    pub decisions: DecisionCounters,
+}
+
+impl FidelityModeReport {
+    /// Mean in-flight depth across the array.
+    pub fn depth(&self) -> f64 {
+        let n = self.inflight_mean.len().max(1) as f64;
+        self.inflight_mean.iter().sum::<f64>() / n
+    }
+}
+
+/// One driver's pipelined run and blocking baseline.
+pub struct FidelityEngineReport {
+    /// Measurements with the pipelined reactor.
+    pub pipelined: FidelityModeReport,
+    /// Measurements with the blocking group-at-a-time baseline.
+    pub blocking: FidelityModeReport,
+}
+
+impl FidelityEngineReport {
+    /// Blocking-over-pipelined mean read latency ratio (> 1 = pipelining
+    /// wins).
+    pub fn speedup(&self) -> f64 {
+        if self.pipelined.mean_read_ns == 0 {
+            0.0
+        } else {
+            self.blocking.mean_read_ns as f64 / self.pipelined.mean_read_ns as f64
+        }
+    }
+}
+
+/// The full fidelity comparison: plan replay vs. threaded vs. DES.
+pub struct FidelityReport {
+    /// Pure `plan_batch` replay of the workload (one first submission per
+    /// planned run).
+    pub expected: DecisionCounters,
+    /// The threaded functional driver.
+    pub functional: FidelityEngineReport,
+    /// The DES driver over the calibrated timing models.
+    pub des: FidelityEngineReport,
+}
+
+impl FidelityReport {
+    /// Whether all four runs made exactly the planned decisions.
+    pub fn decisions_match(&self) -> bool {
+        [
+            &self.functional.pipelined,
+            &self.functional.blocking,
+            &self.des.pipelined,
+            &self.des.blocking,
+        ]
+        .iter()
+        .all(|m| m.decisions == self.expected)
+    }
+
+    /// Relative error of the DES mean in-flight depth against the
+    /// functional driver's, for the given mode.
+    pub fn depth_rel_err(&self, pipelined: bool) -> f64 {
+        let (f, d) = if pipelined {
+            (&self.functional.pipelined, &self.des.pipelined)
+        } else {
+            (&self.functional.blocking, &self.des.blocking)
+        };
+        (d.depth() - f.depth()).abs() / f.depth().max(1e-9)
+    }
+
+    /// Whether both drivers agree on the direction of the
+    /// pipelined-vs-blocking comparison.
+    pub fn speedup_direction_agrees(&self) -> bool {
+        (self.functional.speedup() >= 1.0) == (self.des.speedup() >= 1.0)
+    }
+}
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// The seeded workload both drivers run: `rounds` batches per channel,
+/// each batch [`BATCH_REQS`] two-block reads drawn from the channel's
+/// [`LBA_WINDOW`]-slot window. Deterministic: same rounds, same batches.
+pub fn fidelity_workload(rounds: u64) -> Vec<Vec<CamDesBatch>> {
+    let mut rng = Lcg(SEED);
+    (0..N_CHANNELS)
+        .map(|ch| {
+            let base = ch as u64 * 256;
+            (0..rounds)
+                .map(|_| CamDesBatch {
+                    lbas: (0..BATCH_REQS)
+                        .map(|_| base + rng.next() % LBA_WINDOW)
+                        .collect(),
+                    blocks: BLOCKS_PER_REQ,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Replays the workload through `plan_batch` alone: the decision counters
+/// a fault-free execution must produce, under either driver.
+pub fn expected_decisions(channels: &[Vec<CamDesBatch>]) -> DecisionCounters {
+    let cfg = PlanConfig {
+        n_ssds: N_SSDS,
+        stripe_blocks: STRIPE_BLOCKS,
+        block_size: BLOCK_SIZE,
+    };
+    let mut d = DecisionCounters::default();
+    for ch in channels {
+        for b in ch {
+            let stride = u64::from(b.blocks) * u64::from(BLOCK_SIZE);
+            let reqs = b
+                .lbas
+                .iter()
+                .enumerate()
+                .map(|(i, &lba)| (lba, i as u64 * stride))
+                .collect();
+            let plan = plan_batch(&cfg, ChannelOp::Read, b.blocks, reqs);
+            d.record_plan(&plan);
+            d.sqes += plan.runs();
+        }
+    }
+    d
+}
+
+/// Runs the workload on both drivers in both modes and assembles the
+/// comparison.
+pub fn run_fidelity_experiment(rounds: u64) -> FidelityReport {
+    let workload = fidelity_workload(rounds);
+    FidelityReport {
+        expected: expected_decisions(&workload),
+        functional: FidelityEngineReport {
+            pipelined: run_functional(true, &workload),
+            blocking: run_functional(false, &workload),
+        },
+        des: FidelityEngineReport {
+            pipelined: run_des(true, &workload, None),
+            blocking: run_des(false, &workload, None),
+        },
+    }
+}
+
+fn run_functional(pipelined: bool, channels: &[Vec<CamDesBatch>]) -> FidelityModeReport {
+    let rig = Rig::new(RigConfig {
+        n_ssds: N_SSDS,
+        stripe_blocks: STRIPE_BLOCKS,
+        burst_latency: Some(SERVICE_LATENCY),
+        ..RigConfig::default()
+    });
+    assert_eq!(rig.block_size(), BLOCK_SIZE);
+    let registry = Arc::new(MetricsRegistry::new());
+    // The recorder is the group-count witness: one GroupDispatch event per
+    // non-empty per-SSD group the poller ships.
+    let recorder = Arc::new(FlightRecorder::new());
+    let mut obs = Observability::with_registry(Arc::clone(&registry));
+    obs.recorder = Some(Arc::clone(&recorder));
+    let cfg = CamConfig {
+        n_channels: N_CHANNELS,
+        // One worker owning all SSDs, as in the pipeline experiment: any
+        // overlap must come from the reactor, not thread parallelism.
+        workers: Some(1),
+        pipelined,
+        ..CamConfig::default()
+    };
+    let cam = CamContext::attach_observed(&rig, cfg, obs);
+    let metrics = Arc::clone(cam.metrics());
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let sampler = {
+        let metrics = Arc::clone(&metrics);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut sums = vec![0u64; N_SSDS];
+            let mut samples = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                for (ssd, sum) in sums.iter_mut().enumerate() {
+                    *sum += metrics.inflight[ssd].get();
+                }
+                samples += 1;
+                std::thread::sleep(Duration::from_micros(20));
+            }
+            (sums, samples)
+        })
+    };
+
+    let bytes_per_req = BLOCKS_PER_REQ as usize * BLOCK_SIZE as usize;
+    std::thread::scope(|s| {
+        for (ch, rounds) in channels.iter().enumerate() {
+            let dev = cam.device();
+            let buf = cam.alloc(BATCH_REQS * bytes_per_req).unwrap();
+            s.spawn(move || {
+                let addr = buf.addr();
+                for b in rounds {
+                    let ticket = dev
+                        .submit_scatter(
+                            ch,
+                            ChannelOp::Read,
+                            &b.lbas,
+                            |i| addr + (i * bytes_per_req) as u64,
+                            b.blocks,
+                        )
+                        .expect("submit");
+                    ticket.wait().expect("batch retires cleanly");
+                }
+            });
+        }
+    });
+    stop.store(true, Ordering::Release);
+    let (sums, samples) = sampler.join().expect("sampler");
+
+    let snapshot = registry.snapshot();
+    let groups = recorder
+        .snapshot()
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::GroupDispatch { .. }))
+        .count() as u64;
+    let decisions = DecisionCounters {
+        batches: snapshot.counter("cam_batches_total"),
+        requests: snapshot.counter("cam_requests_total"),
+        dedup_dropped: snapshot.counter("cam_dedup_dropped_total"),
+        stripe_splits: snapshot.counter("cam_stripe_splits_total"),
+        groups,
+        sqes: snapshot.sum_counters("cam_ssd_submitted_total"),
+        retries: snapshot.counter("cam_retries_total"),
+        timeouts: snapshot.counter("cam_cmd_timeouts_total"),
+    };
+    let (mut total_ns, mut batches) = (0u128, 0u64);
+    for ch in 0..N_CHANNELS {
+        let name = format!("cam_batch_total_ns{{channel=\"{ch}\",op=\"read\"}}");
+        if let Some(h) = snapshot.histogram(&name) {
+            total_ns += h.sum;
+            batches += h.count;
+        }
+    }
+    FidelityModeReport {
+        pipelined,
+        mean_read_ns: (total_ns / u128::from(batches.max(1))) as u64,
+        inflight_mean: sums
+            .iter()
+            .map(|&s| s as f64 / samples.max(1) as f64)
+            .collect(),
+        inflight_peak: (0..N_SSDS)
+            .map(|ssd| snapshot.gauge(&format!("cam_inflight_peak{{ssd=\"{ssd}\"}}")))
+            .collect(),
+        batches,
+        decisions,
+    }
+}
+
+/// Runs one DES mode of the fidelity workload; an attached recorder
+/// observes the virtual-time issue/complete stream without perturbing it
+/// (the `"fidelity"` generator uses this for the trace artifact).
+pub fn run_des(
+    pipelined: bool,
+    channels: &[Vec<CamDesBatch>],
+    recorder: Option<Arc<FlightRecorder>>,
+) -> FidelityModeReport {
+    let r = run_cam_des(
+        CamDesConfig {
+            n_ssds: N_SSDS,
+            block_size: BLOCK_SIZE,
+            stripe_blocks: STRIPE_BLOCKS,
+            op: ChannelOp::Read,
+            threads: 1,
+            queue_depth: CamConfig::default().queue_depth,
+            pipelined,
+            thread_cost: cam_thread_cost(N_SSDS as f64),
+            host_gbps: 21.0,
+        },
+        channels.to_vec(),
+        recorder,
+    );
+    FidelityModeReport {
+        pipelined,
+        mean_read_ns: r.mean_batch_ns as u64,
+        inflight_mean: r.inflight_mean,
+        inflight_peak: r.inflight_peak,
+        batches: r.batches,
+        decisions: r.decisions,
+    }
+}
+
+/// The `"fidelity"` section of `BENCH_repro.json`.
+pub fn fidelity_section_json(report: &FidelityReport) -> String {
+    let decisions = |d: &DecisionCounters| {
+        format!(
+            "{{\"batches\": {}, \"requests\": {}, \"dedup_dropped\": {}, \
+             \"stripe_splits\": {}, \"groups\": {}, \"sqes\": {}, \
+             \"retries\": {}, \"timeouts\": {}}}",
+            d.batches,
+            d.requests,
+            d.dedup_dropped,
+            d.stripe_splits,
+            d.groups,
+            d.sqes,
+            d.retries,
+            d.timeouts
+        )
+    };
+    let mode = |m: &FidelityModeReport| {
+        let means = m
+            .inflight_mean
+            .iter()
+            .map(|v| format!("{v:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let peaks = m
+            .inflight_peak
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"inflight_mean\": [{means}], \"inflight_peak\": [{peaks}], \
+             \"mean_read_ns\": {}, \"batches\": {}}}",
+            m.mean_read_ns, m.batches
+        )
+    };
+    let engine = |e: &FidelityEngineReport| {
+        format!(
+            "{{\n      \"pipelined\": {},\n      \"blocking\": {},\n      \
+             \"read_latency_speedup\": {:.2}\n    }}",
+            mode(&e.pipelined),
+            mode(&e.blocking),
+            e.speedup()
+        )
+    };
+    let mut out = String::with_capacity(1536);
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "    \"workload\": {{\"channels\": {N_CHANNELS}, \"ssds\": {N_SSDS}, \
+         \"stripe_blocks\": {STRIPE_BLOCKS}, \"blocks_per_req\": {BLOCKS_PER_REQ}, \
+         \"batch_requests\": {BATCH_REQS}, \"lba_window\": {LBA_WINDOW}, \
+         \"seed\": {SEED}}},"
+    );
+    let _ = writeln!(out, "    \"decisions\": {},", decisions(&report.expected));
+    let _ = writeln!(out, "    \"functional\": {},", engine(&report.functional));
+    let _ = writeln!(out, "    \"des\": {},", engine(&report.des));
+    let _ = writeln!(
+        out,
+        "    \"agreement\": {{\"decisions_match\": {}, \
+         \"inflight_rel_err_pipelined\": {:.4}, \
+         \"inflight_rel_err_blocking\": {:.4}, \
+         \"speedup_ratio_des_over_functional\": {:.4}, \
+         \"speedup_direction_agrees\": {}}}",
+        report.decisions_match(),
+        report.depth_rel_err(true),
+        report.depth_rel_err(false),
+        report.des.speedup() / report.functional.speedup().max(1e-9),
+        report.speedup_direction_agrees()
+    );
+    out.push_str("  }");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_drivers_make_exactly_the_planned_decisions() {
+        let report = run_fidelity_experiment(6);
+        // The workload exercises real planner decisions, not a trivial
+        // pass-through.
+        assert!(report.expected.dedup_dropped > 0, "workload has no dups");
+        assert!(report.expected.stripe_splits > 0, "workload has no splits");
+        assert_eq!(report.expected.batches, 6 * N_CHANNELS as u64);
+        for (name, m) in [
+            ("functional/pipelined", &report.functional.pipelined),
+            ("functional/blocking", &report.functional.blocking),
+            ("des/pipelined", &report.des.pipelined),
+            ("des/blocking", &report.des.blocking),
+        ] {
+            assert_eq!(
+                m.decisions, report.expected,
+                "{name} diverged from the plan replay"
+            );
+            assert_eq!(m.batches, report.expected.batches, "{name} batches");
+        }
+        assert!(report.decisions_match());
+
+        // Trend agreement: both drivers see pipelining win, and the DES
+        // deepens the device queues when pipelined just like the reactor.
+        assert!(
+            report.functional.speedup() >= 1.0,
+            "functional pipelining lost: {:.3}x",
+            report.functional.speedup()
+        );
+        assert!(
+            report.des.speedup() > 1.0,
+            "DES pipelining lost: {:.3}x",
+            report.des.speedup()
+        );
+        assert!(report.speedup_direction_agrees());
+        assert!(
+            report.des.pipelined.depth() > report.des.blocking.depth(),
+            "DES pipelined depth {:.3} <= blocking {:.3}",
+            report.des.pipelined.depth(),
+            report.des.blocking.depth()
+        );
+
+        let json = fidelity_section_json(&report);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        for key in [
+            "\"workload\"",
+            "\"decisions\"",
+            "\"functional\"",
+            "\"des\"",
+            "\"agreement\"",
+            "\"decisions_match\": true",
+            "\"speedup_direction_agrees\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let a = fidelity_workload(4);
+        let b = fidelity_workload(4);
+        assert_eq!(a.len(), N_CHANNELS);
+        for (ca, cb) in a.iter().zip(&b) {
+            assert_eq!(ca.len(), 4);
+            for (ba, bb) in ca.iter().zip(cb) {
+                assert_eq!(ba.lbas, bb.lbas);
+            }
+        }
+        assert_eq!(expected_decisions(&a), expected_decisions(&b));
+    }
+}

@@ -79,6 +79,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Generator)> {
             "GPU-memory block cache: hit rate / NVMe-submission sweep (writes cache_trace.json)",
             cache,
         ),
+        (
+            "fidelity",
+            "Model fidelity: DES driver vs functional driver on a matched workload (writes fidelity_trace.json)",
+            fidelity,
+        ),
     ]
 }
 
@@ -665,7 +670,10 @@ fn bench() -> Vec<Table> {
     // read latency than the blocking baseline.
     let reports = crate::cache_run::run_cache_sweep(&[256, 2048]);
     let pipeline = crate::pipeline_run::run_pipeline_experiment(16);
-    let json = bench_json(&run, Some(&reports), Some(&pipeline));
+    // The fidelity comparison rides along so BENCH_repro.json records the
+    // DES-vs-functional decision agreement and timing trends.
+    let fidelity = crate::fidelity_run::run_fidelity_experiment(8);
+    let json = bench_json(&run, Some(&reports), Some(&pipeline), Some(&fidelity));
     let path = "BENCH_repro.json";
     match std::fs::write(path, &json) {
         Ok(()) => {}
@@ -838,6 +846,112 @@ fn cache() -> Vec<Table> {
     vec![t]
 }
 
+fn fidelity() -> Vec<Table> {
+    use crate::fidelity_run::{
+        fidelity_workload, run_des, run_fidelity_experiment, N_CHANNELS, N_SSDS,
+    };
+    use cam_telemetry::trace::{chrome_trace, validate_chrome_trace};
+    use cam_telemetry::FlightRecorder;
+    use std::sync::Arc;
+
+    let report = run_fidelity_experiment(8);
+
+    // The decision comparison: every counter, plan replay vs. each
+    // driver × mode. The whole point is that the four rightmost columns
+    // are identical.
+    let mut t = Table::new(
+        "Model fidelity: protocol decisions, plan replay vs threaded vs DES driver",
+        &[
+            "decision",
+            "expected",
+            "func piped",
+            "func blocking",
+            "des piped",
+            "des blocking",
+        ],
+    );
+    let fields = |d: &cam_protocol::DecisionCounters| {
+        [
+            ("batches", d.batches),
+            ("requests", d.requests),
+            ("dedup dropped", d.dedup_dropped),
+            ("stripe splits", d.stripe_splits),
+            ("groups", d.groups),
+            ("sqes", d.sqes),
+            ("retries", d.retries),
+            ("timeouts", d.timeouts),
+        ]
+    };
+    let cols = [
+        fields(&report.expected),
+        fields(&report.functional.pipelined.decisions),
+        fields(&report.functional.blocking.decisions),
+        fields(&report.des.pipelined.decisions),
+        fields(&report.des.blocking.decisions),
+    ];
+    for i in 0..cols[0].len() {
+        let mut row = vec![cols[0][i].0.to_string()];
+        row.extend(cols.iter().map(|c| c[i].1.to_string()));
+        t.row(row);
+    }
+    t.note(format!(
+        "decisions_match: {} ({N_CHANNELS} channels x 8 batches, {N_SSDS} SSDs, seeded workload)",
+        report.decisions_match()
+    ));
+
+    // The timing-trend comparison: magnitudes differ by design (wall clock
+    // vs calibrated virtual time), directions must not.
+    let mut tr = Table::new(
+        "Model fidelity: in-flight depth and doorbell->retire latency trends",
+        &["driver", "mode", "mean depth", "mean read (us)", "speedup"],
+    );
+    for (driver, engine) in [("functional", &report.functional), ("des", &report.des)] {
+        for m in [&engine.pipelined, &engine.blocking] {
+            tr.row(vec![
+                driver.into(),
+                if m.pipelined { "pipelined" } else { "blocking" }.into(),
+                format!("{:.2}", m.depth()),
+                format!("{:.1}", m.mean_read_ns as f64 / 1e3),
+                if m.pipelined {
+                    format!("{:.2}x", engine.speedup())
+                } else {
+                    "-".into()
+                },
+            ]);
+        }
+    }
+    tr.note(format!(
+        "depth rel err: {:.2} piped / {:.2} blocking; speedup direction agrees: {}",
+        report.depth_rel_err(true),
+        report.depth_rel_err(false),
+        report.speedup_direction_agrees()
+    ));
+
+    // The virtual-time trace artifact: a recorded DES pipelined run,
+    // validated before writing (sim-ssd tracks under process 2).
+    let rec = Arc::new(FlightRecorder::new());
+    let _ = run_des(true, &fidelity_workload(8), Some(Arc::clone(&rec)));
+    let trace = chrome_trace(&rec.snapshot(), &rec.thread_names());
+    let path = "fidelity_trace.json";
+    match validate_chrome_trace(&trace) {
+        Ok(summary) => {
+            match std::fs::write(path, &trace) {
+                Ok(()) => {}
+                Err(e) => eprintln!("warning: could not write {path}: {e}"),
+            }
+            tr.note(format!(
+                "DES trace valid: {} events across {} tracks, written to {path}",
+                summary.events,
+                summary.named_tracks.len(),
+            ));
+        }
+        Err(e) => {
+            tr.note(format!("DES trace FAILED validation: {e}"));
+        }
+    }
+    vec![t, tr]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -848,7 +962,7 @@ mod tests {
         for want in [
             "tab1", "fig1", "fig2", "fig3", "fig4", "tab3", "tab4", "tab5", "fig8", "fig9",
             "fig10", "tab6", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "issue2",
-            "motiv", "bench", "cache",
+            "motiv", "bench", "cache", "fidelity",
         ] {
             assert!(ids.contains(&want), "missing {want}");
         }

@@ -139,11 +139,14 @@ pub fn run_traced(rounds: u64, batch: u64) -> (TelemetryRun, String) {
 /// `pipeline` carries the multi-channel pipelining experiment (see
 /// [`crate::pipeline_run`]), a `"pipeline"` section records per-SSD
 /// in-flight depth and read latency for the pipelined reactor vs. the
-/// blocking baseline.
+/// blocking baseline. When `fidelity` carries the two-driver comparison
+/// (see [`crate::fidelity_run`]), a `"fidelity"` section records the
+/// DES-vs-functional decision agreement and timing trends.
 pub fn bench_json(
     run: &TelemetryRun,
     cache: Option<&[crate::cache_run::CacheWorkloadReport]>,
     pipeline: Option<&crate::pipeline_run::PipelineReport>,
+    fidelity: Option<&crate::fidelity_run::FidelityReport>,
 ) -> String {
     let mut out = String::with_capacity(2048);
     out.push_str("{\n");
@@ -205,6 +208,10 @@ pub fn bench_json(
         out.push_str(",\n  \"pipeline\": ");
         out.push_str(&crate::pipeline_run::pipeline_section_json(report));
     }
+    if let Some(report) = fidelity {
+        out.push_str(",\n  \"fidelity\": ");
+        out.push_str(&crate::fidelity_run::fidelity_section_json(report));
+    }
     // Per-channel doorbell→retire latency attribution, only available when
     // the run carried a flight recorder.
     if !run.events.is_empty() {
@@ -240,7 +247,7 @@ mod tests {
     #[test]
     fn bench_json_is_balanced_and_complete() {
         let run = run_instrumented(2, 8);
-        let json = bench_json(&run, None, None);
+        let json = bench_json(&run, None, None, None);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         for key in [
             "\"workload\"",
@@ -271,7 +278,7 @@ mod tests {
             .filter(|e| matches!(e.kind, cam_telemetry::EventKind::BatchRetire { .. }))
             .count();
         assert_eq!(retires, 6);
-        let json = bench_json(&run, None, None);
+        let json = bench_json(&run, None, None, None);
         assert!(
             json.contains("\"critical_path\""),
             "missing section: {json}"

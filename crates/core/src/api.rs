@@ -45,6 +45,11 @@ pub struct CamConfig {
     /// flight per SSD up to queue depth. Turn off for the blocking
     /// group-at-a-time baseline (benchmarks only).
     pub pipelined: bool,
+    /// How long `synchronize_*` and [`BatchTicket::wait`] spin for region 4
+    /// before giving up with [`CamError::SyncTimeout`] — a wedged control
+    /// plane then surfaces as an error instead of a hung caller. `None` =
+    /// wait forever.
+    pub sync_timeout_ns: Option<u64>,
 }
 
 impl Default for CamConfig {
@@ -59,6 +64,7 @@ impl Default for CamConfig {
             retry_backoff_ns: 20_000,
             cmd_deadline_ns: None,
             pipelined: true,
+            sync_timeout_ns: Some(10_000_000_000),
         }
     }
 }
@@ -83,6 +89,12 @@ pub enum CamError {
     },
     /// No such channel.
     BadChannel(usize),
+    /// A synchronize (or ticket wait) exceeded
+    /// [`CamConfig::sync_timeout_ns`] without region 4 being written.
+    SyncTimeout {
+        /// How long the caller spun before giving up, nanoseconds.
+        waited_ns: u64,
+    },
     /// The OS refused to spawn a control-plane thread (resource
     /// exhaustion). Nothing was left running; retry with fewer workers.
     Spawn,
@@ -98,6 +110,11 @@ impl fmt::Display for CamError {
             CamError::ChannelBusy => write!(f, "channel busy: synchronize first"),
             CamError::Io { failed } => write!(f, "{failed} command(s) failed"),
             CamError::BadChannel(ch) => write!(f, "no such channel {ch}"),
+            CamError::SyncTimeout { waited_ns } => write!(
+                f,
+                "synchronize timed out after {:.3} s without a retire",
+                *waited_ns as f64 / 1e9
+            ),
             CamError::Spawn => write!(f, "failed to spawn a control-plane thread"),
         }
     }
@@ -112,6 +129,7 @@ pub struct CamContext {
     channels: Arc<Vec<Channel>>,
     control: ControlPlane,
     block_size: u32,
+    sync_timeout_ns: Option<u64>,
     registry: Arc<MetricsRegistry>,
     metrics: Arc<ControlMetrics>,
     /// Event layer, when the attachment was observed with a recorder.
@@ -210,6 +228,7 @@ impl CamContext {
             channels,
             control,
             block_size: rig.block_size(),
+            sync_timeout_ns: cfg.sync_timeout_ns,
             registry,
             metrics,
             recorder: obs.recorder,
@@ -243,6 +262,7 @@ impl CamContext {
         CamDevice {
             channels: Arc::clone(&self.channels),
             block_size: self.block_size,
+            sync_timeout_ns: self.sync_timeout_ns,
             sync_wait: self.metrics.sync_wait_ns.clone(),
             recorder: self.recorder.clone(),
         }
@@ -271,6 +291,7 @@ pub struct BatchTicket {
     channels: Arc<Vec<Channel>>,
     channel: usize,
     seq: u64,
+    timeout_ns: Option<u64>,
 }
 
 impl BatchTicket {
@@ -279,10 +300,18 @@ impl BatchTicket {
         self.channels[self.channel].retired(self.seq)
     }
 
-    /// Blocks until the batch retires; reports command failures.
+    /// Blocks until the batch retires (bounded by
+    /// [`CamConfig::sync_timeout_ns`]); reports command failures.
     pub fn wait(&self) -> Result<(), CamError> {
         let ch = &self.channels[self.channel];
+        let start_ns = clock::now_ns();
         while !ch.retired(self.seq) {
+            if let Some(limit) = self.timeout_ns {
+                let waited_ns = clock::now_ns().saturating_sub(start_ns);
+                if waited_ns > limit {
+                    return Err(CamError::SyncTimeout { waited_ns });
+                }
+            }
             std::thread::yield_now();
         }
         let failed = ch.take_new_errors();
@@ -301,6 +330,7 @@ impl BatchTicket {
 pub struct CamDevice {
     channels: Arc<Vec<Channel>>,
     block_size: u32,
+    sync_timeout_ns: Option<u64>,
     /// Telemetry: time threads spend blocked in `synchronize_*`.
     sync_wait: HistogramHandle,
     /// Event layer: sync-wait spans when the context has a recorder.
@@ -364,6 +394,7 @@ impl CamDevice {
             channels: Arc::clone(&self.channels),
             channel,
             seq,
+            timeout_ns: self.sync_timeout_ns,
         })
     }
 
@@ -415,6 +446,12 @@ impl CamDevice {
         let seq = ch.current_seq();
         let wait_start = clock::now_ns();
         while !ch.retired(seq) {
+            if let Some(limit) = self.sync_timeout_ns {
+                let waited_ns = clock::now_ns().saturating_sub(wait_start);
+                if waited_ns > limit {
+                    return Err(CamError::SyncTimeout { waited_ns });
+                }
+            }
             std::thread::yield_now();
         }
         self.sync_wait
@@ -430,6 +467,43 @@ impl CamDevice {
             Err(CamError::Io { failed })
         } else {
             Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A device over a channel nobody serves: region 4 never advances, so
+    /// both wait paths must give up with `SyncTimeout` instead of hanging.
+    fn orphan_device(timeout_ns: Option<u64>) -> CamDevice {
+        CamDevice {
+            channels: Arc::new(vec![Channel::new(4)]),
+            block_size: 4096,
+            sync_timeout_ns: timeout_ns,
+            sync_wait: MetricsRegistry::new().histogram("test_sync_wait_ns"),
+            recorder: None,
+        }
+    }
+
+    #[test]
+    fn ticket_wait_times_out_on_a_dead_channel() {
+        let dev = orphan_device(Some(2_000_000));
+        let ticket = dev.submit(0, ChannelOp::Read, &[1], 0).unwrap();
+        match ticket.wait() {
+            Err(CamError::SyncTimeout { waited_ns }) => assert!(waited_ns > 2_000_000),
+            other => panic!("expected SyncTimeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn synchronize_times_out_on_a_dead_channel() {
+        let dev = orphan_device(Some(2_000_000));
+        dev.submit(0, ChannelOp::Read, &[1], 0).unwrap();
+        match dev.synchronize_channel(0) {
+            Err(CamError::SyncTimeout { waited_ns }) => assert!(waited_ns > 2_000_000),
+            other => panic!("expected SyncTimeout, got {other:?}"),
         }
     }
 }

@@ -42,7 +42,11 @@ impl CamBackend {
 
 fn cam_to_backend(e: CamError) -> BackendError {
     match e {
-        CamError::Io { .. } => BackendError::Command(Status::DataTransferError),
+        // A sync timeout means the batch never retired — surface it as a
+        // failed command like any other lost I/O.
+        CamError::Io { .. } | CamError::SyncTimeout { .. } => {
+            BackendError::Command(Status::DataTransferError)
+        }
         CamError::BatchTooLarge {
             requested,
             capacity,

@@ -1,39 +1,26 @@
-//! The poller: doorbell pickup, read deduplication, and stripe-splitting.
+//! The poller: doorbell pickup and dispatch planning.
 //!
 //! One persistent thread snapshots each channel whose region-3 doorbell
-//! advanced, collapses duplicate read LBAs into host-side copy pairs,
-//! splits the batch by stripe across SSDs (counting the requests amplified
-//! by stripe-boundary crossings into `cam_stripe_splits_total`), and ships
-//! one [`WorkItem`] per non-empty per-SSD group to the reactor workers.
+//! advanced and hands the batch to [`cam_protocol::plan_batch`] — dedup,
+//! stripe split, per-SSD grouping all happen in the shared protocol layer,
+//! so the DES driver plans identically. The poller's own job is the
+//! threaded-driver glue: timestamps, metrics, events, and shipping one
+//! [`GroupSpec`] per non-empty group to the reactor workers.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
-use cam_simkit::Dur;
-use cam_telemetry::{clock, EventKind, Stage};
+use cam_protocol::{op_index, plan_batch, BatchCore, GroupSpec};
+use cam_telemetry::{EventKind, Stage};
 use crossbeam::channel::Sender;
 
-use crate::regions::ChannelOp;
+use super::Shared;
 
-use super::retire::BatchState;
-use super::{op_index, Shared};
-
-/// One per-SSD group of a batch, on its way to a worker.
-pub(super) struct WorkItem {
-    pub ssd: usize,
-    pub op: ChannelOp,
-    /// (device LBA, pinned address, blocks) — stripe-contiguous runs.
-    pub reqs: Vec<(u64, u64, u32)>,
-    pub batch: Arc<BatchState>,
-}
-
-pub(super) fn poller_loop(sh: &Shared, senders: &[Sender<WorkItem>]) {
+pub(super) fn poller_loop(sh: &Shared, senders: &[Sender<GroupSpec>]) {
     if let Some(rec) = &sh.recorder {
         rec.name_current_thread("cam-poller");
     }
     let mut last_seen = vec![0u64; sh.channels.len()];
-    let mut groups: Vec<Vec<(u64, u64, u32)>> = vec![Vec::new(); sh.n_ssds];
     while !sh.stop.load(Ordering::Acquire) {
         let mut progress = false;
         for (ch_idx, ch) in sh.channels.iter().enumerate() {
@@ -42,16 +29,17 @@ pub(super) fn poller_loop(sh: &Shared, senders: &[Sender<WorkItem>]) {
             };
             progress = true;
             last_seen[ch_idx] = seq;
-            let (op, blocks, mut reqs) = ch.snapshot();
-            let pickup_ns = clock::now_ns();
+            let (op, blocks, reqs) = ch.snapshot();
+            let pickup_ns = sh.clock.now_ns();
             let doorbell_ns = ch.published_at_ns();
-            let now = Instant::now();
-            let compute_gap = {
-                let mut lr = sh.last_retire.lock();
-                match lr.get_mut(ch_idx).and_then(|o| o.take()) {
-                    Some(t) => Dur::from_secs_f64(now.duration_since(t).as_secs_f64()),
-                    None => Dur::ZERO,
-                }
+            // Compute-gap estimate: the GPU-side interval between the
+            // channel's previous retire and this pickup. The retire path
+            // stores its timestamp; swapping it out consumes the sample.
+            let prev_retire = sh.last_retire[ch_idx].swap(0, Ordering::Relaxed);
+            let compute_gap_ns = if prev_retire > 0 {
+                pickup_ns.saturating_sub(prev_retire)
+            } else {
+                0
             };
             if reqs.is_empty() {
                 ch.retire(seq, 0);
@@ -84,92 +72,44 @@ pub(super) fn poller_loop(sh: &Shared, senders: &[Sender<WorkItem>]) {
                     },
                 );
             }
-            // Duplicate LBAs in one read batch would fetch the same blocks
-            // from the SSD several times. Keep the first destination per
-            // LBA, drop the rest from dispatch, and remember them as copy
-            // pairs: the retiring worker replicates the fetched data to
-            // every duplicate destination before region 4 is written, so
-            // the GPU still sees all of its destinations populated.
-            // Requests in a batch share `blocks`, so equal start LBAs cover
-            // identical ranges. Writes are left untouched (last-writer
-            // semantics would change if we collapsed them).
-            let requests = reqs.len() as u64;
-            let mut dups: Vec<(u64, u64)> = Vec::new();
-            if op == ChannelOp::Read {
-                let mut first: std::collections::HashMap<u64, u64> =
-                    std::collections::HashMap::with_capacity(reqs.len());
-                reqs.retain(|&(lba, addr)| match first.entry(lba) {
-                    std::collections::hash_map::Entry::Occupied(e) => {
-                        dups.push((*e.get(), addr));
-                        false
-                    }
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(addr);
-                        true
-                    }
-                });
-                if !dups.is_empty() {
-                    sh.metrics.dedup_dropped.add(dups.len() as u64);
-                }
+            let plan = plan_batch(&sh.plan, op, blocks, reqs);
+            if !plan.dups.is_empty() {
+                sh.metrics.dedup_dropped.add(plan.dups.len() as u64);
             }
-            // Split the batch by stripe across SSDs. Requests that cross a
-            // stripe boundary become several stripe-contiguous runs — the
-            // CPU control plane owns the striping, so GPU code never needs
-            // to know the array layout.
-            for g in &mut groups {
-                g.clear();
+            if plan.stripe_splits > 0 {
+                sh.metrics.stripe_splits.add(plan.stripe_splits);
             }
-            let bs = sh.block_size as u64;
-            let mut total_runs = 0u64;
-            for (lba, addr) in &reqs {
-                let mut done = 0u64;
-                while done < blocks as u64 {
-                    let cur = lba + done;
-                    let left = sh.stripe_blocks - cur % sh.stripe_blocks;
-                    let run = left.min(blocks as u64 - done) as u32;
-                    let (ssd, dev_lba) = sh.map(cur);
-                    groups[ssd].push((dev_lba, addr + done * bs, run));
-                    total_runs += 1;
-                    done += run as u64;
-                }
-            }
-            let splits = total_runs.saturating_sub(reqs.len() as u64);
-            if splits > 0 {
-                sh.metrics.stripe_splits.add(splits);
-            }
-            let n_groups = groups.iter().filter(|g| !g.is_empty()).count();
-            let batch = Arc::new(BatchState {
+            let batch = Arc::new(BatchCore {
                 channel: ch_idx,
                 seq,
-                op: op_idx,
-                remaining: AtomicUsize::new(n_groups),
+                op,
+                remaining: AtomicUsize::new(plan.n_groups()),
                 errors: AtomicU64::new(0),
-                requests,
-                dispatched: now,
-                compute_gap,
+                requests: plan.requests,
+                dispatched_ns: pickup_ns,
+                compute_gap_ns,
                 doorbell_ns,
                 pickup_ns,
-                dups,
+                dups: plan.dups,
                 blocks,
             });
             let active = sh
                 .active_workers
                 .load(Ordering::Relaxed)
                 .clamp(1, senders.len());
-            for (ssd, g) in groups.iter_mut().enumerate() {
-                if g.is_empty() {
+            for (ssd, reqs) in plan.groups.into_iter().enumerate() {
+                if reqs.is_empty() {
                     continue;
                 }
-                let item = WorkItem {
+                let spec = GroupSpec {
                     ssd,
-                    op,
-                    reqs: std::mem::take(g),
+                    reqs,
                     batch: Arc::clone(&batch),
                 };
                 // An SSD is always handled by the worker `ssd % active`, so
                 // one SSD's queue pairs are never polled by two threads at
                 // once within an active-count epoch.
-                let _ = senders[ssd % active].send(item);
+                let _ = senders[ssd % active].send(spec);
             }
         }
         if !progress {

@@ -1,34 +1,37 @@
-//! The CPU user-space control plane (§ III-A), as a layered engine.
+//! The CPU user-space control plane (§ III-A): the threaded driver over
+//! the pure protocol layer.
 //!
 //! One persistent **polling thread** ([`dispatch`]) watches every channel's
 //! doorbell ("CAM does not require persistent threads on the GPU. Instead,
 //! it requires a persistent thread on the CPU"). When a batch arrives it is
-//! deduplicated, split by stripe across SSDs, and handed to **worker
-//! threads**; each worker runs a completion-driven [`reactor`] over private
-//! queue pairs (SPDK's no-locks-in-the-I/O-path discipline): commands from
-//! *multiple* batches' groups are kept in flight per SSD up to queue depth,
-//! completions are reaped opportunistically and matched back to their
-//! originating request through a per-(worker, SSD) [`inflight`] command
-//! table, transient failures are re-submitted with bounded exponential
-//! backoff ([`retry`]), and batch retirement is pure completion accounting
-//! ([`retire`]) — no thread ever blocks on one group. The last group of a
-//! batch retires it by writing region 4 and feeds the [`DynamicScaler`]
-//! with the batch's compute/I/O times.
+//! planned by [`cam_protocol::plan_batch`] (dedup, stripe split, per-SSD
+//! grouping) and handed to **worker threads**; each worker ([`reactor`])
+//! drives a [`cam_protocol::WorkerCore`] state machine over private queue
+//! pairs (SPDK's no-locks-in-the-I/O-path discipline) and executes the
+//! [`cam_protocol::Command`]s it emits — SQE pushes, doorbell rings,
+//! telemetry records. Batch retirement is pure completion accounting
+//! ([`retire`]): the last group of a batch retires it by writing region 4
+//! and feeds the [`DynamicScaler`] with the batch's compute/I/O times.
+//!
+//! All protocol decisions live in `cam-protocol` and are clock-agnostic;
+//! this module is the *only* place wall-clock time enters — [`WallClock`]
+//! adapts the telemetry timeline to the protocol's
+//! [`Clock`](cam_protocol::Clock). The DES driver
+//! (`cam_iostacks::cam_des`) steps the same protocol objects in virtual
+//! time; `docs/TIMING.md` describes the split.
 //!
 //! [`DynamicScaler`]: crate::DynamicScaler
 
 mod dispatch;
-mod inflight;
 mod reactor;
 mod retire;
-mod retry;
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
 
 use cam_nvme::{DmaSpace, NvmeDevice, QueuePair};
+use cam_protocol::{Clock, GroupSpec, PlanConfig, RetryPolicy};
 use cam_simkit::Dur;
 use cam_telemetry::{
     ControlMetrics, FlightRecorder, Observability, PostmortemDumper, TelemetrySink,
@@ -36,17 +39,18 @@ use cam_telemetry::{
 use crossbeam::channel::Sender;
 use parking_lot::Mutex;
 
-use crate::regions::{Channel, ChannelOp};
+use crate::regions::Channel;
 use crate::scaler::DynamicScaler;
 
-use dispatch::WorkItem;
-use retry::RetryPolicy;
+/// The threaded driver's clock: the telemetry timeline
+/// ([`cam_telemetry::clock::now_ns`]), so protocol timestamps and trace
+/// events share one time base. This adapter is the only point where real
+/// time enters the control plane.
+struct WallClock;
 
-/// Index into [`ControlMetrics::OPS`] for a channel operation.
-fn op_index(op: ChannelOp) -> usize {
-    match op {
-        ChannelOp::Read => 0,
-        ChannelOp::Write => 1,
+impl Clock for WallClock {
+    fn now_ns(&self) -> u64 {
+        cam_telemetry::clock::now_ns()
     }
 }
 
@@ -173,8 +177,9 @@ struct Shared {
     /// `qps[ssd][worker]` — each worker's private queue pair per SSD.
     qps: Vec<Vec<Arc<QueuePair>>>,
     n_ssds: usize,
-    stripe_blocks: u64,
-    block_size: u32,
+    /// Array geometry for dispatch planning (and the block size for the
+    /// dedup replication copies at retire).
+    plan: PlanConfig,
     active_workers: AtomicUsize,
     stop: AtomicBool,
     scaler: Mutex<DynamicScaler>,
@@ -190,32 +195,23 @@ struct Shared {
     postmortem: Option<Arc<PostmortemDumper>>,
     /// Doorbell→retire budget for the post-mortem trigger.
     deadline_ns: Option<u64>,
-    /// Per-command retry/backoff/deadline policy for the reactor.
+    /// Per-command retry/backoff/deadline policy for the workers' protocol
+    /// cores.
     retry: RetryPolicy,
     /// Pipelined reactor vs. blocking group-at-a-time baseline.
     pipelined: bool,
-    /// Per-channel retire timestamps for compute-gap estimation, sized to
-    /// the channel count (a fixed-size array would drop samples for the
-    /// channels beyond it).
-    last_retire: Mutex<Vec<Option<Instant>>>,
-}
-
-impl Shared {
-    fn map(&self, lba: u64) -> (usize, u64) {
-        let n = self.n_ssds as u64;
-        let stripe = lba / self.stripe_blocks;
-        let within = lba % self.stripe_blocks;
-        (
-            (stripe % n) as usize,
-            (stripe / n) * self.stripe_blocks + within,
-        )
-    }
+    /// The driver clock every timestamp flows through (wall clock here;
+    /// the DES driver substitutes virtual time).
+    clock: Arc<dyn Clock>,
+    /// Per-channel retire timestamps (driver-clock ns; 0 = no retire yet)
+    /// for compute-gap estimation, sized to the channel count.
+    last_retire: Vec<AtomicU64>,
 }
 
 /// The running control plane. Stops and joins its threads on drop.
 pub(crate) struct ControlPlane {
     shared: Arc<Shared>,
-    senders: Vec<Sender<WorkItem>>,
+    senders: Vec<Sender<GroupSpec>>,
     poller: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -260,8 +256,11 @@ impl ControlPlane {
             dma,
             qps,
             n_ssds,
-            stripe_blocks: cfg.stripe_blocks,
-            block_size: cfg.block_size,
+            plan: PlanConfig {
+                n_ssds,
+                stripe_blocks: cfg.stripe_blocks,
+                block_size: cfg.block_size,
+            },
             active_workers: AtomicUsize::new(initial),
             stop: AtomicBool::new(false),
             scaler: Mutex::new(scaler),
@@ -277,7 +276,8 @@ impl ControlPlane {
                 deadline_ns: cfg.cmd_deadline_ns,
             },
             pipelined: cfg.pipelined,
-            last_retire: Mutex::new(vec![None; n_channels]),
+            clock: Arc::new(WallClock),
+            last_retire: (0..n_channels).map(|_| AtomicU64::new(0)).collect(),
         });
 
         // Any spawn failure unwinds what was already started: without the
@@ -293,7 +293,7 @@ impl ControlPlane {
         let mut senders = Vec::with_capacity(max_workers);
         let mut workers = Vec::with_capacity(max_workers);
         for wid in 0..max_workers {
-            let (tx, rx) = crossbeam::channel::unbounded::<WorkItem>();
+            let (tx, rx) = crossbeam::channel::unbounded::<GroupSpec>();
             let sh = Arc::clone(&shared);
             match std::thread::Builder::new()
                 .name(format!("cam-worker{wid}"))

@@ -1,101 +1,48 @@
-//! The completion-driven worker reactor.
+//! The threaded worker shell around [`WorkerCore`].
 //!
-//! Each worker multiplexes *all* of its accepted groups over one queue pair
-//! per SSD: it submits as many staged commands as queue depth admits —
-//! across batches — rings one doorbell per burst, then reaps whatever
-//! completions have landed and matches them back through the
-//! [`InflightTable`]. Nothing ever blocks on a single group, so an SSD's
-//! in-flight depth stays above one whenever independent batches overlap
-//! (the pipelining the blocking baseline forfeits). Transient failures are
-//! re-queued with backoff per [`RetryPolicy`]; a command over its deadline
-//! fails the command, never the thread.
+//! Each worker thread owns one private queue pair per SSD and a
+//! [`WorkerCore`] protocol state machine. The loop is pure driver glue:
+//! feed accepted groups in, [`pump`](WorkerCore::pump) at the wall clock,
+//! reap CQEs into [`on_cqe`](WorkerCore::on_cqe), and [`execute`] whatever
+//! [`Command`]s come back — SQE pushes, doorbell rings, metrics,
+//! flight-recorder events, batch retirement. Every submission,
+//! retry, and closure *decision* is the protocol's; the DES driver
+//! executes the same commands against a device timing model instead.
 //!
-//! [`RetryPolicy`]: super::retry::RetryPolicy
+//! A `Submit` command is executed infallibly: the protocol admits a
+//! command only when the lane's inflight table (sized to the queue depth)
+//! has room, and the queue pair admits exactly `depth − in_flight` staged
+//! SQEs — so admission there implies SQ room here.
 
-use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
-use cam_nvme::spec::{Cqe, Sqe, Status};
+use cam_nvme::spec::{Cqe, Sqe};
 use cam_nvme::QueuePair;
-use cam_telemetry::{clock, EventKind, Stage};
+use cam_protocol::{op_index, ChannelOp, Command, GroupSpec, WorkerCore};
+use cam_telemetry::{EventKind, Stage};
 use crossbeam::channel::{Receiver, RecvTimeoutError};
 
-use crate::regions::ChannelOp;
-
-use super::dispatch::WorkItem;
-use super::inflight::InflightTable;
-use super::retire::{retire_batch, BatchState};
-use super::retry::Verdict;
+use super::retire::retire_batch;
 use super::Shared;
 
-/// One command's reactor-side state, from dispatch to final completion.
-struct PendingCmd {
-    /// Key into the worker's group slab.
-    group: u64,
-    dev_lba: u64,
-    addr: u64,
-    blocks: u32,
-    /// Submissions so far (0 = never hit the wire).
-    attempts: u32,
-    /// Backoff gate: not re-submitted before this timeline instant.
-    earliest_ns: u64,
-    /// Absolute deadline; `None` = unbounded.
-    deadline_ns: Option<u64>,
-    /// CID of the most recent attempt (for timeout events).
-    last_cid: u16,
-}
-
-/// Per-SSD submission state: the private queue pair, commands waiting to be
-/// (re-)submitted, and the CID-keyed in-flight table.
-struct Lane {
-    ssd: usize,
-    qp: Arc<QueuePair>,
-    queue: VecDeque<PendingCmd>,
-    inflight: InflightTable<PendingCmd>,
-}
-
-/// One accepted per-SSD group and its completion accounting.
-struct GroupState {
-    batch: Arc<BatchState>,
-    op: ChannelOp,
-    ssd: usize,
-    /// Commands in the group.
-    total: usize,
-    /// Commands finally completed (success, permanent failure, or timeout).
-    done: usize,
-    /// Failed commands among `done`.
-    errors: u64,
-    /// Commands submitted at least once — drives the one-doorbell-per-group
-    /// submit telemetry without double-counting retries.
-    submitted_first: usize,
-    recv_ns: u64,
-    /// Stamped when the last command of the group first hits the wire.
-    submit_ns: u64,
-}
-
-pub(super) fn worker_loop(sh: &Shared, wid: usize, rx: Receiver<WorkItem>) {
+pub(super) fn worker_loop(sh: &Shared, wid: usize, rx: Receiver<GroupSpec>) {
     if let Some(rec) = &sh.recorder {
         rec.name_current_thread(&format!("cam-worker{wid}"));
     }
-    let mut lanes: Vec<Lane> = (0..sh.n_ssds)
-        .map(|ssd| Lane {
-            ssd,
-            qp: Arc::clone(&sh.qps[ssd][wid]),
-            queue: VecDeque::new(),
-            inflight: InflightTable::new(sh.qps[ssd][wid].depth()),
-        })
+    let qps: Vec<Arc<QueuePair>> = (0..sh.n_ssds)
+        .map(|ssd| Arc::clone(&sh.qps[ssd][wid]))
         .collect();
-    let mut groups: HashMap<u64, GroupState> = HashMap::new();
-    let mut next_group = 0u64;
+    let mut core = WorkerCore::new(sh.n_ssds, qps[0].depth(), sh.retry);
+    let mut out: Vec<Command> = Vec::new();
     let mut cqes: Vec<Cqe> = Vec::new();
     loop {
         let mut progress = false;
-        if groups.is_empty() {
+        if core.idle() {
             match rx.recv_timeout(Duration::from_millis(5)) {
-                Ok(item) => {
-                    accept(sh, wid, &mut lanes, &mut groups, &mut next_group, item);
+                Ok(spec) => {
+                    accept(sh, wid, &mut core, spec);
                     progress = true;
                 }
                 Err(RecvTimeoutError::Timeout) => {
@@ -112,297 +59,185 @@ pub(super) fn worker_loop(sh: &Shared, wid: usize, rx: Receiver<WorkItem>) {
             // submitting, so commands from several batches share the queue
             // depth. The blocking baseline skips this and runs one group at
             // a time — same code path, depth ≤ one group.
-            while let Ok(item) = rx.try_recv() {
-                accept(sh, wid, &mut lanes, &mut groups, &mut next_group, item);
+            while let Ok(spec) = rx.try_recv() {
+                accept(sh, wid, &mut core, spec);
                 progress = true;
             }
         }
-        for lane in &mut lanes {
-            progress |= submit_lane(sh, wid, lane, &mut groups);
-            progress |= reap_lane(sh, lane, &mut groups, &mut cqes);
+        core.pump(sh.clock.now_ns(), &mut out);
+        progress |= !out.is_empty();
+        execute(sh, wid, &qps, &mut out);
+        for (ssd, qp) in qps.iter().enumerate() {
+            cqes.clear();
+            if qp.poll_cqes(qp.depth(), &mut cqes) == 0 {
+                continue;
+            }
+            progress = true;
+            let now = sh.clock.now_ns();
+            for cqe in cqes.drain(..) {
+                core.on_cqe(ssd, cqe.cid, cqe.status, now, &mut out);
+            }
+            execute(sh, wid, &qps, &mut out);
+            update_inflight_gauges(sh, ssd, qp);
         }
-        progress |= finish_groups(sh, wid, &mut groups);
         if !progress {
             std::thread::yield_now();
         }
     }
 }
 
-/// Takes ownership of a dispatched group: stage its commands on the SSD's
-/// lane and open its accounting record.
-fn accept(
-    sh: &Shared,
-    wid: usize,
-    lanes: &mut [Lane],
-    groups: &mut HashMap<u64, GroupState>,
-    next_group: &mut u64,
-    item: WorkItem,
-) {
-    let recv_ns = clock::now_ns();
-    let op_idx = item.batch.op;
+/// Takes ownership of a dispatched group: record the dispatch stage, then
+/// hand it to the protocol core.
+fn accept(sh: &Shared, wid: usize, core: &mut WorkerCore, spec: GroupSpec) {
+    let recv_ns = sh.clock.now_ns();
+    let op_idx = op_index(spec.batch.op);
     sh.metrics
         .stage(op_idx, Stage::Dispatch)
-        .record(recv_ns.saturating_sub(item.batch.pickup_ns));
+        .record(recv_ns.saturating_sub(spec.batch.pickup_ns));
     if let Some(rec) = &sh.recorder {
         rec.emit_at(
             recv_ns,
             EventKind::GroupDispatch {
-                channel: item.batch.channel as u16,
-                seq: item.batch.seq,
-                ssd: item.ssd as u16,
+                channel: spec.batch.channel as u16,
+                seq: spec.batch.seq,
+                ssd: spec.ssd as u16,
                 worker: wid as u16,
             },
         );
     }
-    let gid = *next_group;
-    *next_group += 1;
-    let deadline_ns = sh.retry.deadline_ns.map(|d| recv_ns + d);
-    for &(dev_lba, addr, blocks) in &item.reqs {
-        lanes[item.ssd].queue.push_back(PendingCmd {
-            group: gid,
-            dev_lba,
-            addr,
-            blocks,
-            attempts: 0,
-            earliest_ns: 0,
-            deadline_ns,
-            last_cid: 0,
-        });
-    }
-    groups.insert(
-        gid,
-        GroupState {
-            op: item.op,
-            ssd: item.ssd,
-            total: item.reqs.len(),
-            done: 0,
-            errors: 0,
-            submitted_first: 0,
-            recv_ns,
-            submit_ns: 0,
-            batch: item.batch,
-        },
-    );
+    core.on_group(spec, recv_ns);
 }
 
-/// Pushes as many of the lane's queued commands as the queue pair admits
-/// and rings one doorbell for the burst. Returns whether anything moved.
-fn submit_lane(
-    sh: &Shared,
-    wid: usize,
-    lane: &mut Lane,
-    groups: &mut HashMap<u64, GroupState>,
-) -> bool {
-    let now = clock::now_ns();
-    let mut staged = 0usize;
-    let mut moved = false;
-    // Each queued command is examined at most once per pass: backoff-gated
-    // commands rotate to the back and wait for a later pass.
-    for _ in 0..lane.queue.len() {
-        let Some(mut cmd) = lane.queue.pop_front() else {
-            break;
-        };
-        if cmd.deadline_ns.is_some_and(|d| now >= d) {
-            time_out(sh, lane.ssd, groups, &cmd, now);
-            moved = true;
-            continue;
-        }
-        if cmd.earliest_ns > now {
-            lane.queue.push_back(cmd);
-            continue;
-        }
-        let Some(cid) = lane.inflight.alloc_cid() else {
-            lane.queue.push_front(cmd);
-            break;
-        };
-        let g = groups.get_mut(&cmd.group).expect("command without group");
-        let sqe = match g.op {
-            ChannelOp::Read => Sqe::read(cid, cmd.dev_lba, cmd.blocks, cmd.addr),
-            ChannelOp::Write => Sqe::write(cid, cmd.dev_lba, cmd.blocks, cmd.addr),
-        };
-        if lane.qp.push_sqe(sqe).is_err() {
-            lane.queue.push_front(cmd);
-            break;
-        }
-        let first = cmd.attempts == 0;
-        cmd.attempts += 1;
-        cmd.last_cid = cid;
-        lane.inflight.put(cid, cmd);
-        staged += 1;
-        if first {
-            // Retries are deliberately excluded: `cam_ssd_submitted_total`
-            // counts logical requests, so its sum stays comparable to
-            // `requests` retired.
-            sh.metrics.ssd_submitted[lane.ssd].add(1);
-            g.submitted_first += 1;
-            if g.submitted_first == g.total {
-                let submit_ns = clock::now_ns();
-                g.submit_ns = submit_ns;
-                let span = submit_ns.saturating_sub(g.recv_ns);
-                let op_idx = super::op_index(g.op);
+/// Executes drained protocol commands against the real queue pairs and the
+/// telemetry registry, in order (submissions precede their doorbell ring).
+fn execute(sh: &Shared, wid: usize, qps: &[Arc<QueuePair>], out: &mut Vec<Command>) {
+    for cmd in out.drain(..) {
+        match cmd {
+            Command::Submit(s) => {
+                let sqe = match s.op {
+                    ChannelOp::Read => Sqe::read(s.cid, s.dev_lba, s.blocks, s.addr),
+                    ChannelOp::Write => Sqe::write(s.cid, s.dev_lba, s.blocks, s.addr),
+                };
+                qps[s.ssd]
+                    .push_sqe(sqe)
+                    .expect("protocol admission implies SQ room");
+                if s.first {
+                    // Retries are deliberately excluded:
+                    // `cam_ssd_submitted_total` counts logical requests, so
+                    // its sum stays comparable to `requests` retired.
+                    sh.metrics.ssd_submitted[s.ssd].add(1);
+                }
+            }
+            Command::RingDoorbell { ssd, .. } => {
+                qps[ssd].ring_doorbell();
+                update_inflight_gauges(sh, ssd, &qps[ssd]);
+            }
+            Command::GroupSubmitted {
+                batch,
+                ssd,
+                sqes,
+                recv_ns,
+                submit_ns,
+            } => {
+                let span = submit_ns.saturating_sub(recv_ns);
+                let op_idx = op_index(batch.op);
                 sh.metrics.stage(op_idx, Stage::Submit).record(span);
-                sh.metrics.ssd_submit_ns[lane.ssd].record(span);
+                sh.metrics.ssd_submit_ns[ssd].record(span);
                 if let Some(rec) = &sh.recorder {
                     rec.emit_at(
                         submit_ns,
                         EventKind::GroupSubmit {
-                            channel: g.batch.channel as u16,
-                            seq: g.batch.seq,
-                            ssd: lane.ssd as u16,
+                            channel: batch.channel as u16,
+                            seq: batch.seq,
+                            ssd: ssd as u16,
                             worker: wid as u16,
-                            sqes: g.total as u32,
+                            sqes,
                         },
                     );
                 }
             }
-        }
-    }
-    if staged > 0 {
-        lane.qp.ring_doorbell();
-        update_inflight_gauges(sh, lane);
-        moved = true;
-    }
-    moved
-}
-
-/// Drains landed completions, matches each back to its command, and applies
-/// the retry policy to failures. Returns whether anything was reaped.
-fn reap_lane(
-    sh: &Shared,
-    lane: &mut Lane,
-    groups: &mut HashMap<u64, GroupState>,
-    cqes: &mut Vec<Cqe>,
-) -> bool {
-    cqes.clear();
-    let depth = lane.qp.depth();
-    if lane.qp.poll_cqes(depth, cqes) == 0 {
-        return false;
-    }
-    let now = clock::now_ns();
-    for cqe in cqes.drain(..) {
-        let Some(mut cmd) = lane.inflight.remove(cqe.cid) else {
-            // Stale or unknown CID: nothing to attribute it to.
-            continue;
-        };
-        if cqe.status == Status::Success {
-            let g = groups.get_mut(&cmd.group).expect("command without group");
-            g.done += 1;
-            continue;
-        }
-        match sh
-            .retry
-            .classify(cqe.status, cmd.attempts, now, cmd.deadline_ns)
-        {
-            Verdict::Retry { at_ns } => {
+            Command::CmdRetry {
+                batch,
+                ssd,
+                cid,
+                attempt,
+                now_ns,
+                ..
+            } => {
                 sh.metrics.retries.inc();
                 if let Some(rec) = &sh.recorder {
-                    let g = &groups[&cmd.group];
                     rec.emit_at(
-                        now,
+                        now_ns,
                         EventKind::CmdRetry {
-                            channel: g.batch.channel as u16,
-                            seq: g.batch.seq,
-                            ssd: lane.ssd as u16,
-                            cid: cqe.cid,
-                            attempt: cmd.attempts,
+                            channel: batch.channel as u16,
+                            seq: batch.seq,
+                            ssd: ssd as u16,
+                            cid,
+                            attempt,
                         },
                     );
                 }
-                cmd.earliest_ns = at_ns;
-                lane.queue.push_back(cmd);
             }
-            Verdict::TimedOut => time_out(sh, lane.ssd, groups, &cmd, now),
-            Verdict::Permanent => {
-                let g = groups.get_mut(&cmd.group).expect("command without group");
-                g.done += 1;
-                g.errors += 1;
+            Command::CmdTimeout {
+                batch,
+                ssd,
+                cid,
+                attempts,
+                now_ns,
+            } => {
+                sh.metrics.cmd_timeouts.inc();
+                if let Some(rec) = &sh.recorder {
+                    rec.emit_at(
+                        now_ns,
+                        EventKind::CmdTimeout {
+                            channel: batch.channel as u16,
+                            seq: batch.seq,
+                            ssd: ssd as u16,
+                            cid,
+                            attempts,
+                        },
+                    );
+                }
             }
-        }
-    }
-    update_inflight_gauges(sh, lane);
-    true
-}
-
-/// Fails `cmd` terminally because its deadline expired: counted, recorded,
-/// and accounted as a completed-with-error command — the worker moves on.
-fn time_out(
-    sh: &Shared,
-    ssd: usize,
-    groups: &mut HashMap<u64, GroupState>,
-    cmd: &PendingCmd,
-    now: u64,
-) {
-    sh.metrics.cmd_timeouts.inc();
-    let g = groups.get_mut(&cmd.group).expect("command without group");
-    g.done += 1;
-    g.errors += 1;
-    if let Some(rec) = &sh.recorder {
-        rec.emit_at(
-            now,
-            EventKind::CmdTimeout {
-                channel: g.batch.channel as u16,
-                seq: g.batch.seq,
-                ssd: ssd as u16,
-                cid: cmd.last_cid,
-                attempts: cmd.attempts,
-            },
-        );
-    }
-}
-
-/// Closes every group whose commands have all reached a final state, and
-/// retires batches whose last group closed. Returns whether any group
-/// finished.
-fn finish_groups(sh: &Shared, wid: usize, groups: &mut HashMap<u64, GroupState>) -> bool {
-    let done_ids: Vec<u64> = groups
-        .iter()
-        .filter(|(_, g)| g.done >= g.total)
-        .map(|(&id, _)| id)
-        .collect();
-    if done_ids.is_empty() {
-        return false;
-    }
-    for id in done_ids {
-        let g = groups.remove(&id).expect("group vanished");
-        let complete_ns = clock::now_ns();
-        let anchor = if g.submit_ns > 0 {
-            g.submit_ns
-        } else {
-            g.recv_ns
-        };
-        let span = complete_ns.saturating_sub(anchor);
-        let op_idx = super::op_index(g.op);
-        sh.metrics.stage(op_idx, Stage::Complete).record(span);
-        sh.metrics.ssd_complete_ns[g.ssd].record(span);
-        sh.metrics.ssd_completed[g.ssd].add(g.total as u64);
-        if let Some(rec) = &sh.recorder {
-            rec.emit_at(
+            Command::GroupComplete {
+                batch,
+                ssd,
+                sqes,
+                errors,
+                anchor_ns,
                 complete_ns,
-                EventKind::GroupComplete {
-                    channel: g.batch.channel as u16,
-                    seq: g.batch.seq,
-                    ssd: g.ssd as u16,
-                    worker: wid as u16,
-                    errors: g.errors as u32,
-                },
-            );
-        }
-        if g.errors > 0 {
-            g.batch.errors.fetch_add(g.errors, Ordering::Relaxed);
-        }
-        if g.batch.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            retire_batch(sh, &g.batch, complete_ns);
+            } => {
+                let span = complete_ns.saturating_sub(anchor_ns);
+                let op_idx = op_index(batch.op);
+                sh.metrics.stage(op_idx, Stage::Complete).record(span);
+                sh.metrics.ssd_complete_ns[ssd].record(span);
+                sh.metrics.ssd_completed[ssd].add(sqes as u64);
+                if let Some(rec) = &sh.recorder {
+                    rec.emit_at(
+                        complete_ns,
+                        EventKind::GroupComplete {
+                            channel: batch.channel as u16,
+                            seq: batch.seq,
+                            ssd: ssd as u16,
+                            worker: wid as u16,
+                            errors: errors as u32,
+                        },
+                    );
+                }
+            }
+            Command::RetireBatch { batch, complete_ns } => {
+                retire_batch(sh, &batch, complete_ns);
+            }
         }
     }
-    true
 }
 
 /// Publishes the lane's live in-flight depth (and its high-water mark) to
 /// the `cam_inflight{ssd}` gauges.
-fn update_inflight_gauges(sh: &Shared, lane: &Lane) {
-    let cur = lane.qp.in_flight();
-    sh.metrics.inflight[lane.ssd].set(cur);
-    if cur > sh.metrics.inflight_peak[lane.ssd].get() {
-        sh.metrics.inflight_peak[lane.ssd].set(cur);
+fn update_inflight_gauges(sh: &Shared, ssd: usize, qp: &QueuePair) {
+    let cur = qp.in_flight();
+    sh.metrics.inflight[ssd].set(cur);
+    if cur > sh.metrics.inflight_peak[ssd].get() {
+        sh.metrics.inflight_peak[ssd].set(cur);
     }
 }

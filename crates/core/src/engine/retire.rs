@@ -1,55 +1,32 @@
 //! Completion-accounting-driven batch retirement.
 //!
-//! A batch is retired when its last per-SSD group completes — pure
-//! accounting on [`BatchState::remaining`], no thread ever waits for it.
-//! Retirement replicates deduplicated reads, writes region 4, feeds the
-//! [`DynamicScaler`], and fires the post-mortem triggers.
+//! The protocol layer decides *when* a batch retires (its last group's
+//! [`BatchCore::finish_group`] returning true); this module is the
+//! threaded driver's retirement effect: replicate deduplicated reads,
+//! write region 4, feed the [`DynamicScaler`], fire the post-mortem
+//! triggers.
 //!
 //! [`DynamicScaler`]: crate::DynamicScaler
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::time::Instant;
+use std::sync::atomic::Ordering;
 
+use cam_protocol::{op_index, BatchCore};
 use cam_simkit::Dur;
-use cam_telemetry::{clock, BatchSpan, ControlMetrics, EventKind, Stage};
+use cam_telemetry::{BatchSpan, ControlMetrics, EventKind, Stage};
 
 use super::Shared;
 
-/// Shared per-batch completion accounting, owned jointly by the batch's
-/// per-SSD groups.
-pub(super) struct BatchState {
-    pub channel: usize,
-    pub seq: u64,
-    pub op: usize,
-    /// Per-SSD groups still outstanding; the decrement that hits zero
-    /// retires the batch.
-    pub remaining: AtomicUsize,
-    pub errors: AtomicU64,
-    pub requests: u64,
-    pub dispatched: Instant,
-    pub compute_gap: Dur,
-    /// Telemetry timeline ([`clock::now_ns`]) anchors of this batch's span.
-    pub doorbell_ns: u64,
-    pub pickup_ns: u64,
-    /// Duplicate read requests removed before dispatch: `(primary address,
-    /// duplicate address)` pairs, replicated by a host-side DMA copy right
-    /// before retire so every destination the GPU asked for is populated.
-    pub dups: Vec<(u64, u64)>,
-    /// Blocks per request (the replication copy length, in blocks).
-    pub blocks: u32,
-}
-
 /// Retires `b`: region-4 write + bookkeeping. Called by the reactor when
-/// the batch's last group completed (at `complete_ns` on the telemetry
+/// the batch's last group completed (at `complete_ns` on the driver
 /// clock).
-pub(super) fn retire_batch(sh: &Shared, b: &BatchState, complete_ns: u64) {
+pub(super) fn retire_batch(sh: &Shared, b: &BatchCore, complete_ns: u64) {
     let m = &sh.metrics;
-    let op_idx = b.op;
+    let op_idx = op_index(b.op);
     // Replicate deduplicated reads to their duplicate destinations
     // before region 4 is written — after retire the GPU is free to
     // read any of them.
     if !b.dups.is_empty() {
-        let mut buf = vec![0u8; b.blocks as usize * sh.block_size as usize];
+        let mut buf = vec![0u8; b.blocks as usize * sh.plan.block_size as usize];
         for &(src, dst) in &b.dups {
             if sh.dma.dma_read(src, &mut buf).is_err() || sh.dma.dma_write(dst, &buf).is_err() {
                 b.errors.fetch_add(1, Ordering::Relaxed);
@@ -57,10 +34,10 @@ pub(super) fn retire_batch(sh: &Shared, b: &BatchState, complete_ns: u64) {
         }
     }
     let batch_errors = b.errors.load(Ordering::Relaxed);
-    let io = Dur::from_secs_f64(b.dispatched.elapsed().as_secs_f64());
     sh.channels[b.channel].retire(b.seq, batch_errors);
-    let retire_ns = clock::now_ns();
-    sh.last_retire.lock()[b.channel] = Some(Instant::now());
+    let retire_ns = sh.clock.now_ns();
+    let io = Dur::ns(retire_ns.saturating_sub(b.dispatched_ns));
+    sh.last_retire[b.channel].store(retire_ns, Ordering::Relaxed);
     m.stage(op_idx, Stage::Retire)
         .record(retire_ns.saturating_sub(complete_ns));
     m.batch_total(b.channel, op_idx)
@@ -79,13 +56,14 @@ pub(super) fn retire_batch(sh: &Shared, b: &BatchState, complete_ns: u64) {
     m.requests.add(b.requests);
     m.errors.add(batch_errors);
     m.io_time_ns.add(io.as_ns());
-    if b.compute_gap > Dur::ZERO {
-        m.compute_time_ns.add(b.compute_gap.as_ns());
+    let compute_gap = Dur::ns(b.compute_gap_ns);
+    if compute_gap > Dur::ZERO {
+        m.compute_time_ns.add(compute_gap.as_ns());
         m.compute_samples.inc();
     }
-    if sh.dynamic && b.compute_gap > Dur::ZERO {
+    if sh.dynamic && compute_gap > Dur::ZERO {
         let prev = sh.active_workers.load(Ordering::Relaxed);
-        let active = sh.scaler.lock().observe(b.compute_gap, io);
+        let active = sh.scaler.lock().observe(compute_gap, io);
         sh.active_workers.store(active, Ordering::Relaxed);
         if active != prev {
             m.active_workers.set(active as u64);

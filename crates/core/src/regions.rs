@@ -23,14 +23,9 @@ pub enum PublishError {
     TooLarge,
 }
 
-/// Operation carried by a batch.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum ChannelOp {
-    /// SSD → GPU memory (`prefetch`).
-    Read,
-    /// GPU memory → SSD (`write_back`).
-    Write,
-}
+// The op enum lives in the protocol layer (both drivers plan and submit
+// by it); re-exported here because the channel regions are its producer.
+pub use cam_protocol::ChannelOp;
 
 /// The four regions for one batch stream.
 pub struct Channel {
@@ -317,11 +312,19 @@ mod tests {
                     wins
                 }));
             }
-            // "CPU": retire whatever appears, checking consistency.
+            // "CPU": retire whatever appears, checking consistency. The
+            // deadline panics rather than silently breaking out — a wedged
+            // channel must fail the test loudly, not trickle into the
+            // win/retire-count mismatch below.
             let mut last = 0;
             let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
             let mut retired = 0u64;
-            while std::time::Instant::now() < deadline {
+            loop {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "retire loop exceeded its 10 s deadline with publishers still running \
+                     ({retired} batches retired so far)"
+                );
                 if let Some(seq) = ch.pending(last) {
                     let (_, _, reqs) = ch.snapshot();
                     assert_eq!(reqs.len(), 3);

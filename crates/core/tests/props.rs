@@ -4,8 +4,9 @@
 
 use std::collections::HashMap;
 
-use cam_core::{CamConfig, CamContext};
+use cam_core::{CamConfig, CamContext, DynamicScaler};
 use cam_iostacks::{Rig, RigConfig};
+use cam_simkit::Dur;
 use proptest::prelude::*;
 
 /// One protocol operation in a generated scenario.
@@ -135,5 +136,60 @@ proptest! {
                 "slot {i} (lba {lba})"
             );
         }
+    }
+}
+
+proptest! {
+    /// § III-A: under *any* sequence of compute/IO feedback the active
+    /// worker count never leaves `[ceil(N/4), ceil(N/2)]`, and `observe`'s
+    /// return value always equals `active()`.
+    #[test]
+    fn scaler_stays_within_paper_bounds(
+        n_ssds in 1usize..65,
+        feedback in proptest::collection::vec((0u64..5_000_000, 0u64..5_000_000), 0..64),
+    ) {
+        let mut s = DynamicScaler::for_ssds(n_ssds);
+        let min = n_ssds.div_ceil(4).max(1);
+        let max = n_ssds.div_ceil(2).max(1);
+        prop_assert_eq!(s.min(), min);
+        prop_assert_eq!(s.max(), max);
+        prop_assert_eq!(s.active(), max, "cold start at the maximum");
+        for &(compute, io) in &feedback {
+            let active = s.observe(Dur::ns(compute), Dur::ns(io));
+            prop_assert!(
+                (min..=max).contains(&active),
+                "active {active} left [{min}, {max}] on compute={compute} io={io}"
+            );
+            prop_assert_eq!(active, s.active());
+        }
+    }
+
+    /// The `SHRINK_MARGIN` hysteresis means a *constant* workload moves the
+    /// count in one direction only — it may walk to a bound and stop, but
+    /// never grows and shrinks in the same run (no oscillation), and it
+    /// settles: once steady, further identical batches change nothing.
+    #[test]
+    fn scaler_hysteresis_never_oscillates_on_constant_workload(
+        n_ssds in 1usize..65,
+        compute in 0u64..5_000_000,
+        io in 0u64..5_000_000,
+    ) {
+        let mut s = DynamicScaler::for_ssds(n_ssds);
+        let (mut grew, mut shrank) = (false, false);
+        let mut prev = s.active();
+        // Enough steps to cross the whole [min, max] range and then some.
+        for _ in 0..(2 * n_ssds + 4) {
+            let now = s.observe(Dur::ns(compute), Dur::ns(io));
+            grew |= now > prev;
+            shrank |= now < prev;
+            prev = now;
+        }
+        prop_assert!(
+            !(grew && shrank),
+            "constant workload (compute={compute}, io={io}) oscillated"
+        );
+        let settled = s.observe(Dur::ns(compute), Dur::ns(io));
+        prop_assert_eq!(settled, prev, "did not settle");
+        prop_assert_eq!(s.observe(Dur::ns(compute), Dur::ns(io)), settled);
     }
 }

@@ -1,0 +1,537 @@
+//! The DES driver for the CAM protocol layer.
+//!
+//! The threaded control plane in `cam-core` and this module drive the
+//! **same** `cam-protocol` state machines — [`plan_batch`],
+//! [`WorkerCore`], [`BatchCore`] — so every dispatch, submission, retry,
+//! and retirement *decision* is shared code. Where the threaded driver
+//! executes [`Command`]s against real queue pairs on the wall clock, this
+//! driver executes them against the calibrated timing models in virtual
+//! time:
+//!
+//! ```text
+//!   Submit ──► CPU pipe (thread_cost) ──► SSD (P5510 model) ──► host PCIe ──► CQE
+//!              one per worker thread        latency + channels     shared
+//! ```
+//!
+//! Channels keep the paper's single-outstanding-batch semantics: a
+//! channel's next batch publishes the instant the previous one retires, so
+//! cross-batch pipelining comes from multiple channels — exactly as in the
+//! functional engine. `cam-bench`'s fidelity experiment runs matched
+//! workloads on both drivers and asserts the protocol decisions agree.
+
+use std::collections::VecDeque;
+use std::mem;
+use std::sync::atomic::{AtomicU64, AtomicUsize};
+use std::sync::Arc;
+
+use cam_nvme::spec::{Opcode, Status};
+use cam_nvme::{DesSsd, SsdModel};
+use cam_protocol::{
+    plan_batch, BatchCore, ChannelOp, Clock, Command, DecisionCounters, GroupSpec, PlanConfig,
+    RetryPolicy, SubmitCmd, VirtualClock, WorkerCore,
+};
+use cam_simkit::{Dur, EventKind, FlightRecorder, Pipe, Sim};
+
+/// Configuration for one DES CAM run.
+#[derive(Clone, Copy, Debug)]
+pub struct CamDesConfig {
+    /// SSDs in the RAID-0 array.
+    pub n_ssds: usize,
+    /// Bytes per block.
+    pub block_size: u32,
+    /// Blocks per stripe unit.
+    pub stripe_blocks: u64,
+    /// Operation every batch carries.
+    pub op: ChannelOp,
+    /// Worker threads modelled (one CPU submit pipe each); SSD `s` belongs
+    /// to worker `s % threads`, as in the threaded driver's routing.
+    pub threads: usize,
+    /// Queue depth per (worker, SSD) lane.
+    pub queue_depth: usize,
+    /// Pipelined reactor vs. blocking group-at-a-time baseline.
+    pub pipelined: bool,
+    /// Per-command CPU submit+complete cost (Fig. 12's knob; see
+    /// [`crate::des::cam_thread_cost`]).
+    pub thread_cost: Dur,
+    /// Host fabric bandwidth (GB/s) all completions share.
+    pub host_gbps: f64,
+}
+
+/// One batch to publish on a channel. Destination addresses are
+/// synthesized (nothing dereferences them in the timing model), so only
+/// the LBAs and the per-request block count matter.
+#[derive(Clone, Debug)]
+pub struct CamDesBatch {
+    /// Logical start blocks, one per request.
+    pub lbas: Vec<u64>,
+    /// Blocks per request.
+    pub blocks: u32,
+}
+
+/// Outcome of a DES CAM run.
+#[derive(Clone, Debug)]
+pub struct CamDesReport {
+    /// Virtual time from first doorbell to last retire.
+    pub duration: Dur,
+    /// Batches retired.
+    pub batches: u64,
+    /// Commands completed on the devices.
+    pub commands: u64,
+    /// Payload bytes moved.
+    pub bytes: u64,
+    /// Protocol decisions (planning folded with the workers' submission
+    /// counters) — comparable 1:1 with the functional driver's.
+    pub decisions: DecisionCounters,
+    /// Mean doorbell→retire latency per batch, ns.
+    pub mean_batch_ns: f64,
+    /// Time-weighted mean device in-flight depth per SSD.
+    pub inflight_mean: Vec<f64>,
+    /// Peak device in-flight depth per SSD.
+    pub inflight_peak: Vec<u64>,
+}
+
+/// Per-SSD device-depth accounting (time-weighted integral + peak).
+struct LaneStat {
+    depth: u64,
+    peak: u64,
+    integral: u128,
+    last_change_ns: u64,
+}
+
+struct DesWorld {
+    cfg: CamDesConfig,
+    plan: PlanConfig,
+    cores: Vec<WorkerCore>,
+    /// Blocking mode: groups a busy worker has not accepted yet.
+    pending: Vec<VecDeque<GroupSpec>>,
+    cpus: Vec<Pipe>,
+    ssds: Vec<DesSsd>,
+    host: Pipe,
+    channels: Vec<VecDeque<CamDesBatch>>,
+    seqs: Vec<u64>,
+    /// Reused command buffer (taken/restored around protocol calls).
+    scratch: Vec<Command>,
+    /// The protocol-facing clock, advanced to the calendar's virtual time
+    /// before every protocol call.
+    clock: VirtualClock,
+    decisions: DecisionCounters,
+    batches_done: u64,
+    batch_total_ns: u128,
+    completed: u64,
+    bytes_done: u64,
+    issued_ord: Vec<u64>,
+    done_ord: Vec<u64>,
+    lanes: Vec<LaneStat>,
+}
+
+/// Advances the virtual clock to the calendar and reads it back — every
+/// protocol call sees the same monotone timeline the events run on.
+fn now_ns(sim: &Sim<DesWorld>, w: &DesWorld) -> u64 {
+    w.clock.set_ns(sim.now().as_ns());
+    w.clock.now_ns()
+}
+
+/// Publishes the channel's next batch, if any: plan it, open its
+/// [`BatchCore`], and deliver its per-SSD groups to their workers.
+fn publish_next(sim: &mut Sim<DesWorld>, w: &mut DesWorld, ch: usize) {
+    let Some(batch) = w.channels[ch].pop_front() else {
+        return;
+    };
+    w.seqs[ch] += 1;
+    let seq = w.seqs[ch];
+    let now = now_ns(sim, w);
+    let bytes_per_req = u64::from(batch.blocks) * u64::from(w.cfg.block_size);
+    let reqs: Vec<(u64, u64)> = batch
+        .lbas
+        .iter()
+        .enumerate()
+        .map(|(i, &lba)| (lba, i as u64 * bytes_per_req))
+        .collect();
+    let plan = plan_batch(&w.plan, w.cfg.op, batch.blocks, reqs);
+    w.decisions.record_plan(&plan);
+    let core = Arc::new(BatchCore {
+        channel: ch,
+        seq,
+        op: w.cfg.op,
+        remaining: AtomicUsize::new(plan.n_groups()),
+        errors: AtomicU64::new(0),
+        requests: plan.requests,
+        dispatched_ns: now,
+        compute_gap_ns: 0,
+        doorbell_ns: now,
+        pickup_ns: now,
+        dups: plan.dups,
+        blocks: batch.blocks,
+    });
+    for (ssd, reqs) in plan.groups.into_iter().enumerate() {
+        if reqs.is_empty() {
+            continue;
+        }
+        let wid = ssd % w.cores.len();
+        let spec = GroupSpec {
+            ssd,
+            reqs,
+            batch: Arc::clone(&core),
+        };
+        deliver(sim, w, wid, spec);
+    }
+}
+
+/// Hands a group to its worker — immediately when pipelined (or the worker
+/// is idle), else parked until the worker's current group closes, which is
+/// exactly the blocking baseline's one-group-at-a-time admission.
+fn deliver(sim: &mut Sim<DesWorld>, w: &mut DesWorld, wid: usize, spec: GroupSpec) {
+    if w.cfg.pipelined || w.cores[wid].idle() {
+        let now = now_ns(sim, w);
+        w.cores[wid].on_group(spec, now);
+        pump_worker(sim, w, wid);
+    } else {
+        w.pending[wid].push_back(spec);
+    }
+}
+
+/// Blocking mode: feed the worker its next parked group once it goes idle.
+fn feed_pending(sim: &mut Sim<DesWorld>, w: &mut DesWorld, wid: usize) {
+    while w.cores[wid].idle() {
+        let Some(spec) = w.pending[wid].pop_front() else {
+            return;
+        };
+        let now = now_ns(sim, w);
+        w.cores[wid].on_group(spec, now);
+        pump_worker(sim, w, wid);
+    }
+}
+
+/// One protocol submission pass for `wid` at the current virtual time.
+fn pump_worker(sim: &mut Sim<DesWorld>, w: &mut DesWorld, wid: usize) {
+    let now = now_ns(sim, w);
+    let mut out = mem::take(&mut w.scratch);
+    w.cores[wid].pump(now, &mut out);
+    execute(sim, w, wid, &mut out);
+    w.scratch = out;
+}
+
+/// Executes drained protocol commands against the timing models.
+fn execute(sim: &mut Sim<DesWorld>, w: &mut DesWorld, wid: usize, out: &mut Vec<Command>) {
+    for cmd in out.drain(..) {
+        match cmd {
+            Command::Submit(s) => {
+                // The worker thread pays its per-command cost on its CPU
+                // pipe; the command enters the device when the CPU is done
+                // with it.
+                let cpu = w.cpus[wid];
+                let cost = w.cfg.thread_cost;
+                let done = sim.pipe_enqueue_work(cpu, cost);
+                sim.schedule_at(done, move |sim, w| enter_ssd(sim, w, wid, s));
+            }
+            // Doorbell rings and the telemetry markers are free here: their
+            // cost is folded into `thread_cost`, and the decision counters
+            // live in the protocol core itself.
+            Command::RingDoorbell { .. }
+            | Command::GroupSubmitted { .. }
+            | Command::CmdRetry { .. }
+            | Command::CmdTimeout { .. } => {}
+            Command::GroupComplete { .. } => {
+                if !w.cfg.pipelined {
+                    feed_pending(sim, w, wid);
+                }
+            }
+            Command::RetireBatch { batch, complete_ns } => {
+                w.batches_done += 1;
+                w.batch_total_ns += u128::from(complete_ns.saturating_sub(batch.doorbell_ns));
+                // Single-outstanding-batch channels: retirement publishes
+                // the channel's next batch (the closed loop of Fig. 7).
+                publish_next(sim, w, batch.channel);
+            }
+        }
+    }
+}
+
+/// A command clears its CPU cost and enters the device.
+fn enter_ssd(sim: &mut Sim<DesWorld>, w: &mut DesWorld, wid: usize, s: SubmitCmd) {
+    sim.emit(EventKind::SimIssue {
+        ssd: s.ssd as u16,
+        req: w.issued_ord[s.ssd],
+    });
+    w.issued_ord[s.ssd] += 1;
+    let now = now_ns(sim, w);
+    bump_depth(w, s.ssd, now, 1);
+    let bytes = u64::from(s.blocks) * u64::from(w.cfg.block_size);
+    let op = match s.op {
+        ChannelOp::Read => Opcode::Read,
+        ChannelOp::Write => Opcode::Write,
+    };
+    let dev = w.ssds[s.ssd];
+    dev.submit(sim, op, bytes, move |sim, w: &mut DesWorld| {
+        let host = w.host;
+        let t = sim.pipe_enqueue(host, bytes);
+        sim.schedule_at(t, move |sim, w| complete_cmd(sim, w, wid, s, bytes));
+    });
+}
+
+/// The command's payload crossed the host fabric: reap its CQE into the
+/// protocol core and pump whatever the freed depth admits.
+fn complete_cmd(sim: &mut Sim<DesWorld>, w: &mut DesWorld, wid: usize, s: SubmitCmd, bytes: u64) {
+    sim.emit(EventKind::SimComplete {
+        ssd: s.ssd as u16,
+        req: w.done_ord[s.ssd],
+    });
+    w.done_ord[s.ssd] += 1;
+    w.completed += 1;
+    w.bytes_done += bytes;
+    let now = now_ns(sim, w);
+    bump_depth(w, s.ssd, now, -1);
+    let mut out = mem::take(&mut w.scratch);
+    w.cores[wid].on_cqe(s.ssd, s.cid, Status::Success, now, &mut out);
+    execute(sim, w, wid, &mut out);
+    w.scratch = out;
+    pump_worker(sim, w, wid);
+}
+
+/// Advances the SSD's time-weighted depth integral and applies `delta`.
+fn bump_depth(w: &mut DesWorld, ssd: usize, now: u64, delta: i64) {
+    let lane = &mut w.lanes[ssd];
+    lane.integral += u128::from(lane.depth) * u128::from(now - lane.last_change_ns);
+    lane.last_change_ns = now;
+    lane.depth = lane
+        .depth
+        .checked_add_signed(delta)
+        .expect("depth underflow");
+    if lane.depth > lane.peak {
+        lane.peak = lane.depth;
+    }
+}
+
+/// Runs the CAM protocol layer over the DES timing models until every
+/// channel's batches have retired. Deterministic: same inputs, same
+/// virtual-time outcome; an attached recorder observes
+/// [`EventKind::SimIssue`]/[`EventKind::SimComplete`] pairs without
+/// perturbing the model.
+pub fn run_cam_des(
+    cfg: CamDesConfig,
+    channels: Vec<Vec<CamDesBatch>>,
+    recorder: Option<Arc<FlightRecorder>>,
+) -> CamDesReport {
+    assert!(cfg.n_ssds >= 1 && cfg.threads >= 1 && cfg.queue_depth >= 1);
+    assert!(!channels.is_empty(), "at least one channel");
+    let mut sim: Sim<DesWorld> = Sim::new();
+    if let Some(rec) = recorder {
+        sim.attach_recorder(rec);
+    }
+    let ssds: Vec<DesSsd> = (0..cfg.n_ssds)
+        .map(|_| DesSsd::new(&mut sim, SsdModel::p5510()))
+        .collect();
+    let host = sim.new_pipe(cfg.host_gbps);
+    let cpus: Vec<Pipe> = (0..cfg.threads).map(|_| sim.new_pipe(1.0)).collect();
+    // Fault-free device model: the retry machinery is live but never
+    // triggered, so the policy is inert (see docs/TIMING.md).
+    let retry = RetryPolicy {
+        max_retries: 0,
+        backoff_base_ns: 0,
+        deadline_ns: None,
+    };
+    let n_channels = channels.len();
+    let mut w = DesWorld {
+        plan: PlanConfig {
+            n_ssds: cfg.n_ssds,
+            stripe_blocks: cfg.stripe_blocks,
+            block_size: cfg.block_size,
+        },
+        cores: (0..cfg.threads)
+            .map(|_| WorkerCore::new(cfg.n_ssds, cfg.queue_depth, retry))
+            .collect(),
+        pending: (0..cfg.threads).map(|_| VecDeque::new()).collect(),
+        cpus,
+        ssds,
+        host,
+        channels: channels.into_iter().map(VecDeque::from).collect(),
+        seqs: vec![0; n_channels],
+        scratch: Vec::new(),
+        clock: VirtualClock::new(),
+        decisions: DecisionCounters::default(),
+        batches_done: 0,
+        batch_total_ns: 0,
+        completed: 0,
+        bytes_done: 0,
+        issued_ord: vec![0; cfg.n_ssds],
+        done_ord: vec![0; cfg.n_ssds],
+        lanes: (0..cfg.n_ssds)
+            .map(|_| LaneStat {
+                depth: 0,
+                peak: 0,
+                integral: 0,
+                last_change_ns: 0,
+            })
+            .collect(),
+        cfg,
+    };
+    for ch in 0..n_channels {
+        publish_next(&mut sim, &mut w, ch);
+    }
+    let end = sim.run(&mut w);
+    let end_ns = end.as_ns();
+    assert!(
+        w.channels.iter().all(VecDeque::is_empty),
+        "every batch must publish"
+    );
+    assert!(
+        w.cores.iter().all(WorkerCore::idle) && w.pending.iter().all(VecDeque::is_empty),
+        "every group must close"
+    );
+    let mut decisions = w.decisions;
+    for core in &w.cores {
+        let k = core.counters();
+        decisions.sqes += k.sqes;
+        decisions.retries += k.retries;
+        decisions.timeouts += k.timeouts;
+    }
+    let inflight_mean = w
+        .lanes
+        .iter()
+        .map(|l| {
+            // Depth is 0 at the end, so the integral is already complete.
+            l.integral as f64 / end_ns.max(1) as f64
+        })
+        .collect();
+    CamDesReport {
+        duration: Dur::ns(end_ns),
+        batches: w.batches_done,
+        commands: w.completed,
+        bytes: w.bytes_done,
+        decisions,
+        mean_batch_ns: w.batch_total_ns as f64 / w.batches_done.max(1) as f64,
+        inflight_mean,
+        inflight_peak: w.lanes.iter().map(|l| l.peak).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n_ssds: usize, pipelined: bool) -> CamDesConfig {
+        CamDesConfig {
+            n_ssds,
+            block_size: 4096,
+            stripe_blocks: 1,
+            op: ChannelOp::Read,
+            threads: 1,
+            queue_depth: 64,
+            pipelined,
+            thread_cost: Dur::ns(380),
+            host_gbps: 21.0,
+        }
+    }
+
+    fn seq_batch(base: u64, n: u64) -> CamDesBatch {
+        CamDesBatch {
+            lbas: (base..base + n).collect(),
+            blocks: 1,
+        }
+    }
+
+    #[test]
+    fn closed_loop_drains_and_counts_every_decision() {
+        let r = run_cam_des(
+            cfg(2, true),
+            vec![vec![seq_batch(0, 8), seq_batch(8, 8)]],
+            None,
+        );
+        assert_eq!(r.batches, 2);
+        assert_eq!(r.commands, 16);
+        assert_eq!(r.bytes, 16 * 4096);
+        assert_eq!(r.decisions.batches, 2);
+        assert_eq!(r.decisions.requests, 16);
+        assert_eq!(r.decisions.sqes, 16);
+        assert_eq!(r.decisions.dedup_dropped, 0);
+        assert_eq!(r.decisions.stripe_splits, 0);
+        assert_eq!(r.decisions.groups, 4, "two per-SSD groups per batch");
+        assert_eq!(r.decisions.retries, 0);
+        assert_eq!(r.decisions.timeouts, 0);
+        assert!(r.duration > Dur::ZERO && r.mean_batch_ns > 0.0);
+        assert!(r.inflight_peak.iter().all(|&p| p >= 1));
+    }
+
+    #[test]
+    fn des_decisions_match_a_pure_plan_replay() {
+        // Duplicates and stripe crossings: the driver must report exactly
+        // what plan_batch decides, plus one first submission per run.
+        let plan_cfg = PlanConfig {
+            n_ssds: 2,
+            stripe_blocks: 2,
+            block_size: 4096,
+        };
+        let batches = [
+            CamDesBatch {
+                lbas: vec![1, 5, 1, 9],
+                blocks: 2,
+            },
+            CamDesBatch {
+                lbas: vec![4, 4, 6],
+                blocks: 2,
+            },
+        ];
+        let mut expected = DecisionCounters::default();
+        for b in &batches {
+            let reqs = b.lbas.iter().map(|&l| (l, 0u64)).collect();
+            let plan = plan_batch(&plan_cfg, ChannelOp::Read, b.blocks, reqs);
+            expected.record_plan(&plan);
+            expected.sqes += plan.runs();
+        }
+        let mut c = cfg(2, true);
+        c.stripe_blocks = 2;
+        let r = run_cam_des(c, vec![batches.to_vec()], None);
+        assert_eq!(r.decisions, expected);
+        assert_eq!(r.commands, expected.sqes);
+    }
+
+    #[test]
+    fn pipelined_channels_overlap_blocking_ones_serialize() {
+        let channels = || {
+            vec![
+                vec![seq_batch(0, 16), seq_batch(16, 16)],
+                vec![seq_batch(1 << 32, 16), seq_batch((1 << 32) + 16, 16)],
+            ]
+        };
+        let piped = run_cam_des(cfg(1, true), channels(), None);
+        let blocking = run_cam_des(cfg(1, false), channels(), None);
+        assert_eq!(piped.commands, blocking.commands);
+        assert_eq!(
+            piped.decisions, blocking.decisions,
+            "decisions are timing-independent"
+        );
+        assert!(
+            piped.duration < blocking.duration,
+            "overlap must win: {:?} vs {:?}",
+            piped.duration,
+            blocking.duration
+        );
+        assert!(
+            piped.inflight_peak[0] > blocking.inflight_peak[0],
+            "pipelining deepens the device queue: {} vs {}",
+            piped.inflight_peak[0],
+            blocking.inflight_peak[0]
+        );
+        assert!(piped.inflight_mean[0] > blocking.inflight_mean[0]);
+    }
+
+    #[test]
+    fn recorder_does_not_perturb_virtual_time() {
+        let workload = || vec![vec![seq_batch(0, 32)]];
+        let plain = run_cam_des(cfg(2, true), workload(), None);
+        let rec = Arc::new(FlightRecorder::new());
+        let traced = run_cam_des(cfg(2, true), workload(), Some(Arc::clone(&rec)));
+        assert_eq!(plain.duration.as_ns(), traced.duration.as_ns());
+        let events = rec.snapshot();
+        let issues = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SimIssue { .. }))
+            .count();
+        let completes = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SimComplete { .. }))
+            .count();
+        assert_eq!(issues, 32);
+        assert_eq!(completes, 32);
+    }
+}

@@ -24,7 +24,10 @@ use cam_gpu::GpuSpec;
 use cam_hostos::{IoDir, IoStackKind, MemoryModel};
 use cam_nvme::spec::Opcode;
 use cam_nvme::{DesSsd, SsdModel};
+use cam_protocol::ChannelOp;
 use cam_simkit::{Dur, EventKind, FlightRecorder, Pipe, Sim, Time};
+
+use crate::cam_des::{run_cam_des, CamDesBatch, CamDesConfig};
 
 /// The SSD management being modelled.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -297,6 +300,12 @@ pub fn run_microbench_traced(
     recorder: Option<Arc<FlightRecorder>>,
 ) -> MicrobenchResult {
     assert!(cfg.n_ssds >= 1 && cfg.requests >= 1 && cfg.granularity >= 1);
+    if cfg.engine == Engine::Cam {
+        // CAM does not get an analytic shortcut: it runs the shared
+        // protocol layer (dispatch planning, worker cores, batch
+        // retirement) over the same timing models, in virtual time.
+        return run_cam_microbench(cfg, recorder);
+    }
     let gpu = GpuSpec::a100_80g();
     let mem = MemoryModel::with_channels(cfg.mem_channels);
 
@@ -323,12 +332,7 @@ pub fn run_microbench_traced(
             let per = cfg.n_ssds as f64 / threads as f64;
             (threads, cam_thread_cost(per), threads as f64, None)
         }
-        Engine::Cam => {
-            let threads = cfg.cam_threads.max(1);
-            let per = cfg.n_ssds as f64 / threads as f64;
-            // +1 uncounted polling thread, per the paper's accounting.
-            (threads, cam_thread_cost(per), threads as f64, None)
-        }
+        Engine::Cam => unreachable!("Engine::Cam runs the protocol DES driver above"),
         Engine::Bam => {
             // GPU-side submission: massively parallel, tiny per-request
             // cost; one virtual submit pipe per SSD.
@@ -414,12 +418,95 @@ pub fn run_microbench_traced(
     }
 }
 
+/// Channels the CAM microbench spreads its closed loop over: enough
+/// concurrent single-outstanding-batch streams to keep the devices busy
+/// across batch turnarounds, matching the multi-channel usage of § III-B.
+const CAM_DES_CHANNELS: usize = 4;
+
+/// The CAM arm of the microbench: the shared protocol layer over the DES
+/// timing models (see [`crate::cam_des`]), followed by the same
+/// memory-model post-processing as every other engine.
+fn run_cam_microbench(
+    cfg: MicrobenchConfig,
+    recorder: Option<Arc<FlightRecorder>>,
+) -> MicrobenchResult {
+    let gpu = GpuSpec::a100_80g();
+    let mem = MemoryModel::with_channels(cfg.mem_channels);
+    let threads = cfg.cam_threads.max(1);
+    let per = cfg.n_ssds as f64 / threads as f64;
+    assert!(
+        cfg.granularity <= u64::from(u32::MAX),
+        "CAM granularity is one block"
+    );
+    let des_cfg = CamDesConfig {
+        n_ssds: cfg.n_ssds,
+        block_size: cfg.granularity as u32,
+        stripe_blocks: 1,
+        op: match cfg.dir {
+            IoDir::Read => ChannelOp::Read,
+            IoDir::Write => ChannelOp::Write,
+        },
+        threads,
+        queue_depth: (cfg.queue_depth.max(1)) as usize,
+        pipelined: true,
+        // +1 uncounted polling thread, per the paper's accounting.
+        thread_cost: cam_thread_cost(per),
+        host_gbps: gpu.pcie_gbps,
+    };
+    // Round-robin the request budget into per-channel batches of ~32
+    // requests per SSD; each channel keeps one batch outstanding and
+    // publishes the next at retire, so the channels together form the
+    // closed loop the other engines prime with `queue_depth`.
+    let batch_reqs = ((cfg.n_ssds as u64) * 32).min(cfg.requests).max(1);
+    let mut channels: Vec<Vec<CamDesBatch>> = vec![Vec::new(); CAM_DES_CHANNELS];
+    let mut next_lba = [0u64; CAM_DES_CHANNELS];
+    let mut remaining = cfg.requests;
+    let mut ch = 0usize;
+    while remaining > 0 {
+        let n = batch_reqs.min(remaining);
+        // Disjoint LBA windows per channel: sequential, duplicate-free.
+        let base = ((ch as u64) << 32) + next_lba[ch];
+        channels[ch].push(CamDesBatch {
+            lbas: (base..base + n).collect(),
+            blocks: 1,
+        });
+        next_lba[ch] += n;
+        remaining -= n;
+        ch = (ch + 1) % CAM_DES_CHANNELS;
+    }
+    let report = run_cam_des(des_cfg, channels, recorder);
+    assert_eq!(report.commands, cfg.requests, "closed loop must drain");
+
+    let raw_gbps = (cfg.requests * cfg.granularity) as f64 / report.duration.as_ns().max(1) as f64;
+    let delivered = mem.direct_delivered_gbps(raw_gbps); // never staged
+    let scale = delivered / raw_gbps.max(1e-12);
+    let duration = Dur::from_ns_f64(report.duration.as_ns() as f64 / scale.max(1e-12));
+    MicrobenchResult {
+        gbps: delivered,
+        kiops: cfg.requests as f64 / duration.as_secs_f64() / 1e3,
+        duration,
+        sm_utilization: 0.0,
+        cpu_cores: threads as f64,
+        mem_traffic_gbps: mem.traffic_gbps(delivered, false),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn bench(engine: Engine, n: usize, dir: IoDir) -> MicrobenchResult {
         run_microbench(MicrobenchConfig::new(engine, n, dir))
+    }
+
+    #[test]
+    fn fig12_thread_cost_curve_is_pinned() {
+        // The calibration behind Fig. 12 (shared by SPDK and CAM): 240 ns
+        // fixed + 140 ns per SSD the thread juggles, clamped at one SSD.
+        assert_eq!(cam_thread_cost(1.0).as_ns(), 380);
+        assert_eq!(cam_thread_cost(2.0).as_ns(), 520);
+        assert_eq!(cam_thread_cost(4.0).as_ns(), 800);
+        assert_eq!(cam_thread_cost(0.5).as_ns(), 380, "clamped below one");
     }
 
     #[test]

@@ -26,6 +26,7 @@
 #![deny(unsafe_code)]
 
 mod bam;
+pub mod cam_des;
 pub mod des;
 mod gds;
 mod posix;

@@ -1,0 +1,84 @@
+//! Shared per-batch completion accounting.
+//!
+//! A batch is retired when its last per-SSD group completes — pure
+//! accounting on [`BatchCore::remaining`], no thread or simulated process
+//! ever waits for it. The atomics are the one concession to the threaded
+//! driver (several workers may close groups of one batch concurrently);
+//! they read identically under the single-threaded DES driver.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::plan::ChannelOp;
+
+/// One batch's identity, plan residue, and completion accounting, owned
+/// jointly by the batch's per-SSD groups.
+pub struct BatchCore {
+    /// Channel the batch was published on.
+    pub channel: usize,
+    /// Channel-local batch sequence number.
+    pub seq: u64,
+    /// Operation carried by the batch.
+    pub op: ChannelOp,
+    /// Per-SSD groups still outstanding; the decrement that hits zero
+    /// retires the batch.
+    pub remaining: AtomicUsize,
+    /// Failed commands accumulated across the batch's groups.
+    pub errors: AtomicU64,
+    /// Requests as published (pre-dedup).
+    pub requests: u64,
+    /// When dispatch planning ran, on the driver's clock (anchors the
+    /// batch's I/O-time measurement).
+    pub dispatched_ns: u64,
+    /// GPU-side gap between the channel's previous retire and this pickup
+    /// (the control plane's estimate of computation time); 0 = no sample.
+    pub compute_gap_ns: u64,
+    /// When the GPU rang the doorbell, on the driver's clock.
+    pub doorbell_ns: u64,
+    /// When the poller picked the batch up, on the driver's clock.
+    pub pickup_ns: u64,
+    /// Duplicate read requests removed before dispatch: `(primary address,
+    /// duplicate address)` pairs, replicated by a host-side copy right
+    /// before retire so every destination the GPU asked for is populated.
+    pub dups: Vec<(u64, u64)>,
+    /// Blocks per request (the replication copy length, in blocks).
+    pub blocks: u32,
+}
+
+impl BatchCore {
+    /// Closes one group with `errors` failed commands; returns whether this
+    /// was the batch's last group — the caller must then retire the batch
+    /// (exactly one caller sees `true`).
+    pub fn finish_group(&self, errors: u64) -> bool {
+        if errors > 0 {
+            self.errors.fetch_add(errors, Ordering::Relaxed);
+        }
+        self.remaining.fetch_sub(1, Ordering::AcqRel) == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_group_retires_exactly_once() {
+        let b = BatchCore {
+            channel: 0,
+            seq: 1,
+            op: ChannelOp::Read,
+            remaining: AtomicUsize::new(3),
+            errors: AtomicU64::new(0),
+            requests: 12,
+            dispatched_ns: 0,
+            compute_gap_ns: 0,
+            doorbell_ns: 0,
+            pickup_ns: 0,
+            dups: Vec::new(),
+            blocks: 1,
+        };
+        assert!(!b.finish_group(0));
+        assert!(!b.finish_group(2));
+        assert!(b.finish_group(1), "third close retires");
+        assert_eq!(b.errors.load(Ordering::Relaxed), 3);
+    }
+}

@@ -1,0 +1,66 @@
+//! The clock abstraction: the only way time enters the protocol.
+//!
+//! Protocol state machines never read time themselves — every `now_ns`
+//! they see is handed in by a driver, and drivers get theirs from a
+//! [`Clock`]. The threaded shell implements it over the monotonic
+//! wall-clock telemetry timeline; the DES driver uses [`VirtualClock`],
+//! advanced in lockstep with the simulator's event calendar. Same protocol
+//! decisions, two notions of "now".
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonic nanosecond timeline.
+///
+/// `Send + Sync` so one clock can be shared by a poller and many workers
+/// (the threaded driver) or held single-threaded (the DES driver).
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since the timeline's epoch.
+    fn now_ns(&self) -> u64;
+}
+
+/// A manually-advanced clock for discrete-event (virtual-time) drivers.
+///
+/// Clones share the same underlying instant, so a driver can hand the
+/// clock to protocol-adjacent helpers and keep advancing it from the
+/// event loop.
+#[derive(Clone, Debug, Default)]
+pub struct VirtualClock(Arc<AtomicU64>);
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock to `ns`. Never moves backwards: discrete-event
+    /// calendars can deliver same-instant events in any order, and a
+    /// protocol timeline must stay monotone.
+    pub fn set_ns(&self, ns: u64) {
+        self.0.fetch_max(ns, Ordering::Relaxed);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_ns(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_is_monotone_and_shared() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        let c2 = c.clone();
+        c.set_ns(500);
+        assert_eq!(c2.now_ns(), 500, "clones share the instant");
+        c2.set_ns(300);
+        assert_eq!(c.now_ns(), 500, "never moves backwards");
+        c.set_ns(501);
+        assert_eq!(c.now_ns(), 501);
+    }
+}

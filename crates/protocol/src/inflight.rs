@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 
 /// CID-keyed table of commands awaiting their completion.
-pub(super) struct InflightTable<T> {
+pub struct InflightTable<T> {
     slots: HashMap<u16, T>,
     next_cid: u16,
     capacity: usize,
@@ -26,9 +26,13 @@ impl<T> InflightTable<T> {
     }
 
     /// Commands currently in flight.
-    #[cfg(test)]
     pub fn len(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Whether nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
     }
 
     /// Whether another command can be admitted.

@@ -1,0 +1,267 @@
+//! Dispatch planning: read dedup, stripe splitting, per-SSD grouping.
+//!
+//! `plan_batch` is the pure core of the poller's pickup path: it turns one
+//! published batch (op, blocks-per-request, `(lba, addr)` pairs) into the
+//! per-SSD groups of stripe-contiguous runs the workers execute, plus the
+//! host-side copy pairs that replicate deduplicated reads at retire. Both
+//! drivers call it with identical inputs, so every planning decision —
+//! which duplicates drop, where stripe boundaries split, which SSD owns a
+//! run — is made by one piece of code.
+
+/// Operation carried by a batch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChannelOp {
+    /// SSD → GPU memory (`prefetch`).
+    Read,
+    /// GPU memory → SSD (`write_back`).
+    Write,
+}
+
+/// Index into the telemetry `OPS` table (`["read", "write"]`) for an op.
+pub fn op_index(op: ChannelOp) -> usize {
+    match op {
+        ChannelOp::Read => 0,
+        ChannelOp::Write => 1,
+    }
+}
+
+/// Array geometry the planner needs: how logical blocks map onto SSDs.
+#[derive(Clone, Copy, Debug)]
+pub struct PlanConfig {
+    /// SSDs in the RAID-0 array.
+    pub n_ssds: usize,
+    /// Blocks per stripe unit.
+    pub stripe_blocks: u64,
+    /// Bytes per block (scales request addresses across split runs).
+    pub block_size: u32,
+}
+
+impl PlanConfig {
+    /// Maps a logical block onto `(ssd, device LBA)`.
+    pub fn map(&self, lba: u64) -> (usize, u64) {
+        let n = self.n_ssds as u64;
+        let stripe = lba / self.stripe_blocks;
+        let within = lba % self.stripe_blocks;
+        (
+            (stripe % n) as usize,
+            (stripe / n) * self.stripe_blocks + within,
+        )
+    }
+}
+
+/// The planner's output for one batch.
+pub struct BatchPlan {
+    /// Requests as published (before dedup).
+    pub requests: u64,
+    /// Duplicate read requests removed from dispatch: `(primary address,
+    /// duplicate address)` pairs replicated by a host-side copy at retire.
+    pub dups: Vec<(u64, u64)>,
+    /// Per-SSD groups of `(device LBA, address, blocks)` runs; indexed by
+    /// SSD, possibly empty for SSDs the batch does not touch.
+    pub groups: Vec<Vec<(u64, u64, u32)>>,
+    /// Extra runs created by stripe-boundary splitting.
+    pub stripe_splits: u64,
+}
+
+impl BatchPlan {
+    /// Non-empty per-SSD groups (the batch's outstanding-group count).
+    pub fn n_groups(&self) -> usize {
+        self.groups.iter().filter(|g| !g.is_empty()).count()
+    }
+
+    /// Total runs across all groups — the SQEs a fault-free execution
+    /// submits exactly once each.
+    pub fn runs(&self) -> u64 {
+        self.groups.iter().map(|g| g.len() as u64).sum()
+    }
+}
+
+/// Plans one batch: dedup duplicate read LBAs (keep-first), split every
+/// request at stripe boundaries, and group the resulting runs by SSD.
+///
+/// Duplicate LBAs in one read batch would fetch the same blocks from the
+/// SSD several times. The first destination per LBA is kept, the rest are
+/// dropped from dispatch and remembered as copy pairs: the retiring driver
+/// replicates the fetched data to every duplicate destination before
+/// region 4 is written, so the GPU still sees all of its destinations
+/// populated. Requests in a batch share `blocks`, so equal start LBAs
+/// cover identical ranges. Writes are left untouched (last-writer
+/// semantics would change if we collapsed them).
+pub fn plan_batch(
+    cfg: &PlanConfig,
+    op: ChannelOp,
+    blocks: u32,
+    mut reqs: Vec<(u64, u64)>,
+) -> BatchPlan {
+    let requests = reqs.len() as u64;
+    let mut dups: Vec<(u64, u64)> = Vec::new();
+    if op == ChannelOp::Read {
+        let mut first: std::collections::HashMap<u64, u64> =
+            std::collections::HashMap::with_capacity(reqs.len());
+        reqs.retain(|&(lba, addr)| match first.entry(lba) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                dups.push((*e.get(), addr));
+                false
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(addr);
+                true
+            }
+        });
+    }
+    // Split the batch by stripe across SSDs. Requests that cross a stripe
+    // boundary become several stripe-contiguous runs — the CPU control
+    // plane owns the striping, so GPU code never needs to know the array
+    // layout.
+    let mut groups: Vec<Vec<(u64, u64, u32)>> = vec![Vec::new(); cfg.n_ssds];
+    let bs = cfg.block_size as u64;
+    let mut total_runs = 0u64;
+    for (lba, addr) in &reqs {
+        let mut done = 0u64;
+        while done < blocks as u64 {
+            let cur = lba + done;
+            let left = cfg.stripe_blocks - cur % cfg.stripe_blocks;
+            let run = left.min(blocks as u64 - done) as u32;
+            let (ssd, dev_lba) = cfg.map(cur);
+            groups[ssd].push((dev_lba, addr + done * bs, run));
+            total_runs += 1;
+            done += run as u64;
+        }
+    }
+    BatchPlan {
+        requests,
+        dups,
+        groups,
+        stripe_splits: total_runs.saturating_sub(reqs.len() as u64),
+    }
+}
+
+/// Timing-independent protocol decisions, for driver-fidelity comparison.
+///
+/// Every field counts a *decision* the protocol makes — not an artifact of
+/// scheduling — so a fixed workload must produce identical counters under
+/// the threaded and the DES driver (`cam-bench`'s fidelity experiment
+/// asserts exactly that).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DecisionCounters {
+    /// Batches planned.
+    pub batches: u64,
+    /// Requests as published (pre-dedup).
+    pub requests: u64,
+    /// Duplicate reads dropped from dispatch.
+    pub dedup_dropped: u64,
+    /// Extra runs created at stripe boundaries.
+    pub stripe_splits: u64,
+    /// Non-empty per-SSD groups dispatched.
+    pub groups: u64,
+    /// First submissions (logical SQEs; retries excluded).
+    pub sqes: u64,
+    /// Transient-failure re-submissions.
+    pub retries: u64,
+    /// Commands failed by deadline.
+    pub timeouts: u64,
+}
+
+impl DecisionCounters {
+    /// Folds one batch plan into the counters.
+    pub fn record_plan(&mut self, plan: &BatchPlan) {
+        self.batches += 1;
+        self.requests += plan.requests;
+        self.dedup_dropped += plan.dups.len() as u64;
+        self.stripe_splits += plan.stripe_splits;
+        self.groups += plan.n_groups() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PlanConfig {
+        PlanConfig {
+            n_ssds: 4,
+            stripe_blocks: 2,
+            block_size: 4096,
+        }
+    }
+
+    #[test]
+    fn duplicate_reads_collapse_to_first_destination() {
+        let plan = plan_batch(
+            &cfg(),
+            ChannelOp::Read,
+            1,
+            vec![(10, 0x1000), (20, 0x2000), (10, 0x3000), (10, 0x4000)],
+        );
+        assert_eq!(plan.requests, 4);
+        assert_eq!(plan.dups, vec![(0x1000, 0x3000), (0x1000, 0x4000)]);
+        assert_eq!(plan.runs(), 2, "two distinct LBAs survive dispatch");
+    }
+
+    #[test]
+    fn writes_are_never_deduplicated() {
+        let plan = plan_batch(
+            &cfg(),
+            ChannelOp::Write,
+            1,
+            vec![(10, 0x1000), (10, 0x2000)],
+        );
+        assert!(plan.dups.is_empty());
+        assert_eq!(plan.runs(), 2, "last-writer semantics preserved");
+    }
+
+    #[test]
+    fn stripe_crossings_split_into_contiguous_runs() {
+        // stripe_blocks = 2: a 2-block request starting at odd LBA 1 covers
+        // blocks {1, 2} and crosses the stripe boundary at 2.
+        let plan = plan_batch(&cfg(), ChannelOp::Read, 2, vec![(1, 0x1000)]);
+        assert_eq!(plan.stripe_splits, 1);
+        assert_eq!(plan.runs(), 2);
+        // Block 1 → stripe 0 → ssd 0 at device LBA 1; block 2 → stripe 1 →
+        // ssd 1 at device LBA 0. The second run's address advances by one
+        // block.
+        assert_eq!(plan.groups[0], vec![(1, 0x1000, 1)]);
+        assert_eq!(plan.groups[1], vec![(0, 0x1000 + 4096, 1)]);
+    }
+
+    #[test]
+    fn groups_follow_the_raid0_map() {
+        let c = cfg();
+        let plan = plan_batch(
+            &c,
+            ChannelOp::Read,
+            1,
+            (0..16u64).map(|lba| (lba, lba * 4096)).collect(),
+        );
+        assert_eq!(plan.n_groups(), 4);
+        assert_eq!(plan.stripe_splits, 0);
+        for (ssd, group) in plan.groups.iter().enumerate() {
+            assert_eq!(group.len(), 4);
+            for &(dev_lba, _, blocks) in group {
+                assert_eq!(blocks, 1);
+                // Reconstruct the logical block and confirm the bijection.
+                let stripe = dev_lba / c.stripe_blocks;
+                let within = dev_lba % c.stripe_blocks;
+                let lba = (stripe * c.n_ssds as u64 + ssd as u64) * c.stripe_blocks + within;
+                assert_eq!(c.map(lba), (ssd, dev_lba));
+            }
+        }
+    }
+
+    #[test]
+    fn decision_counters_fold_plans() {
+        let mut d = DecisionCounters::default();
+        let plan = plan_batch(
+            &cfg(),
+            ChannelOp::Read,
+            2,
+            vec![(1, 0), (1, 4096), (4, 8192)],
+        );
+        d.record_plan(&plan);
+        assert_eq!(d.batches, 1);
+        assert_eq!(d.requests, 3);
+        assert_eq!(d.dedup_dropped, 1);
+        assert_eq!(d.stripe_splits, 1);
+        assert_eq!(d.groups, plan.n_groups() as u64);
+    }
+}

@@ -8,12 +8,12 @@
 
 use cam_nvme::spec::Status;
 
-/// What the reactor should do with a failed command.
+/// What the worker should do with a failed command.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub(super) enum Verdict {
+pub enum Verdict {
     /// Re-queue the command; do not submit it before `at_ns`.
     Retry {
-        /// Earliest re-submission time on the telemetry clock.
+        /// Earliest re-submission time on the driver's clock.
         at_ns: u64,
     },
     /// Fail the command: the error is deterministic or retries are
@@ -25,7 +25,7 @@ pub(super) enum Verdict {
 
 /// The retry policy one control plane runs under.
 #[derive(Clone, Copy, Debug)]
-pub(super) struct RetryPolicy {
+pub struct RetryPolicy {
     /// Re-submissions allowed per command (0 = never retry).
     pub max_retries: u32,
     /// Backoff before retry `n` is `base << (n - 1)`, capped.

@@ -1,0 +1,714 @@
+//! The worker state machine: submission multiplexing, completion matching,
+//! retry, and group/batch closure — with no threads and no clock of its own.
+//!
+//! A [`WorkerCore`] multiplexes *all* of its accepted groups over one lane
+//! per SSD: [`pump`](WorkerCore::pump) stages as many queued commands as
+//! the per-SSD [`InflightTable`] admits — across batches — and asks for one
+//! doorbell ring per burst; [`on_cqe`](WorkerCore::on_cqe) matches each
+//! completion back through the table and applies the [`RetryPolicy`] to
+//! failures. Nothing ever blocks on a single group, so an SSD's in-flight
+//! depth stays above one whenever independent batches overlap (the
+//! pipelining the blocking baseline forfeits).
+//!
+//! Every externally-visible effect is returned as a [`Command`]; the driver
+//! executes them (against real queue pairs or a device timing model) and
+//! records whatever telemetry it keeps. The table's capacity equals the
+//! queue-pair depth, so a driver may treat a submit command as infallible:
+//! admission here *is* admission there.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use cam_nvme::spec::Status;
+
+use crate::batch::BatchCore;
+use crate::inflight::InflightTable;
+use crate::plan::{ChannelOp, DecisionCounters};
+use crate::retry::{RetryPolicy, Verdict};
+
+/// One per-SSD group of a batch, handed to a worker by the dispatch layer.
+pub struct GroupSpec {
+    /// SSD the group targets.
+    pub ssd: usize,
+    /// `(device LBA, address, blocks)` — stripe-contiguous runs.
+    pub reqs: Vec<(u64, u64, u32)>,
+    /// The batch the group belongs to.
+    pub batch: Arc<BatchCore>,
+}
+
+/// One SQE the driver must push (CID already allocated; push cannot fail).
+#[derive(Clone, Copy, Debug)]
+pub struct SubmitCmd {
+    /// SSD (lane) to submit on.
+    pub ssd: usize,
+    /// Command identifier from the lane's inflight table.
+    pub cid: u16,
+    /// Read or write.
+    pub op: ChannelOp,
+    /// Device LBA.
+    pub dev_lba: u64,
+    /// DMA address.
+    pub addr: u64,
+    /// Blocks to transfer.
+    pub blocks: u32,
+    /// First submission of this command (false for retries) — drives the
+    /// logical-request counters without double-counting retries.
+    pub first: bool,
+}
+
+/// An effect the protocol asks its driver to perform.
+pub enum Command {
+    /// Push one SQE on the SSD's queue pair.
+    Submit(SubmitCmd),
+    /// Ring the SSD's doorbell for the `staged` SQEs pushed since the last
+    /// ring (one ring per burst).
+    RingDoorbell {
+        /// SSD whose doorbell to ring.
+        ssd: usize,
+        /// SQEs staged in this burst.
+        staged: u32,
+    },
+    /// Every command of a group has now been submitted at least once
+    /// (telemetry: the group's submit-stage span is `submit_ns − recv_ns`).
+    GroupSubmitted {
+        /// The group's batch.
+        batch: Arc<BatchCore>,
+        /// SSD the group targets.
+        ssd: usize,
+        /// Commands in the group.
+        sqes: u32,
+        /// When the worker accepted the group.
+        recv_ns: u64,
+        /// When the last first-submission happened.
+        submit_ns: u64,
+    },
+    /// A command failed transiently and was re-queued with backoff.
+    CmdRetry {
+        /// The command's batch.
+        batch: Arc<BatchCore>,
+        /// SSD the command targets.
+        ssd: usize,
+        /// CID of the failed attempt.
+        cid: u16,
+        /// Submissions so far.
+        attempt: u32,
+        /// When the failure was classified.
+        now_ns: u64,
+        /// Earliest re-submission time.
+        at_ns: u64,
+    },
+    /// A command was failed terminally because its deadline expired.
+    CmdTimeout {
+        /// The command's batch.
+        batch: Arc<BatchCore>,
+        /// SSD the command targets.
+        ssd: usize,
+        /// CID of the most recent attempt (0 if never submitted).
+        cid: u16,
+        /// Submissions so far.
+        attempts: u32,
+        /// When the deadline expiry was observed.
+        now_ns: u64,
+    },
+    /// Every command of a group reached a final state (telemetry: the
+    /// complete-stage span is `complete_ns − anchor_ns`).
+    GroupComplete {
+        /// The group's batch.
+        batch: Arc<BatchCore>,
+        /// SSD the group targeted.
+        ssd: usize,
+        /// Commands the group carried.
+        sqes: u32,
+        /// Failed commands among them.
+        errors: u64,
+        /// Span anchor: the group's submit instant, or its accept instant
+        /// if it never fully submitted.
+        anchor_ns: u64,
+        /// When the last command finished.
+        complete_ns: u64,
+    },
+    /// The group that just completed was its batch's last: retire the batch
+    /// (region-4 write, dedup replication, scaler feed). Emitted after the
+    /// final [`Command::GroupComplete`]; exactly once per batch.
+    RetireBatch {
+        /// The retiring batch.
+        batch: Arc<BatchCore>,
+        /// When the batch's last command finished.
+        complete_ns: u64,
+    },
+}
+
+/// One command's worker-side state, from dispatch to final completion.
+struct PendingCmd {
+    /// Key into the worker's group slab.
+    group: u64,
+    dev_lba: u64,
+    addr: u64,
+    blocks: u32,
+    /// Submissions so far (0 = never hit the wire).
+    attempts: u32,
+    /// Backoff gate: not re-submitted before this timeline instant.
+    earliest_ns: u64,
+    /// Absolute deadline; `None` = unbounded.
+    deadline_ns: Option<u64>,
+    /// CID of the most recent attempt (for timeout reporting).
+    last_cid: u16,
+}
+
+/// Per-SSD submission state: commands waiting to be (re-)submitted and the
+/// CID-keyed in-flight table.
+struct Lane {
+    queue: VecDeque<PendingCmd>,
+    inflight: InflightTable<PendingCmd>,
+}
+
+/// One accepted per-SSD group and its completion accounting.
+struct GroupState {
+    batch: Arc<BatchCore>,
+    ssd: usize,
+    /// Commands in the group.
+    total: usize,
+    /// Commands finally completed (success, permanent failure, or timeout).
+    done: usize,
+    /// Failed commands among `done`.
+    errors: u64,
+    /// Commands submitted at least once — drives the one-submit-event-per-
+    /// group telemetry without double-counting retries.
+    submitted_first: usize,
+    recv_ns: u64,
+    /// Stamped when the last command of the group first hits the wire.
+    submit_ns: u64,
+}
+
+/// The per-worker protocol state machine.
+pub struct WorkerCore {
+    lanes: Vec<Lane>,
+    groups: HashMap<u64, GroupState>,
+    next_group: u64,
+    retry: RetryPolicy,
+    counters: DecisionCounters,
+}
+
+impl WorkerCore {
+    /// A worker over `n_ssds` lanes, each admitting `queue_depth` commands.
+    pub fn new(n_ssds: usize, queue_depth: usize, retry: RetryPolicy) -> Self {
+        WorkerCore {
+            lanes: (0..n_ssds)
+                .map(|_| Lane {
+                    queue: VecDeque::new(),
+                    inflight: InflightTable::new(queue_depth),
+                })
+                .collect(),
+            groups: HashMap::new(),
+            next_group: 0,
+            retry,
+            counters: DecisionCounters::default(),
+        }
+    }
+
+    /// Whether no group is open (the blocking baseline accepts a new group
+    /// only when this holds).
+    pub fn idle(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Commands in flight on `ssd` (this worker's lane).
+    pub fn inflight(&self, ssd: usize) -> usize {
+        self.lanes[ssd].inflight.len()
+    }
+
+    /// Submission decisions made so far (`sqes`, `retries`, `timeouts`; the
+    /// planning fields stay zero — fold in [`DecisionCounters::record_plan`]
+    /// at the dispatch layer).
+    pub fn counters(&self) -> DecisionCounters {
+        self.counters
+    }
+
+    /// The earliest future instant at which a queued command becomes
+    /// actionable (backoff expiry or deadline), if any — the "arm timer"
+    /// output. A virtual-time driver with nothing else scheduled should
+    /// wake then; the threaded driver polls and may ignore this.
+    pub fn next_timer_ns(&self) -> Option<u64> {
+        self.lanes
+            .iter()
+            .flat_map(|l| l.queue.iter())
+            .filter(|c| c.earliest_ns > 0)
+            .map(|c| match c.deadline_ns {
+                Some(d) => c.earliest_ns.min(d),
+                None => c.earliest_ns,
+            })
+            .min()
+    }
+
+    /// Accepts a dispatched group at `recv_ns`: stages its commands on the
+    /// SSD's lane and opens its accounting record. Call
+    /// [`pump`](WorkerCore::pump) afterwards to generate submissions.
+    pub fn on_group(&mut self, spec: GroupSpec, recv_ns: u64) {
+        let gid = self.next_group;
+        self.next_group += 1;
+        let deadline_ns = self.retry.deadline_ns.map(|d| recv_ns + d);
+        for &(dev_lba, addr, blocks) in &spec.reqs {
+            self.lanes[spec.ssd].queue.push_back(PendingCmd {
+                group: gid,
+                dev_lba,
+                addr,
+                blocks,
+                attempts: 0,
+                earliest_ns: 0,
+                deadline_ns,
+                last_cid: 0,
+            });
+        }
+        self.groups.insert(
+            gid,
+            GroupState {
+                ssd: spec.ssd,
+                total: spec.reqs.len(),
+                done: 0,
+                errors: 0,
+                submitted_first: 0,
+                recv_ns,
+                submit_ns: 0,
+                batch: spec.batch,
+            },
+        );
+    }
+
+    /// One submission pass over every lane at `now_ns`: times out
+    /// overdue commands, stages as many queued commands as each inflight
+    /// table admits, and asks for one doorbell ring per non-empty burst.
+    pub fn pump(&mut self, now_ns: u64, out: &mut Vec<Command>) {
+        for ssd in 0..self.lanes.len() {
+            self.pump_lane(ssd, now_ns, out);
+        }
+    }
+
+    fn pump_lane(&mut self, ssd: usize, now_ns: u64, out: &mut Vec<Command>) {
+        let mut staged = 0u32;
+        // Each queued command is examined at most once per pass:
+        // backoff-gated commands rotate to the back and wait for a later
+        // pass.
+        for _ in 0..self.lanes[ssd].queue.len() {
+            let Some(mut cmd) = self.lanes[ssd].queue.pop_front() else {
+                break;
+            };
+            if cmd.deadline_ns.is_some_and(|d| now_ns >= d) {
+                self.time_out(ssd, &cmd, now_ns, out);
+                continue;
+            }
+            if cmd.earliest_ns > now_ns {
+                self.lanes[ssd].queue.push_back(cmd);
+                continue;
+            }
+            let Some(cid) = self.lanes[ssd].inflight.alloc_cid() else {
+                self.lanes[ssd].queue.push_front(cmd);
+                break;
+            };
+            let first = cmd.attempts == 0;
+            cmd.attempts += 1;
+            cmd.last_cid = cid;
+            let g = self
+                .groups
+                .get_mut(&cmd.group)
+                .expect("command without group");
+            out.push(Command::Submit(SubmitCmd {
+                ssd,
+                cid,
+                op: g.batch.op,
+                dev_lba: cmd.dev_lba,
+                addr: cmd.addr,
+                blocks: cmd.blocks,
+                first,
+            }));
+            staged += 1;
+            if first {
+                // Retries are deliberately excluded: `sqes` counts logical
+                // requests, so its sum stays comparable to requests retired.
+                self.counters.sqes += 1;
+                g.submitted_first += 1;
+                if g.submitted_first == g.total {
+                    g.submit_ns = now_ns;
+                    out.push(Command::GroupSubmitted {
+                        batch: Arc::clone(&g.batch),
+                        ssd,
+                        sqes: g.total as u32,
+                        recv_ns: g.recv_ns,
+                        submit_ns: now_ns,
+                    });
+                }
+            }
+            self.lanes[ssd].inflight.put(cid, cmd);
+        }
+        if staged > 0 {
+            out.push(Command::RingDoorbell { ssd, staged });
+        }
+    }
+
+    /// Applies one reaped completion at `now_ns`: matches the CQE back to
+    /// its command (stale CIDs are silently discarded), closes the group
+    /// when its last command finishes, and applies the retry policy to
+    /// failures. Re-queued retries need a later [`pump`](WorkerCore::pump)
+    /// to hit the wire again.
+    pub fn on_cqe(
+        &mut self,
+        ssd: usize,
+        cid: u16,
+        status: Status,
+        now_ns: u64,
+        out: &mut Vec<Command>,
+    ) {
+        let Some(mut cmd) = self.lanes[ssd].inflight.remove(cid) else {
+            // Stale or unknown CID: nothing to attribute it to.
+            return;
+        };
+        if status == Status::Success {
+            let gid = cmd.group;
+            self.groups
+                .get_mut(&gid)
+                .expect("command without group")
+                .done += 1;
+            self.close_if_done(gid, now_ns, out);
+            return;
+        }
+        match self
+            .retry
+            .classify(status, cmd.attempts, now_ns, cmd.deadline_ns)
+        {
+            Verdict::Retry { at_ns } => {
+                self.counters.retries += 1;
+                let g = &self.groups[&cmd.group];
+                out.push(Command::CmdRetry {
+                    batch: Arc::clone(&g.batch),
+                    ssd,
+                    cid,
+                    attempt: cmd.attempts,
+                    now_ns,
+                    at_ns,
+                });
+                cmd.earliest_ns = at_ns;
+                self.lanes[ssd].queue.push_back(cmd);
+            }
+            Verdict::TimedOut => self.time_out(ssd, &cmd, now_ns, out),
+            Verdict::Permanent => {
+                let gid = cmd.group;
+                let g = self.groups.get_mut(&gid).expect("command without group");
+                g.done += 1;
+                g.errors += 1;
+                self.close_if_done(gid, now_ns, out);
+            }
+        }
+    }
+
+    /// Fails `cmd` terminally because its deadline expired: reported,
+    /// accounted as completed-with-error — the worker moves on.
+    fn time_out(&mut self, ssd: usize, cmd: &PendingCmd, now_ns: u64, out: &mut Vec<Command>) {
+        self.counters.timeouts += 1;
+        let gid = cmd.group;
+        let g = self.groups.get_mut(&gid).expect("command without group");
+        g.done += 1;
+        g.errors += 1;
+        out.push(Command::CmdTimeout {
+            batch: Arc::clone(&g.batch),
+            ssd,
+            cid: cmd.last_cid,
+            attempts: cmd.attempts,
+            now_ns,
+        });
+        self.close_if_done(gid, now_ns, out);
+    }
+
+    /// Closes `gid` if all of its commands reached a final state, and asks
+    /// for batch retirement if it was the batch's last group.
+    fn close_if_done(&mut self, gid: u64, now_ns: u64, out: &mut Vec<Command>) {
+        let finished = self.groups.get(&gid).is_some_and(|g| g.done >= g.total);
+        if !finished {
+            return;
+        }
+        let g = self.groups.remove(&gid).expect("group vanished");
+        let anchor_ns = if g.submit_ns > 0 {
+            g.submit_ns
+        } else {
+            g.recv_ns
+        };
+        out.push(Command::GroupComplete {
+            batch: Arc::clone(&g.batch),
+            ssd: g.ssd,
+            sqes: g.total as u32,
+            errors: g.errors,
+            anchor_ns,
+            complete_ns: now_ns,
+        });
+        if g.batch.finish_group(g.errors) {
+            out.push(Command::RetireBatch {
+                batch: g.batch,
+                complete_ns: now_ns,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize};
+
+    fn no_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            backoff_base_ns: 0,
+            deadline_ns: None,
+        }
+    }
+
+    fn batch(n_groups: usize) -> Arc<BatchCore> {
+        Arc::new(BatchCore {
+            channel: 0,
+            seq: 1,
+            op: ChannelOp::Read,
+            remaining: AtomicUsize::new(n_groups),
+            errors: AtomicU64::new(0),
+            requests: 0,
+            dispatched_ns: 0,
+            compute_gap_ns: 0,
+            doorbell_ns: 0,
+            pickup_ns: 0,
+            dups: Vec::new(),
+            blocks: 1,
+        })
+    }
+
+    fn submits(out: &[Command]) -> Vec<SubmitCmd> {
+        out.iter()
+            .filter_map(|c| match c {
+                Command::Submit(s) => Some(*s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pump_respects_depth_and_rings_one_doorbell_per_burst() {
+        let mut w = WorkerCore::new(1, 2, no_retry());
+        let b = batch(1);
+        w.on_group(
+            GroupSpec {
+                ssd: 0,
+                reqs: (0..5).map(|i| (i, i * 4096, 1)).collect(),
+                batch: b,
+            },
+            100,
+        );
+        let mut out = Vec::new();
+        w.pump(100, &mut out);
+        let subs = submits(&out);
+        assert_eq!(subs.len(), 2, "depth 2 admits two commands");
+        assert!(subs.iter().all(|s| s.first));
+        assert_eq!(
+            out.iter()
+                .filter(|c| matches!(c, Command::RingDoorbell { staged: 2, .. }))
+                .count(),
+            1,
+            "one ring for the burst"
+        );
+        assert_eq!(w.inflight(0), 2);
+        // Nothing new to stage: a second pump is silent (no empty ring).
+        out.clear();
+        w.pump(101, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn group_submitted_fires_once_when_last_command_hits_the_wire() {
+        let mut w = WorkerCore::new(1, 8, no_retry());
+        let b = batch(1);
+        w.on_group(
+            GroupSpec {
+                ssd: 0,
+                reqs: vec![(0, 0, 1), (1, 4096, 1)],
+                batch: Arc::clone(&b),
+            },
+            50,
+        );
+        let mut out = Vec::new();
+        w.pump(70, &mut out);
+        let marks: Vec<_> = out
+            .iter()
+            .filter_map(|c| match c {
+                Command::GroupSubmitted {
+                    recv_ns, submit_ns, ..
+                } => Some((*recv_ns, *submit_ns)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(marks, vec![(50, 70)]);
+        // Completions close the group and retire the single-group batch.
+        out.clear();
+        let cids: Vec<u16> = submits({
+            let mut v = Vec::new();
+            w.pump(70, &mut v);
+            &{ v }
+        })
+        .iter()
+        .map(|s| s.cid)
+        .collect();
+        assert!(cids.is_empty(), "no double submission");
+        w.on_cqe(0, 0, Status::Success, 90, &mut out);
+        assert!(out.is_empty(), "group still open");
+        w.on_cqe(0, 1, Status::Success, 95, &mut out);
+        assert!(
+            matches!(
+                out.as_slice(),
+                [
+                    Command::GroupComplete {
+                        sqes: 2,
+                        errors: 0,
+                        anchor_ns: 70,
+                        complete_ns: 95,
+                        ..
+                    },
+                    Command::RetireBatch {
+                        complete_ns: 95,
+                        ..
+                    }
+                ]
+            ),
+            "complete then retire"
+        );
+    }
+
+    #[test]
+    fn transient_failure_waits_out_backoff_then_resubmits() {
+        let mut w = WorkerCore::new(
+            1,
+            8,
+            RetryPolicy {
+                max_retries: 3,
+                backoff_base_ns: 1000,
+                deadline_ns: None,
+            },
+        );
+        w.on_group(
+            GroupSpec {
+                ssd: 0,
+                reqs: vec![(7, 0, 1)],
+                batch: batch(1),
+            },
+            0,
+        );
+        let mut out = Vec::new();
+        w.pump(0, &mut out);
+        let cid = submits(&out)[0].cid;
+        out.clear();
+        w.on_cqe(0, cid, Status::TransientMediaError, 100, &mut out);
+        assert!(matches!(
+            out.as_slice(),
+            [Command::CmdRetry {
+                attempt: 1,
+                now_ns: 100,
+                at_ns: 1100,
+                ..
+            }]
+        ));
+        assert_eq!(w.next_timer_ns(), Some(1100), "timer armed for backoff");
+        // Before the backoff gate: nothing moves.
+        out.clear();
+        w.pump(500, &mut out);
+        assert!(out.is_empty());
+        // After it: re-submitted, not first, sqes counter unchanged.
+        w.pump(1100, &mut out);
+        let subs = submits(&out);
+        assert_eq!(subs.len(), 1);
+        assert!(!subs[0].first);
+        assert_eq!(w.counters().sqes, 1);
+        assert_eq!(w.counters().retries, 1);
+        assert_eq!(w.next_timer_ns(), None);
+    }
+
+    #[test]
+    fn deadline_times_out_queued_command_and_retires_with_error() {
+        let mut w = WorkerCore::new(
+            1,
+            8,
+            RetryPolicy {
+                max_retries: 0,
+                backoff_base_ns: 0,
+                deadline_ns: Some(1000),
+            },
+        );
+        let b = batch(1);
+        w.on_group(
+            GroupSpec {
+                ssd: 0,
+                reqs: vec![(3, 0, 1)],
+                batch: Arc::clone(&b),
+            },
+            0,
+        );
+        // First pump happens after the deadline already expired.
+        let mut out = Vec::new();
+        w.pump(5000, &mut out);
+        assert!(matches!(
+            out.as_slice(),
+            [
+                Command::CmdTimeout {
+                    attempts: 0,
+                    now_ns: 5000,
+                    ..
+                },
+                Command::GroupComplete {
+                    errors: 1,
+                    anchor_ns: 0,
+                    ..
+                },
+                Command::RetireBatch { .. }
+            ]
+        ));
+        assert_eq!(w.counters().timeouts, 1);
+        assert!(w.idle());
+    }
+
+    #[test]
+    fn multi_group_batch_retires_exactly_once_across_lanes() {
+        let mut w = WorkerCore::new(2, 8, no_retry());
+        let b = batch(2);
+        for ssd in 0..2 {
+            w.on_group(
+                GroupSpec {
+                    ssd,
+                    reqs: vec![(ssd as u64, 0, 1)],
+                    batch: Arc::clone(&b),
+                },
+                0,
+            );
+        }
+        let mut out = Vec::new();
+        w.pump(0, &mut out);
+        let subs = submits(&out);
+        assert_eq!(subs.len(), 2);
+        out.clear();
+        w.on_cqe(0, subs[0].cid, Status::Success, 10, &mut out);
+        assert_eq!(
+            out.iter()
+                .filter(|c| matches!(c, Command::RetireBatch { .. }))
+                .count(),
+            0
+        );
+        w.on_cqe(1, subs[1].cid, Status::Success, 20, &mut out);
+        assert_eq!(
+            out.iter()
+                .filter(|c| matches!(c, Command::RetireBatch { .. }))
+                .count(),
+            1,
+            "second group's close retires"
+        );
+        assert!(w.idle());
+    }
+
+    #[test]
+    fn stale_cids_are_discarded() {
+        let mut w = WorkerCore::new(1, 8, no_retry());
+        let mut out = Vec::new();
+        w.on_cqe(0, 42, Status::Success, 0, &mut out);
+        assert!(out.is_empty());
+    }
+}
