@@ -20,6 +20,13 @@
 //! `chrome://tracing`. Process 1 is the functional engine (one track per
 //! poller/worker/emitting thread, one async span per batch); process 2 is
 //! the simulated SSDs.
+//!
+//! `repro watch` drives a fault-injected workload through a fully observed
+//! engine and renders a live per-lane / per-channel snapshot table every
+//! few hundred milliseconds (rolling-window retries, latency quantiles,
+//! SLO burn rates, lane health). `repro watch --once` renders a single
+//! end-of-run snapshot and writes `health_snapshot.json` — for scripting
+//! and CI smoke.
 
 use std::process::ExitCode;
 
@@ -51,12 +58,29 @@ fn main() -> ExitCode {
         Ok(p) => p,
         Err(code) => return code,
     };
+    // `watch` is a live view, not a figure generator: handle it before the
+    // registry dispatch.
+    if args.first().map(String::as_str) == Some("watch") {
+        let once = args.iter().any(|a| a == "--once");
+        let report = cam_bench::watch::run_watch(once, |frame| println!("{frame}"));
+        if once {
+            let path = "health_snapshot.json";
+            if let Err(e) = std::fs::write(path, &report.snapshot_json) {
+                eprintln!("could not write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {path}");
+        }
+        return ExitCode::SUCCESS;
+    }
     let reg = registry();
     if metrics_path.is_none()
         && trace_path.is_none()
         && (args.is_empty() || args[0] == "help" || args[0] == "--help")
     {
-        eprintln!("usage: repro [--metrics <path>] [--trace <path>] [all|list|<experiment id>...]");
+        eprintln!(
+            "usage: repro [--metrics <path>] [--trace <path>] [all|list|watch [--once]|<experiment id>...]"
+        );
         eprintln!("experiments:");
         for (id, desc, _) in &reg {
             eprintln!("  {id:<6} {desc}");

@@ -339,6 +339,8 @@ pub fn run_des(
             pipelined,
             thread_cost: cam_thread_cost(N_SSDS as f64),
             host_gbps: 21.0,
+            retry: CamDesConfig::inert_retry(),
+            fault: None,
         },
         channels.to_vec(),
         recorder,

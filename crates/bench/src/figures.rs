@@ -673,7 +673,17 @@ fn bench() -> Vec<Table> {
     // The fidelity comparison rides along so BENCH_repro.json records the
     // DES-vs-functional decision agreement and timing trends.
     let fidelity = crate::fidelity_run::run_fidelity_experiment(8);
-    let json = bench_json(&run, Some(&reports), Some(&pipeline), Some(&fidelity));
+    // The SLO experiment rides along so BENCH_repro.json records burn rates
+    // and the per-driver lane-health transition sequences under a transient
+    // overload.
+    let slo = crate::health_run::run_health_experiment();
+    let json = bench_json(
+        &run,
+        Some(&reports),
+        Some(&pipeline),
+        Some(&fidelity),
+        Some(&slo),
+    );
     let path = "BENCH_repro.json";
     match std::fs::write(path, &json) {
         Ok(()) => {}
@@ -707,6 +717,14 @@ fn bench() -> Vec<Table> {
         run.elapsed_ns as f64 / 1e6,
         f2(run.gbps()),
         f1(run.kiops()),
+    ));
+    t.note(format!(
+        "slo (transient overload): burn short {}/{} (functional/des), \
+         health sequences match: {}, overloaded->recovered: {}",
+        f1(slo.functional.burn_short),
+        f1(slo.des.burn_short),
+        slo.sequences_match(),
+        slo.overloaded_then_recovered(),
     ));
 
     // Critical-path attribution from the event timeline: where each

@@ -1,0 +1,359 @@
+//! SLO / lane-health experiment: one transient-fault overload, two drivers.
+//!
+//! SSD 0's media fails every read in a window twice before succeeding
+//! ([`FaultPolicy::transient_reads_in`] on the threaded rig, the matched
+//! [`DesFaultSpec`] in the DES device model). The retry policy absorbs
+//! every fault, so batches retire clean — but the fault storm must walk
+//! lane 0 through `Healthy → Degraded → Overloaded` and the end-of-run
+//! drain through `→ Recovered`, and the [`SloTracker`] must report a burn
+//! rate above 1 (the latency target is set below what the overloaded run
+//! can deliver).
+//!
+//! Because lane-health transitions are gated only on protocol decisions
+//! (see `cam_protocol::health`), the `(ssd, from, to, faults)` sequence
+//! must be *identical* across the threaded and DES drivers — CI asserts
+//! exactly that on the `"slo"` section of `BENCH_repro.json`.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use cam_blockdev::{BlockGeometry, BlockStore, FaultPolicy, FaultyStore, SparseMemStore};
+use cam_core::{CamConfig, CamContext, ChannelOp};
+use cam_iostacks::cam_des::{run_cam_des_obs, CamDesBatch, CamDesConfig, CamDesObs, DesFaultSpec};
+use cam_iostacks::des::cam_thread_cost;
+use cam_iostacks::{Rig, RigConfig};
+use cam_protocol::RetryPolicy;
+use cam_telemetry::{
+    clock, health_state_label, EventKind, FlightRecorder, MetricsRegistry, Observability,
+    SloConfig, SloTracker,
+};
+
+/// SSDs in the array; SSD 0 carries the faults, SSD 1 stays healthy.
+pub const N_SSDS: usize = 2;
+/// Faulty device-LBA window on SSD 0.
+const FAULT_LBAS: u64 = 16;
+/// Transient failures per LBA before reads succeed.
+const FAIL_TIMES: u32 = 2;
+/// Retry budget — above `FAIL_TIMES`, so every batch retires clean.
+const MAX_RETRIES: u32 = 3;
+const RETRY_BACKOFF_NS: u64 = 1_000;
+/// Batches driven through the single channel.
+const ROUNDS: usize = 12;
+/// Requests per batch: LBAs `0..32` with stripe 1 put device LBAs
+/// `0..16` on each SSD — SSD 0's half is exactly the faulty window.
+const BATCH_REQS: u64 = 2 * FAULT_LBAS;
+const BLOCK_SIZE: u32 = 4096;
+
+/// A latency target no batch can meet (doorbell→retire is tens of
+/// microseconds on either timeline), so the bad fraction is 1.0 and the
+/// burn rate is deterministically `1 / error_budget` on both drivers.
+fn slo_config() -> SloConfig {
+    SloConfig {
+        latency_target_ns: 1_000,
+        error_budget: 0.01,
+        ..SloConfig::default()
+    }
+}
+
+/// One lane-health transition, reduced to its driver-independent key.
+pub type TransitionKey = (u16, u8, u8, u64);
+
+/// One driver's view of the overload run.
+pub struct HealthDriverReport {
+    /// Lane-health transitions in occurrence order.
+    pub transitions: Vec<TransitionKey>,
+    /// Short-window burn rate on channel 0 at end of run.
+    pub burn_short: f64,
+    /// Long-window burn rate on channel 0 at end of run.
+    pub burn_long: f64,
+    /// Protocol retries the run decided.
+    pub retries: u64,
+    /// Transient faults the device layer injected.
+    pub faults: u64,
+    /// Batches retired.
+    pub batches: u64,
+}
+
+/// The two-driver comparison.
+pub struct HealthReport {
+    /// The threaded functional driver.
+    pub functional: HealthDriverReport,
+    /// The DES driver on the same fault schedule.
+    pub des: HealthDriverReport,
+}
+
+impl HealthReport {
+    /// Whether both drivers produced the identical transition sequence.
+    pub fn sequences_match(&self) -> bool {
+        self.functional.transitions == self.des.transitions
+    }
+
+    /// Whether lane 0 passed through `Overloaded` and ended `Recovered`.
+    pub fn overloaded_then_recovered(&self) -> bool {
+        let through = |ts: &[TransitionKey]| {
+            ts.iter().any(|&(_, _, to, _)| to == 2)
+                && ts.last().is_some_and(|&(_, _, to, _)| to == 3)
+        };
+        through(&self.functional.transitions) && through(&self.des.transitions)
+    }
+
+    /// Whether both drivers burned more than their whole error budget.
+    pub fn burn_exceeds_one(&self) -> bool {
+        self.functional.burn_short.max(self.functional.burn_long) > 1.0
+            && self.des.burn_short.max(self.des.burn_long) > 1.0
+    }
+}
+
+/// The matched workload: `ROUNDS` batches of single-block reads over
+/// array LBAs `0..BATCH_REQS` on one channel.
+fn workload() -> Vec<Vec<CamDesBatch>> {
+    vec![vec![
+        CamDesBatch {
+            lbas: (0..BATCH_REQS).collect(),
+            blocks: 1,
+        };
+        ROUNDS
+    ]]
+}
+
+/// Runs the overload workload on both drivers and assembles the report.
+pub fn run_health_experiment() -> HealthReport {
+    HealthReport {
+        functional: run_functional(),
+        des: run_des(),
+    }
+}
+
+fn run_functional() -> HealthDriverReport {
+    let rig_cfg = RigConfig {
+        n_ssds: N_SSDS,
+        blocks_per_ssd: 4096,
+        ..RigConfig::default()
+    };
+    assert_eq!(rig_cfg.block_size, BLOCK_SIZE);
+    let faulty = Arc::new(FaultyStore::new(
+        Arc::new(SparseMemStore::new(BlockGeometry::new(
+            rig_cfg.block_size,
+            rig_cfg.blocks_per_ssd,
+        ))),
+        FaultPolicy::transient_reads_in(0, FAULT_LBAS, FAIL_TIMES),
+    ));
+    let mut stores: Vec<Arc<dyn BlockStore>> = vec![Arc::clone(&faulty) as Arc<dyn BlockStore>];
+    for _ in 1..N_SSDS {
+        stores.push(Arc::new(SparseMemStore::new(BlockGeometry::new(
+            rig_cfg.block_size,
+            rig_cfg.blocks_per_ssd,
+        ))));
+    }
+    let rig = Rig::with_stores(rig_cfg, stores);
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let recorder = Arc::new(FlightRecorder::new());
+    let slo = Arc::new(SloTracker::new(slo_config(), 1));
+    let obs = Observability::recorded(Arc::clone(&registry), Arc::clone(&recorder))
+        .with_slo(Arc::clone(&slo));
+    let cfg = CamConfig {
+        n_channels: 1,
+        workers: Some(1),
+        max_retries: MAX_RETRIES,
+        retry_backoff_ns: RETRY_BACKOFF_NS,
+        ..CamConfig::default()
+    };
+    let cam = CamContext::attach_observed(&rig, cfg, obs);
+    let dev = cam.device();
+    let buf = cam
+        .alloc(BATCH_REQS as usize * BLOCK_SIZE as usize)
+        .unwrap();
+    let addr = buf.addr();
+    for batch in &workload()[0] {
+        let ticket = dev
+            .submit_scatter(
+                0,
+                ChannelOp::Read,
+                &batch.lbas,
+                |i| addr + (i as u64) * u64::from(BLOCK_SIZE),
+                1,
+            )
+            .expect("submit");
+        ticket.wait().expect("transient faults retire clean");
+    }
+    let stats = cam.stats();
+    // Stopping the engine drains the lanes — the `→ Recovered` transition
+    // lands in the recorder before we snapshot it.
+    drop(cam);
+
+    let transitions = transitions_from_events(&recorder);
+    let burn = slo.burn_rate(0, clock::now_ns());
+    HealthDriverReport {
+        transitions,
+        burn_short: burn.short,
+        burn_long: burn.long,
+        retries: stats.retries,
+        faults: faulty.injected(),
+        batches: stats.batches,
+    }
+}
+
+fn run_des() -> HealthDriverReport {
+    let slo = Arc::new(SloTracker::new(slo_config(), 1));
+    let obs = CamDesObs {
+        windows: None,
+        slo: Some(Arc::clone(&slo)),
+    };
+    let r = run_cam_des_obs(
+        CamDesConfig {
+            n_ssds: N_SSDS,
+            block_size: BLOCK_SIZE,
+            stripe_blocks: 1,
+            op: ChannelOp::Read,
+            threads: 1,
+            queue_depth: CamConfig::default().queue_depth,
+            pipelined: true,
+            thread_cost: cam_thread_cost(N_SSDS as f64),
+            host_gbps: 21.0,
+            retry: RetryPolicy {
+                max_retries: MAX_RETRIES,
+                backoff_base_ns: RETRY_BACKOFF_NS,
+                deadline_ns: None,
+            },
+            fault: Some(DesFaultSpec::transient_reads_in(
+                0, 0, FAULT_LBAS, FAIL_TIMES,
+            )),
+        },
+        workload(),
+        None,
+        obs,
+    );
+    let burn = slo.burn_rate(0, r.duration.as_ns());
+    HealthDriverReport {
+        transitions: r
+            .transitions
+            .iter()
+            .map(|t| (t.ssd as u16, t.from.code(), t.to.code(), t.faults))
+            .collect(),
+        burn_short: burn.short,
+        burn_long: burn.long,
+        retries: r.decisions.retries,
+        faults: r.faults_injected,
+        batches: r.batches,
+    }
+}
+
+/// Extracts the `(ssd, from, to, faults)` sequence from a threaded run's
+/// flight-recorder timeline.
+pub fn transitions_from_events(recorder: &FlightRecorder) -> Vec<TransitionKey> {
+    recorder
+        .snapshot()
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::LaneHealth {
+                ssd,
+                from,
+                to,
+                retries,
+            } => Some((ssd, from, to, retries)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The `"slo"` section of `BENCH_repro.json`.
+pub fn slo_section_json(report: &HealthReport) -> String {
+    let cfg = slo_config();
+    let driver = |d: &HealthDriverReport| {
+        let transitions = d
+            .transitions
+            .iter()
+            .map(|&(ssd, from, to, faults)| {
+                format!(
+                    "{{\"ssd\": {ssd}, \"from\": \"{}\", \"to\": \"{}\", \"faults\": {faults}}}",
+                    health_state_label(from),
+                    health_state_label(to)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"burn_short\": {:.2}, \"burn_long\": {:.2}, \"retries\": {}, \
+             \"faults_injected\": {}, \"batches\": {}, \"transitions\": [{transitions}]}}",
+            d.burn_short, d.burn_long, d.retries, d.faults, d.batches
+        )
+    };
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "    \"target\": {{\"latency_ns\": {}, \"error_budget\": {}, \
+         \"short_window_ns\": {}, \"long_window_ns\": {}}},",
+        cfg.latency_target_ns,
+        cfg.error_budget,
+        cfg.short.window_ns(),
+        cfg.long.window_ns()
+    );
+    let _ = writeln!(out, "    \"functional\": {},", driver(&report.functional));
+    let _ = writeln!(out, "    \"des\": {},", driver(&report.des));
+    let _ = writeln!(
+        out,
+        "    \"agreement\": {{\"sequences_match\": {}, \"burn_exceeds_one\": {}, \
+         \"overloaded_then_recovered\": {}}}",
+        report.sequences_match(),
+        report.burn_exceeds_one(),
+        report.overloaded_then_recovered()
+    );
+    out.push_str("  }");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overload_walks_the_lane_and_burns_budget_identically_on_both_drivers() {
+        let report = run_health_experiment();
+        // HealthConfig::default() escalates at 8 episode faults; the run
+        // injects 16 LBAs × 2 failures = 32 faults on lane 0.
+        let expected: Vec<TransitionKey> = vec![
+            (0, 0, 1, 1),                                  // Healthy → Degraded
+            (0, 1, 2, 8),                                  // Degraded → Overloaded
+            (0, 2, 3, FAULT_LBAS * u64::from(FAIL_TIMES)), // drain → Recovered
+        ];
+        assert_eq!(
+            report.des.transitions, expected,
+            "DES transition sequence diverged"
+        );
+        assert_eq!(
+            report.functional.transitions, expected,
+            "functional transition sequence diverged"
+        );
+        assert!(report.sequences_match());
+        assert!(report.overloaded_then_recovered());
+        assert_eq!(report.functional.retries, report.des.retries);
+        assert_eq!(report.functional.faults, report.des.faults);
+        assert_eq!(report.functional.batches, ROUNDS as u64);
+        assert_eq!(report.des.batches, ROUNDS as u64);
+        assert!(
+            report.burn_exceeds_one(),
+            "burn: functional {:.1}/{:.1}, des {:.1}/{:.1}",
+            report.functional.burn_short,
+            report.functional.burn_long,
+            report.des.burn_short,
+            report.des.burn_long
+        );
+
+        let json = slo_section_json(&report);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        for key in [
+            "\"target\"",
+            "\"functional\"",
+            "\"des\"",
+            "\"sequences_match\": true",
+            "\"burn_exceeds_one\": true",
+            "\"overloaded_then_recovered\": true",
+            "\"to\": \"overloaded\"",
+            "\"to\": \"recovered\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

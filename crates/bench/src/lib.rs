@@ -18,9 +18,11 @@
 pub mod cache_run;
 pub mod fidelity_run;
 pub mod figures;
+pub mod health_run;
 pub mod pipeline_run;
 mod table;
 pub mod telemetry_run;
+pub mod watch;
 
 pub use table::Table;
 

@@ -141,12 +141,16 @@ pub fn run_traced(rounds: u64, batch: u64) -> (TelemetryRun, String) {
 /// in-flight depth and read latency for the pipelined reactor vs. the
 /// blocking baseline. When `fidelity` carries the two-driver comparison
 /// (see [`crate::fidelity_run`]), a `"fidelity"` section records the
-/// DES-vs-functional decision agreement and timing trends.
+/// DES-vs-functional decision agreement and timing trends. When `slo`
+/// carries the transient-overload SLO experiment (see
+/// [`crate::health_run`]), a `"slo"` section records burn rates and the
+/// per-driver lane-health transition sequences.
 pub fn bench_json(
     run: &TelemetryRun,
     cache: Option<&[crate::cache_run::CacheWorkloadReport]>,
     pipeline: Option<&crate::pipeline_run::PipelineReport>,
     fidelity: Option<&crate::fidelity_run::FidelityReport>,
+    slo: Option<&crate::health_run::HealthReport>,
 ) -> String {
     let mut out = String::with_capacity(2048);
     out.push_str("{\n");
@@ -212,6 +216,10 @@ pub fn bench_json(
         out.push_str(",\n  \"fidelity\": ");
         out.push_str(&crate::fidelity_run::fidelity_section_json(report));
     }
+    if let Some(report) = slo {
+        out.push_str(",\n  \"slo\": ");
+        out.push_str(&crate::health_run::slo_section_json(report));
+    }
     // Per-channel doorbell→retire latency attribution, only available when
     // the run carried a flight recorder.
     if !run.events.is_empty() {
@@ -247,7 +255,7 @@ mod tests {
     #[test]
     fn bench_json_is_balanced_and_complete() {
         let run = run_instrumented(2, 8);
-        let json = bench_json(&run, None, None, None);
+        let json = bench_json(&run, None, None, None, None);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         for key in [
             "\"workload\"",
@@ -278,7 +286,7 @@ mod tests {
             .filter(|e| matches!(e.kind, cam_telemetry::EventKind::BatchRetire { .. }))
             .count();
         assert_eq!(retires, 6);
-        let json = bench_json(&run, None, None, None);
+        let json = bench_json(&run, None, None, None, None);
         assert!(
             json.contains("\"critical_path\""),
             "missing section: {json}"

@@ -196,6 +196,10 @@ impl BlockCache {
                     if slot.speculative {
                         slot.speculative = false;
                         self.inner.metrics.readahead_hits.inc();
+                        self.inner
+                            .metrics
+                            .ra_window
+                            .add_at(cam_telemetry::clock::now_ns(), 1, 0);
                     }
                     return Lookup::Hit(SlotPin {
                         cache: self.clone(),
@@ -501,6 +505,11 @@ impl SlotWait {
                         if slot.speculative {
                             slot.speculative = false;
                             self.cache.inner.metrics.readahead_hits.inc();
+                            self.cache.inner.metrics.ra_window.add_at(
+                                cam_telemetry::clock::now_ns(),
+                                1,
+                                0,
+                            );
                         }
                         return Some(SlotPin {
                             cache: self.cache.clone(),

@@ -184,6 +184,11 @@ impl CachedDevice {
         m.hits.add(hits as u64);
         m.misses.add(misses as u64);
         m.coalesced.add(coalesced as u64);
+        m.hit_window.add_at(
+            cam_telemetry::clock::now_ns(),
+            hits as u64,
+            (hits + misses + coalesced) as u64,
+        );
         if let Some(rec) = &self.recorder {
             rec.emit(EventKind::CacheAccess {
                 channel: READ_CHANNEL as u16,
@@ -458,6 +463,8 @@ impl CachedDevice {
         {
             Ok(ticket) => {
                 m.readahead_issued.add(lbas.len() as u64);
+                m.ra_window
+                    .add_at(cam_telemetry::clock::now_ns(), 0, lbas.len() as u64);
                 st.ra_hits_at_issue = m.readahead_hits.get();
                 st.ra_last_issue = lbas.len() as u32;
                 if let Some(rec) = &self.recorder {

@@ -31,10 +31,13 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use cam_nvme::{DmaSpace, NvmeDevice, QueuePair};
-use cam_protocol::{Clock, GroupSpec, PlanConfig, RetryPolicy};
+use cam_protocol::{
+    Clock, GroupSpec, HealthConfig, HealthTransition, LaneHealth, PlanConfig, RetryPolicy,
+};
 use cam_simkit::Dur;
 use cam_telemetry::{
-    ControlMetrics, FlightRecorder, Observability, PostmortemDumper, TelemetrySink,
+    ControlMetrics, EventKind, FlightRecorder, Observability, OpsWindows, PostmortemDumper,
+    SloTracker, TelemetrySink,
 };
 use crossbeam::channel::Sender;
 use parking_lot::Mutex;
@@ -206,6 +209,31 @@ struct Shared {
     /// Per-channel retire timestamps (driver-clock ns; 0 = no retire yet)
     /// for compute-gap estimation, sized to the channel count.
     last_retire: Vec<AtomicU64>,
+    /// Live ops plane: rolling-window samplers, when attached.
+    windows: Option<Arc<OpsWindows>>,
+    /// Live ops plane: per-channel SLO accounting, when attached.
+    slo: Option<Arc<SloTracker>>,
+    /// Per-SSD lane-health state machines. Transitions are gated only on
+    /// protocol decisions (see `cam_protocol::health`), so the sequence a
+    /// workload produces matches the DES driver's on the same seed.
+    lane_health: Vec<Mutex<LaneHealth>>,
+}
+
+/// Publishes a lane-health transition: gauge update plus a typed
+/// flight-recorder event stamped at `now_ns` on the driver clock.
+fn emit_lane_transition(sh: &Shared, t: HealthTransition, now_ns: u64) {
+    sh.metrics.lane_health[t.ssd].set(u64::from(t.to.code()));
+    if let Some(rec) = &sh.recorder {
+        rec.emit_at(
+            now_ns,
+            EventKind::LaneHealth {
+                ssd: t.ssd as u16,
+                from: t.from.code(),
+                to: t.to.code(),
+                retries: t.faults,
+            },
+        );
+    }
 }
 
 /// The running control plane. Stops and joins its threads on drop.
@@ -278,6 +306,11 @@ impl ControlPlane {
             pipelined: cfg.pipelined,
             clock: Arc::new(WallClock),
             last_retire: (0..n_channels).map(|_| AtomicU64::new(0)).collect(),
+            windows: obs.windows.clone(),
+            slo: obs.slo.clone(),
+            lane_health: (0..n_ssds)
+                .map(|ssd| Mutex::new(LaneHealth::new(ssd, HealthConfig::default())))
+                .collect(),
         });
 
         // Any spawn failure unwinds what was already started: without the
@@ -368,6 +401,16 @@ impl ControlPlane {
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        // Quiesce: every lane is drained once the workers have joined, so
+        // degraded/overloaded lanes are declared recovered. The DES driver
+        // performs the identical drain at the end of its calendar, keeping
+        // the transition sequences comparable.
+        let now = self.shared.clock.now_ns();
+        for lane in &self.shared.lane_health {
+            if let Some(t) = lane.lock().on_drain() {
+                emit_lane_transition(&self.shared, t, now);
+            }
         }
     }
 }

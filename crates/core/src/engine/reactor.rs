@@ -91,9 +91,13 @@ pub(super) fn worker_loop(sh: &Shared, wid: usize, rx: Receiver<GroupSpec>) {
 fn accept(sh: &Shared, wid: usize, core: &mut WorkerCore, spec: GroupSpec) {
     let recv_ns = sh.clock.now_ns();
     let op_idx = op_index(spec.batch.op);
+    let dispatch_span = recv_ns.saturating_sub(spec.batch.pickup_ns);
     sh.metrics
         .stage(op_idx, Stage::Dispatch)
-        .record(recv_ns.saturating_sub(spec.batch.pickup_ns));
+        .record(dispatch_span);
+    if let Some(w) = &sh.windows {
+        w.stage(Stage::Dispatch).record_at(recv_ns, dispatch_span);
+    }
     if let Some(rec) = &sh.recorder {
         rec.emit_at(
             recv_ns,
@@ -143,6 +147,9 @@ fn execute(sh: &Shared, wid: usize, qps: &[Arc<QueuePair>], out: &mut Vec<Comman
                 let op_idx = op_index(batch.op);
                 sh.metrics.stage(op_idx, Stage::Submit).record(span);
                 sh.metrics.ssd_submit_ns[ssd].record(span);
+                if let Some(w) = &sh.windows {
+                    w.stage(Stage::Submit).record_at(submit_ns, span);
+                }
                 if let Some(rec) = &sh.recorder {
                     rec.emit_at(
                         submit_ns,
@@ -165,6 +172,9 @@ fn execute(sh: &Shared, wid: usize, qps: &[Arc<QueuePair>], out: &mut Vec<Comman
                 ..
             } => {
                 sh.metrics.retries.inc();
+                if let Some(w) = &sh.windows {
+                    w.ssd_retries[ssd].add_at(now_ns, 1, 0);
+                }
                 if let Some(rec) = &sh.recorder {
                     rec.emit_at(
                         now_ns,
@@ -176,6 +186,10 @@ fn execute(sh: &Shared, wid: usize, qps: &[Arc<QueuePair>], out: &mut Vec<Comman
                             attempt,
                         },
                     );
+                }
+                let transition = sh.lane_health[ssd].lock().on_retry();
+                if let Some(t) = transition {
+                    super::emit_lane_transition(sh, t, now_ns);
                 }
             }
             Command::CmdTimeout {
@@ -198,6 +212,10 @@ fn execute(sh: &Shared, wid: usize, qps: &[Arc<QueuePair>], out: &mut Vec<Comman
                         },
                     );
                 }
+                let transition = sh.lane_health[ssd].lock().on_timeout();
+                if let Some(t) = transition {
+                    super::emit_lane_transition(sh, t, now_ns);
+                }
             }
             Command::GroupComplete {
                 batch,
@@ -212,6 +230,12 @@ fn execute(sh: &Shared, wid: usize, qps: &[Arc<QueuePair>], out: &mut Vec<Comman
                 sh.metrics.stage(op_idx, Stage::Complete).record(span);
                 sh.metrics.ssd_complete_ns[ssd].record(span);
                 sh.metrics.ssd_completed[ssd].add(sqes as u64);
+                if let Some(w) = &sh.windows {
+                    w.stage(Stage::Complete).record_at(complete_ns, span);
+                    w.ssd_complete[ssd].record_at(complete_ns, span);
+                    // Denominator of the windowed retry rate: groups closed.
+                    w.ssd_retries[ssd].add_at(complete_ns, 0, 1);
+                }
                 if let Some(rec) = &sh.recorder {
                     rec.emit_at(
                         complete_ns,
@@ -233,11 +257,16 @@ fn execute(sh: &Shared, wid: usize, qps: &[Arc<QueuePair>], out: &mut Vec<Comman
 }
 
 /// Publishes the lane's live in-flight depth (and its high-water mark) to
-/// the `cam_inflight{ssd}` gauges.
+/// the `cam_inflight{ssd}` gauges, and feeds the lane-health saturation
+/// watermark (which, by design, never gates a health transition — see
+/// `cam_protocol::health`).
 fn update_inflight_gauges(sh: &Shared, ssd: usize, qp: &QueuePair) {
     let cur = qp.in_flight();
     sh.metrics.inflight[ssd].set(cur);
     if cur > sh.metrics.inflight_peak[ssd].get() {
         sh.metrics.inflight_peak[ssd].set(cur);
     }
+    sh.lane_health[ssd]
+        .lock()
+        .observe_depth(cur as usize, qp.depth());
 }

@@ -38,10 +38,21 @@ pub(super) fn retire_batch(sh: &Shared, b: &BatchCore, complete_ns: u64) {
     let retire_ns = sh.clock.now_ns();
     let io = Dur::ns(retire_ns.saturating_sub(b.dispatched_ns));
     sh.last_retire[b.channel].store(retire_ns, Ordering::Relaxed);
-    m.stage(op_idx, Stage::Retire)
-        .record(retire_ns.saturating_sub(complete_ns));
-    m.batch_total(b.channel, op_idx)
-        .record(retire_ns.saturating_sub(b.doorbell_ns));
+    let retire_span = retire_ns.saturating_sub(complete_ns);
+    let total_ns = retire_ns.saturating_sub(b.doorbell_ns);
+    m.stage(op_idx, Stage::Retire).record(retire_span);
+    m.batch_total(b.channel, op_idx).record(total_ns);
+    if let Some(w) = &sh.windows {
+        w.stage(Stage::Pickup)
+            .record_at(retire_ns, b.pickup_ns.saturating_sub(b.doorbell_ns));
+        w.stage(Stage::Retire).record_at(retire_ns, retire_span);
+        w.channel_batch[b.channel].record_at(retire_ns, total_ns);
+    }
+    if let Some(slo) = &sh.slo {
+        slo.record(b.channel, total_ns, batch_errors, retire_ns);
+        let burn = slo.burn_rate(b.channel, retire_ns).max();
+        m.slo_burn[b.channel].set((burn * 1000.0) as u64);
+    }
     if let Some(rec) = &sh.recorder {
         rec.emit_at(
             retire_ns,
@@ -92,7 +103,6 @@ pub(super) fn retire_batch(sh: &Shared, b: &BatchCore, complete_ns: u64) {
         retire_ns,
     });
     if let Some(pm) = &sh.postmortem {
-        let total_ns = retire_ns.saturating_sub(b.doorbell_ns);
         if batch_errors > 0 {
             pm.trigger(&format!(
                 "batch ch{} seq {} retired with {} error(s)",

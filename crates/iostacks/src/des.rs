@@ -452,6 +452,8 @@ fn run_cam_microbench(
         // +1 uncounted polling thread, per the paper's accounting.
         thread_cost: cam_thread_cost(per),
         host_gbps: gpu.pcie_gbps,
+        retry: CamDesConfig::inert_retry(),
+        fault: None,
     };
     // Round-robin the request budget into per-channel batches of ~32
     // requests per SSD; each channel keeps one batch outstanding and

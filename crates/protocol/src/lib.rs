@@ -32,6 +32,7 @@
 
 mod batch;
 mod clock;
+mod health;
 mod inflight;
 mod plan;
 mod retry;
@@ -39,6 +40,7 @@ mod worker;
 
 pub use batch::BatchCore;
 pub use clock::{Clock, VirtualClock};
+pub use health::{HealthConfig, HealthState, HealthTransition, LaneHealth};
 pub use inflight::InflightTable;
 pub use plan::{op_index, plan_batch, BatchPlan, ChannelOp, DecisionCounters, PlanConfig};
 pub use retry::{RetryPolicy, Verdict};

@@ -32,6 +32,8 @@ use crate::span::Stage;
 /// | `cam_stripe_splits_total` | counter | — |
 /// | `cam_inflight` | gauge | `ssd` |
 /// | `cam_inflight_peak` | gauge | `ssd` |
+/// | `cam_lane_health` | gauge | `ssd` |
+/// | `cam_slo_burn_rate` | gauge | `channel` |
 pub struct ControlMetrics {
     /// Batches retired.
     pub batches: Counter,
@@ -72,6 +74,12 @@ pub struct ControlMetrics {
     pub inflight: Vec<Gauge>,
     /// Per-SSD high-water mark of in-flight commands.
     pub inflight_peak: Vec<Gauge>,
+    /// Per-SSD lane-health state code (0 healthy, 1 degraded, 2 overloaded,
+    /// 3 recovered — see `cam-protocol::HealthState`).
+    pub lane_health: Vec<Gauge>,
+    /// Per-channel SLO burn rate ×1000 (gauges are integers; 1000 = burning
+    /// error budget exactly at the allowed speed).
+    pub slo_burn: Vec<Gauge>,
     /// Per-SSD submit-phase latency (worker dequeue → doorbell rung).
     pub ssd_submit_ns: Vec<HistogramHandle>,
     /// Per-SSD completion-phase latency (doorbell rung → last CQE).
@@ -130,6 +138,12 @@ impl ControlMetrics {
                 .collect(),
             inflight_peak: (0..n_ssds)
                 .map(|i| reg.gauge(&format!("cam_inflight_peak{{ssd=\"{i}\"}}")))
+                .collect(),
+            lane_health: (0..n_ssds)
+                .map(|i| reg.gauge(&format!("cam_lane_health{{ssd=\"{i}\"}}")))
+                .collect(),
+            slo_burn: (0..n_channels)
+                .map(|ch| reg.gauge(&format!("cam_slo_burn_rate{{channel=\"{ch}\"}}")))
                 .collect(),
             ssd_submit_ns: (0..n_ssds)
                 .map(|i| reg.histogram(&format!("cam_ssd_submit_ns{{ssd=\"{i}\"}}")))

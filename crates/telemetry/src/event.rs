@@ -211,6 +211,20 @@ pub enum EventKind {
         /// Submission attempts made before the deadline fired.
         attempts: u32,
     },
+    /// A lane's health state machine transitioned (see
+    /// `cam-protocol::LaneHealth`; state codes index
+    /// [`health_state_label`]).
+    LaneHealth {
+        /// SSD lane that transitioned.
+        ssd: u16,
+        /// State code before the transition.
+        from: u8,
+        /// State code after the transition.
+        to: u8,
+        /// Cumulative transient faults (retries + timeouts) observed on the
+        /// lane when the transition fired.
+        retries: u64,
+    },
     /// DES engine: a simulated request was issued to an SSD.
     SimIssue {
         /// Simulated SSD index.
@@ -250,6 +264,7 @@ impl EventKind {
             EventKind::CacheFlush { .. } => "cache_flush",
             EventKind::CmdRetry { .. } => "cmd_retry",
             EventKind::CmdTimeout { .. } => "cmd_timeout",
+            EventKind::LaneHealth { .. } => "lane_health",
             EventKind::SimIssue { .. } => "sim_issue",
             EventKind::SimComplete { .. } => "sim_complete",
         }
@@ -268,6 +283,20 @@ impl EventKind {
             | EventKind::CmdTimeout { channel, seq, .. } => Some((channel, seq)),
             _ => None,
         }
+    }
+}
+
+/// Human-readable label for a lane-health state code. Mirrors
+/// `cam-protocol::HealthState::code` (this crate sits below the protocol
+/// layer, so the mapping is duplicated here; `cam-iostacks` tests assert
+/// the two stay aligned).
+pub fn health_state_label(code: u8) -> &'static str {
+    match code {
+        0 => "healthy",
+        1 => "degraded",
+        2 => "overloaded",
+        3 => "recovered",
+        _ => "unknown",
     }
 }
 
@@ -432,6 +461,19 @@ impl Event {
                      \"cid\": {cid}, \"attempts\": {attempts}"
                 );
             }
+            EventKind::LaneHealth {
+                ssd,
+                from,
+                to,
+                retries,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"ssd\": {ssd}, \"from\": \"{}\", \"to\": \"{}\", \"retries\": {retries}",
+                    health_state_label(from),
+                    health_state_label(to)
+                );
+            }
             EventKind::SimIssue { ssd, req } | EventKind::SimComplete { ssd, req } => {
                 let _ = write!(out, ", \"ssd\": {ssd}, \"req\": {req}");
             }
@@ -544,6 +586,12 @@ mod tests {
                 ssd: 2,
                 cid: 7,
                 attempts: 3,
+            },
+            EventKind::LaneHealth {
+                ssd: 0,
+                from: 0,
+                to: 2,
+                retries: 9,
             },
             EventKind::SimIssue { ssd: 0, req: 0 },
             EventKind::SimComplete { ssd: 0, req: 0 },

@@ -58,9 +58,10 @@ mod shared;
 mod sink;
 mod span;
 pub mod trace;
+mod window;
 
 pub use control::ControlMetrics;
-pub use event::{Event, EventKind};
+pub use event::{health_state_label, Event, EventKind};
 pub use hist::Histogram;
 pub use obs::Observability;
 pub use postmortem::{PostmortemConfig, PostmortemDumper};
@@ -69,3 +70,6 @@ pub use registry::{Counter, Gauge, HistogramSummary, MetricsRegistry, MetricsSna
 pub use shared::{HistogramHandle, SharedHistogram};
 pub use sink::{NoopSink, TelemetrySink};
 pub use span::{BatchSpan, Stage};
+pub use window::{
+    OpsWindows, SloBurn, SloConfig, SloTracker, WindowConfig, WindowedCounter, WindowedHistogram,
+};

@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use crate::postmortem::PostmortemDumper;
 use crate::recorder::FlightRecorder;
+use crate::window::{OpsWindows, SloTracker};
 use crate::{MetricsRegistry, NoopSink, TelemetrySink};
 
 /// Observability endpoints for one CAM attachment. See module docs.
@@ -27,6 +28,10 @@ pub struct Observability {
     /// Doorbell→retire budget; batches exceeding it trigger the
     /// post-mortem dumper.
     pub batch_deadline_ns: Option<u64>,
+    /// Live ops plane: rolling-window samplers the drivers record into.
+    pub windows: Option<Arc<OpsWindows>>,
+    /// Live ops plane: per-channel SLO accounting, fed at batch retire.
+    pub slo: Option<Arc<SloTracker>>,
 }
 
 impl Observability {
@@ -38,6 +43,8 @@ impl Observability {
             recorder: None,
             postmortem: None,
             batch_deadline_ns: None,
+            windows: None,
+            slo: None,
         }
     }
 
@@ -67,6 +74,18 @@ impl Observability {
     /// Sets the doorbell→retire deadline that triggers a post-mortem.
     pub fn with_deadline_ns(mut self, deadline_ns: u64) -> Self {
         self.batch_deadline_ns = Some(deadline_ns);
+        self
+    }
+
+    /// Attaches the rolling-window sampler bundle (live ops plane).
+    pub fn with_windows(mut self, windows: Arc<OpsWindows>) -> Self {
+        self.windows = Some(windows);
+        self
+    }
+
+    /// Attaches the per-channel SLO tracker (live ops plane).
+    pub fn with_slo(mut self, slo: Arc<SloTracker>) -> Self {
+        self.slo = Some(slo);
         self
     }
 }

@@ -24,11 +24,13 @@
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 use parking_lot::Mutex;
 
 use crate::clock;
 use crate::event::{Event, EventKind};
+use crate::registry::{Counter, MetricsRegistry};
 
 /// Number of independent rings. Power of two so shard selection is a mask.
 const SHARDS: usize = 16;
@@ -61,14 +63,17 @@ struct Ring {
 }
 
 impl Ring {
-    fn push(&mut self, ev: Event, capacity: usize) {
-        if self.slots.len() < capacity {
-            self.slots.push(ev);
-        } else {
+    /// Returns `true` when an old event was overwritten to make room.
+    fn push(&mut self, ev: Event, capacity: usize) -> bool {
+        let overwrote = self.slots.len() >= capacity;
+        if overwrote {
             self.slots[self.head] = ev;
             self.dropped += 1;
+        } else {
+            self.slots.push(ev);
         }
         self.head = (self.head + 1) % capacity;
+        overwrote
     }
 }
 
@@ -80,6 +85,10 @@ pub struct FlightRecorder {
     shards: Vec<Mutex<Ring>>,
     /// thread id → human-readable name, for trace track labels.
     thread_names: Mutex<BTreeMap<u32, String>>,
+    /// Mirrors ring overwrites into `cam_trace_dropped_total` once
+    /// attached, so long-lived live sessions (`repro watch`) can alert on
+    /// event loss instead of silently forgetting history.
+    dropped_metric: OnceLock<Counter>,
 }
 
 impl FlightRecorder {
@@ -106,7 +115,16 @@ impl FlightRecorder {
                 })
                 .collect(),
             thread_names: Mutex::new(BTreeMap::new()),
+            dropped_metric: OnceLock::new(),
         }
+    }
+
+    /// Registers `cam_trace_dropped_total` in `reg` and increments it on
+    /// every ring overwrite from now on. One-shot; later calls are ignored.
+    pub fn attach_dropped_counter(&self, reg: &MetricsRegistry) {
+        let _ = self
+            .dropped_metric
+            .set(reg.counter("cam_trace_dropped_total"));
     }
 
     /// Records `kind` stamped with the shared monotonic clock
@@ -129,7 +147,12 @@ impl FlightRecorder {
             kind,
         };
         let shard = tid as usize & (SHARDS - 1);
-        self.shards[shard].lock().push(ev, self.capacity_per_shard);
+        let overwrote = self.shards[shard].lock().push(ev, self.capacity_per_shard);
+        if overwrote {
+            if let Some(c) = self.dropped_metric.get() {
+                c.inc();
+            }
+        }
     }
 
     /// Registers the calling thread's name the first time it emits into
@@ -293,6 +316,24 @@ mod tests {
                 "missing emitter-{t} in {names:?}"
             );
         }
+    }
+
+    #[test]
+    fn dropped_counter_mirrors_ring_overwrites() {
+        let rec = FlightRecorder::with_capacity(4);
+        let reg = MetricsRegistry::new();
+        rec.attach_dropped_counter(&reg);
+        for i in 0..10u64 {
+            rec.emit_at(i, EventKind::SimIssue { ssd: 0, req: i });
+        }
+        assert_eq!(rec.dropped(), 6);
+        assert_eq!(reg.snapshot().counter("cam_trace_dropped_total"), 6);
+        // Second attachment is a no-op; the first counter keeps counting.
+        let other = MetricsRegistry::new();
+        rec.attach_dropped_counter(&other);
+        rec.emit_at(11, EventKind::SimIssue { ssd: 0, req: 11 });
+        assert_eq!(reg.snapshot().counter("cam_trace_dropped_total"), 7);
+        assert_eq!(other.snapshot().counter("cam_trace_dropped_total"), 0);
     }
 
     #[test]

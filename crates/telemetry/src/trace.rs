@@ -407,6 +407,26 @@ pub fn chrome_trace(events: &[Event], thread_names: &[(u32, String)]) -> String 
                 );
                 w.instant("cmd timeout", PID_FUNCTIONAL, tid, ev.ts_ns, &args);
             }
+            EventKind::LaneHealth {
+                ssd,
+                from,
+                to,
+                retries,
+            } => {
+                let args = format!(
+                    ", \"args\": {{\"ssd\": {ssd}, \"from\": \"{}\", \"to\": \"{}\", \
+                     \"retries\": {retries}}}",
+                    crate::event::health_state_label(from),
+                    crate::event::health_state_label(to)
+                );
+                w.instant(
+                    &format!("lane ssd{ssd} {}", crate::event::health_state_label(to)),
+                    PID_FUNCTIONAL,
+                    tid,
+                    ev.ts_ns,
+                    &args,
+                );
+            }
             EventKind::SimIssue { ssd, req } => {
                 w.async_ev(
                     'b',

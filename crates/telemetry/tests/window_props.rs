@@ -1,0 +1,66 @@
+//! Property tests of the rolling-window samplers: as long as every sample
+//! falls inside the live window, the merged windowed histogram is
+//! *bin-identical* to one plain histogram over the same values — windowing
+//! changes retention, never accuracy — and the windowed counter's sums are
+//! exact.
+
+use cam_telemetry::{Histogram, WindowConfig, WindowedCounter, WindowedHistogram};
+use proptest::prelude::*;
+
+const SLOT_NS: u64 = 1_000;
+const SLOTS: usize = 8;
+
+proptest! {
+    /// Samples spread over at most `SLOTS` consecutive slots: every
+    /// windowed quantile equals the exact single-histogram quantile.
+    #[test]
+    fn windowed_quantiles_match_exact_within_one_window(
+        samples in proptest::collection::vec(
+            (0u64..SLOT_NS * SLOTS as u64, 0u64..u32::MAX as u64),
+            1..200,
+        ),
+    ) {
+        let mut samples = samples;
+        // record_at requires a non-decreasing timeline (the drivers').
+        samples.sort_unstable_by_key(|&(ts, _)| ts);
+        let w = WindowedHistogram::new(WindowConfig::new(SLOT_NS * SLOTS as u64, SLOTS));
+        let mut exact = Histogram::new();
+        for &(ts, v) in &samples {
+            w.record_at(ts, v);
+            exact.record(v);
+        }
+        let now = samples.last().unwrap().0;
+        prop_assert_eq!(w.count_at(now), exact.count());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(
+                w.quantile_at(now, q),
+                exact.quantile(q),
+                "q={} diverged from the exact histogram", q
+            );
+        }
+    }
+
+    /// The windowed counter's sums over in-window adds are exact, and a
+    /// query one full window later reads zero (everything aged out).
+    #[test]
+    fn windowed_counter_sums_are_exact_then_age_out(
+        adds in proptest::collection::vec(
+            (0u64..SLOT_NS * SLOTS as u64, 0u64..1_000, 0u64..1_000),
+            1..100,
+        ),
+    ) {
+        let mut adds = adds;
+        adds.sort_unstable_by_key(|&(ts, _, _)| ts);
+        let c = WindowedCounter::new(WindowConfig::new(SLOT_NS * SLOTS as u64, SLOTS));
+        let (mut num, mut den) = (0u64, 0u64);
+        for &(ts, n, d) in &adds {
+            c.add_at(ts, n, d);
+            num += n;
+            den += d;
+        }
+        let now = adds.last().unwrap().0;
+        prop_assert_eq!(c.sums_at(now), (num, den));
+        let later = now + SLOT_NS * SLOTS as u64;
+        prop_assert_eq!(c.sums_at(later), (0, 0));
+    }
+}
