@@ -27,18 +27,33 @@
 //! SLO burn rates, lane health). `repro watch --once` renders a single
 //! end-of-run snapshot and writes `health_snapshot.json` — for scripting
 //! and CI smoke.
+//!
+//! `repro bench --check` runs the seeded DES perf trajectory and gates it
+//! against the committed baseline (`bench/baselines/trajectory.json`,
+//! override with `--baselines <path>`): exit 1 plus `baseline_diff.json`
+//! with per-component queue-delay attribution on a statistical
+//! regression. `repro bench --update-baselines` regenerates the baseline.
+//! `--trials N` / `--seed S` tune the trajectory; `--perturb F` scales
+//! the SSD model's service time (the gate's self-test knob: `--perturb
+//! 1.2` models a device 20% slower across the board). `repro attribute`
+//! prints the doorbell→retire queue-delay decomposition (mean + p99
+//! tail) for both drivers.
 
 use std::process::ExitCode;
 
-use cam_bench::figures::registry;
+use cam_bench::figures::{registry, BenchParams};
 use cam_bench::telemetry_run::{run_instrumented, run_traced};
+use cam_bench::trajectory_run::{
+    baseline_json, check, current_git_sha, merge_bench_json, parse_baseline, run_trajectory,
+    trajectory_entry_json, GateConfig, BASELINE_PATH,
+};
 use cam_telemetry::trace::validate_chrome_trace;
 
 fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, ExitCode> {
     match args.iter().position(|a| a == flag) {
         Some(i) => {
             if i + 1 >= args.len() {
-                eprintln!("{flag} requires a path argument");
+                eprintln!("{flag} requires a value argument");
                 return Err(ExitCode::from(2));
             }
             args.remove(i); // the flag
@@ -46,6 +61,111 @@ fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>,
         }
         None => Ok(None),
     }
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    args: &mut Vec<String>,
+    flag: &str,
+) -> Result<Option<T>, ExitCode> {
+    match take_flag_value(args, flag)? {
+        Some(raw) => match raw.parse::<T>() {
+            Ok(v) => Ok(Some(v)),
+            Err(_) => {
+                eprintln!("{flag}: could not parse '{raw}'");
+                Err(ExitCode::from(2))
+            }
+        },
+        None => Ok(None),
+    }
+}
+
+/// `repro bench --check` / `--update-baselines`: the statistical
+/// perf-regression gate over the DES trajectory. Returns the process exit
+/// code: 0 pass, 1 regression, 2 usage/environment error.
+fn run_gate(params: &BenchParams, baselines: &str, update: bool) -> ExitCode {
+    let tp = params.trial_params();
+    println!(
+        "trajectory: {} trials + {} warmup, seed {:#x}, {} rounds/channel, latency scale {:.2}",
+        tp.trials, tp.warmup, tp.seed, tp.rounds, tp.latency_scale
+    );
+    let report = run_trajectory(&tp);
+    println!(
+        "merged: {} batches, p50 {} ns (CI {}..{}), p99 {} ns (CI {}..{}), mean {:.0} ns",
+        report.decomposition.batches,
+        report.p50_ns,
+        report.p50_ci.lo,
+        report.p50_ci.hi,
+        report.p99_ns,
+        report.p99_ci.lo,
+        report.p99_ci.hi,
+        report.mean_batch_ns,
+    );
+    print!("{}", report.decomposition.render_table());
+    if update {
+        if let Some(dir) = std::path::Path::new(baselines).parent() {
+            if !dir.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("could not create {}: {e}", dir.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(baselines, baseline_json(&report)) {
+            eprintln!("could not write {baselines}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("updated baseline at {baselines}");
+        return ExitCode::SUCCESS;
+    }
+    let text = match std::fs::read_to_string(baselines) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "could not read baseline {baselines}: {e}\n\
+                 (seed one with 'repro bench --update-baselines')"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match parse_baseline(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("invalid baseline {baselines}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = check(&report, &baseline, &GateConfig::default());
+    print!("{}", outcome.render());
+    if outcome.regressed {
+        let diff_path = "baseline_diff.json";
+        match std::fs::write(diff_path, outcome.to_json()) {
+            Ok(()) => eprintln!("regression report written to {diff_path}"),
+            Err(e) => eprintln!("could not write {diff_path}: {e}"),
+        }
+        return ExitCode::FAILURE;
+    }
+    // A passing run still extends the trajectory record.
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let entry = trajectory_entry_json(&report, &current_git_sha(), unix_time);
+    let path = "BENCH_repro.json";
+    let prev = std::fs::read_to_string(path).ok();
+    if let Err(e) = std::fs::write(path, merge_bench_json(prev.as_deref(), "{}", &entry)) {
+        eprintln!("warning: could not append trajectory entry to {path}: {e}");
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -58,6 +178,39 @@ fn main() -> ExitCode {
         Ok(p) => p,
         Err(code) => return code,
     };
+    let trials = match parse_flag::<usize>(&mut args, "--trials") {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let seed = match parse_flag::<u64>(&mut args, "--seed") {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let latency_scale = match parse_flag::<f64>(&mut args, "--perturb") {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let baselines = match take_flag_value(&mut args, "--baselines") {
+        Ok(p) => p,
+        Err(code) => return code,
+    }
+    .unwrap_or_else(|| BASELINE_PATH.to_string());
+    let check_flag = take_flag(&mut args, "--check");
+    let update_flag = take_flag(&mut args, "--update-baselines");
+    let params = BenchParams {
+        trials,
+        seed,
+        latency_scale,
+    };
+    if check_flag || update_flag {
+        if args.first().map(String::as_str) != Some("bench") {
+            eprintln!(
+                "--check/--update-baselines apply to the 'bench' experiment: repro bench --check"
+            );
+            return ExitCode::from(2);
+        }
+        return run_gate(&params, &baselines, update_flag);
+    }
     // `watch` is a live view, not a figure generator: handle it before the
     // registry dispatch.
     if args.first().map(String::as_str) == Some("watch") {
@@ -79,7 +232,9 @@ fn main() -> ExitCode {
         && (args.is_empty() || args[0] == "help" || args[0] == "--help")
     {
         eprintln!(
-            "usage: repro [--metrics <path>] [--trace <path>] [all|list|watch [--once]|<experiment id>...]"
+            "usage: repro [--metrics <path>] [--trace <path>] [--trials N] [--seed S] \
+             [--perturb F] [--baselines <path>] [all|list|watch [--once]|\
+             bench [--check|--update-baselines]|<experiment id>...]"
         );
         eprintln!("experiments:");
         for (id, desc, _) in &reg {
@@ -104,7 +259,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         };
         println!("######## {want}: {desc}\n");
-        for table in gen() {
+        for table in gen(&params) {
             println!("{table}");
         }
     }

@@ -12,6 +12,10 @@ use cam_iostacks::{Rig, RigConfig};
 use cam_simkit::dist::{seeded_rng, Zipf};
 use cam_telemetry::{FlightRecorder, MetricsRegistry, MetricsSnapshot, Observability};
 
+/// Default Zipf-draw seed for the DLRM workload (`repro --seed` overrides
+/// it; the sequential scan is seed-free).
+pub const DEFAULT_CACHE_SEED: u64 = 0xD78;
+
 /// Access-pattern shapes the cache is evaluated on.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum CacheWorkload {
@@ -36,14 +40,21 @@ impl CacheWorkload {
         }
     }
 
-    /// The batched LBA trace: identical for the cached and uncached runs.
+    /// The batched LBA trace at the default seed: identical for the cached
+    /// and uncached runs.
+    #[cfg(test)]
     fn batches(self) -> Vec<Vec<u64>> {
+        self.batches_seeded(DEFAULT_CACHE_SEED)
+    }
+
+    /// [`Self::batches`] with an explicit seed for the stochastic draws.
+    fn batches_seeded(self, seed: u64) -> Vec<Vec<u64>> {
         match self {
             CacheWorkload::DlrmZipf => {
                 // 64 pooled lookups per iteration over a 2048-row table,
                 // skew 1.1 (TorchRec-like hot-row concentration).
                 let zipf = Zipf::new(2048, 1.1);
-                let mut rng = seeded_rng(0xD78);
+                let mut rng = seeded_rng(seed);
                 (0..64)
                     .map(|_| (0..64).map(|_| zipf.sample(&mut rng) - 1).collect())
                     .collect()
@@ -111,7 +122,7 @@ fn read_mean_ns(snap: &MetricsSnapshot) -> f64 {
 
 /// Drives `workload` through the plain device and returns
 /// `(submissions, read_mean_ns)`.
-fn run_uncached(workload: CacheWorkload) -> (u64, f64) {
+fn run_uncached(workload: CacheWorkload, seed: u64) -> (u64, f64) {
     let rig = bench_rig();
     let registry = Arc::new(MetricsRegistry::new());
     let cam = CamContext::attach_observed(
@@ -122,7 +133,7 @@ fn run_uncached(workload: CacheWorkload) -> (u64, f64) {
     let dev = cam.device();
     let bs = cam.block_size() as usize;
     let buf = cam.alloc(64 * bs).expect("dest buffer");
-    for batch in workload.batches() {
+    for batch in workload.batches_seeded(seed) {
         dev.prefetch(&batch, buf.addr()).expect("prefetch");
         dev.prefetch_synchronize().expect("synchronize");
     }
@@ -138,6 +149,16 @@ fn run_uncached(workload: CacheWorkload) -> (u64, f64) {
 pub fn run_cached(
     workload: CacheWorkload,
     slots: usize,
+    recorder: Option<Arc<FlightRecorder>>,
+) -> MetricsSnapshot {
+    run_cached_seeded(workload, slots, DEFAULT_CACHE_SEED, recorder)
+}
+
+/// [`run_cached`] with an explicit workload seed.
+pub fn run_cached_seeded(
+    workload: CacheWorkload,
+    slots: usize,
+    seed: u64,
     recorder: Option<Arc<FlightRecorder>>,
 ) -> MetricsSnapshot {
     let rig = bench_rig();
@@ -156,7 +177,7 @@ pub fn run_cached(
         .expect("cache fits GPU memory");
     let bs = cam.block_size() as usize;
     let buf = cam.alloc(64 * bs).expect("dest buffer");
-    for batch in workload.batches() {
+    for batch in workload.batches_seeded(seed) {
         dev.prefetch(&batch, buf.addr()).expect("prefetch");
         dev.prefetch_synchronize().expect("synchronize");
     }
@@ -165,9 +186,22 @@ pub fn run_cached(
 
 /// Runs one sweep cell: the workload uncached, then cached with `slots`.
 pub fn run_cache_cell(workload: CacheWorkload, slots: usize) -> CacheWorkloadReport {
-    let accesses: u64 = workload.batches().iter().map(|b| b.len() as u64).sum();
-    let (uncached_submissions, uncached_read_mean_ns) = run_uncached(workload);
-    let snap = run_cached(workload, slots, None);
+    run_cache_cell_seeded(workload, slots, DEFAULT_CACHE_SEED)
+}
+
+/// [`run_cache_cell`] with an explicit workload seed.
+pub fn run_cache_cell_seeded(
+    workload: CacheWorkload,
+    slots: usize,
+    seed: u64,
+) -> CacheWorkloadReport {
+    let accesses: u64 = workload
+        .batches_seeded(seed)
+        .iter()
+        .map(|b| b.len() as u64)
+        .sum();
+    let (uncached_submissions, uncached_read_mean_ns) = run_uncached(workload, seed);
+    let snap = run_cached_seeded(workload, slots, seed, None);
     let hits = snap.counter("cam_cache_hits_total");
     let misses = snap.counter("cam_cache_misses_total");
     let coalesced = snap.counter("cam_cache_coalesced_total");
@@ -194,10 +228,15 @@ pub fn run_cache_cell(workload: CacheWorkload, slots: usize) -> CacheWorkloadRep
 
 /// The full sweep: every workload × cache size, small-to-large.
 pub fn run_cache_sweep(slot_sizes: &[usize]) -> Vec<CacheWorkloadReport> {
+    run_cache_sweep_seeded(slot_sizes, DEFAULT_CACHE_SEED)
+}
+
+/// [`run_cache_sweep`] with an explicit workload seed.
+pub fn run_cache_sweep_seeded(slot_sizes: &[usize], seed: u64) -> Vec<CacheWorkloadReport> {
     let mut out = Vec::with_capacity(CacheWorkload::ALL.len() * slot_sizes.len());
     for workload in CacheWorkload::ALL {
         for &slots in slot_sizes {
-            out.push(run_cache_cell(workload, slots));
+            out.push(run_cache_cell_seeded(workload, slots, seed));
         }
     }
     out

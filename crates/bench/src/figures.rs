@@ -15,8 +15,39 @@ use cam_workloads::sort::{model_sort, model_sort_read_gbps, SortEngine};
 
 use crate::table::{f1, f2, pct, Table};
 
+/// Runtime knobs the `repro` CLI threads into every generator. `None`
+/// means "the experiment's historical default", so unflagged runs stay
+/// bit-identical with committed expectations.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BenchParams {
+    /// `--trials N`: measured trials for multi-trial experiments.
+    pub trials: Option<usize>,
+    /// `--seed S`: base seed for seeded workloads.
+    pub seed: Option<u64>,
+    /// `--perturb F`: SSD read-latency multiplier for the trajectory run
+    /// (the regression gate's deliberate-perturbation knob).
+    pub latency_scale: Option<f64>,
+}
+
+impl BenchParams {
+    /// The trajectory-run parameters implied by these knobs.
+    pub fn trial_params(&self) -> crate::trajectory_run::TrialParams {
+        let mut p = crate::trajectory_run::TrialParams::default();
+        if let Some(t) = self.trials {
+            p.trials = t;
+        }
+        if let Some(s) = self.seed {
+            p.seed = s;
+        }
+        if let Some(f) = self.latency_scale {
+            p.latency_scale = f;
+        }
+        p
+    }
+}
+
 /// An experiment generator: produces the figure/table's row data.
-pub type Generator = fn() -> Vec<Table>;
+pub type Generator = fn(&BenchParams) -> Vec<Table>;
 
 /// Every experiment, in paper order: `(id, description, generator)`.
 pub fn registry() -> Vec<(&'static str, &'static str, Generator)> {
@@ -84,10 +115,15 @@ pub fn registry() -> Vec<(&'static str, &'static str, Generator)> {
             "Model fidelity: DES driver vs functional driver on a matched workload (writes fidelity_trace.json)",
             fidelity,
         ),
+        (
+            "attribute",
+            "Queue-delay attribution: doorbell->retire decomposition, threaded and DES drivers",
+            attribute,
+        ),
     ]
 }
 
-fn tab1() -> Vec<Table> {
+fn tab1(_p: &BenchParams) -> Vec<Table> {
     let mut t = Table::new(
         "Table I: Architectural design comparison",
         &["system", "initiated by", "control plane", "data plane"],
@@ -113,7 +149,7 @@ fn tab1() -> Vec<Table> {
     vec![t]
 }
 
-fn fig1() -> Vec<Table> {
+fn fig1(_p: &BenchParams) -> Vec<Table> {
     let spec = GraphSpec::paper100m();
     let cfg = GnnConfig::default();
     let mut t = Table::new(
@@ -142,7 +178,7 @@ fn fig1() -> Vec<Table> {
     vec![t]
 }
 
-fn fig2() -> Vec<Table> {
+fn fig2(_p: &BenchParams) -> Vec<Table> {
     let m = SsdModel::p5510();
     let mut out = Vec::new();
     for (dir, op, label) in [
@@ -173,7 +209,7 @@ fn fig2() -> Vec<Table> {
     out
 }
 
-fn fig3() -> Vec<Table> {
+fn fig3(_p: &BenchParams) -> Vec<Table> {
     let mut out = Vec::new();
     for dir in [IoDir::Read, IoDir::Write] {
         let mut t = Table::new(
@@ -209,7 +245,7 @@ fn fig3() -> Vec<Table> {
     out
 }
 
-fn fig4() -> Vec<Table> {
+fn fig4(_p: &BenchParams) -> Vec<Table> {
     let g = GpuSpec::a100_80g();
     let mut t = Table::new(
         "Fig. 4: A100 SM utilization for BaM to saturate N SSDs",
@@ -222,7 +258,7 @@ fn fig4() -> Vec<Table> {
     vec![t]
 }
 
-fn tab3() -> Vec<Table> {
+fn tab3(_p: &BenchParams) -> Vec<Table> {
     let mut t = Table::new(
         "Table III: Experimental platform (simulated)",
         &["component", "specification"],
@@ -249,7 +285,7 @@ fn tab3() -> Vec<Table> {
     vec![t]
 }
 
-fn tab4() -> Vec<Table> {
+fn tab4(_p: &BenchParams) -> Vec<Table> {
     let mut t = Table::new(
         "Table IV: Datasets",
         &["dataset", "nodes", "edges", "feature dim", "feature size"],
@@ -267,7 +303,7 @@ fn tab4() -> Vec<Table> {
     vec![t]
 }
 
-fn tab5() -> Vec<Table> {
+fn tab5(_p: &BenchParams) -> Vec<Table> {
     let cfg = GnnConfig::default();
     let mut t = Table::new(
         "Table V: GNN experiment configuration",
@@ -290,7 +326,7 @@ fn tab5() -> Vec<Table> {
     vec![t]
 }
 
-fn fig8() -> Vec<Table> {
+fn fig8(_p: &BenchParams) -> Vec<Table> {
     let engines = [Engine::Cam, Engine::Spdk, Engine::Bam, Engine::Posix];
     let mut out = Vec::new();
     // (a)/(c): 4 KiB throughput vs number of SSDs.
@@ -334,7 +370,7 @@ fn fig8() -> Vec<Table> {
     out
 }
 
-fn fig9() -> Vec<Table> {
+fn fig9(_p: &BenchParams) -> Vec<Table> {
     let cfg = GnnConfig::default();
     let mut out = Vec::new();
     for spec in [GraphSpec::paper100m(), GraphSpec::igb_full()] {
@@ -357,7 +393,7 @@ fn fig9() -> Vec<Table> {
     out
 }
 
-fn fig10() -> Vec<Table> {
+fn fig10(_p: &BenchParams) -> Vec<Table> {
     let mut out = Vec::new();
     // (a) mergesort.
     let mut t = Table::new(
@@ -400,7 +436,7 @@ fn fig10() -> Vec<Table> {
     out
 }
 
-fn tab6() -> Vec<Table> {
+fn tab6(_p: &BenchParams) -> Vec<Table> {
     let mut t = Table::new(
         "Table VI: lines of code per workload",
         &[
@@ -435,7 +471,7 @@ fn tab6() -> Vec<Table> {
     vec![t]
 }
 
-fn fig11() -> Vec<Table> {
+fn fig11(_p: &BenchParams) -> Vec<Table> {
     let mut out = Vec::new();
     let mut t = Table::new(
         "Fig. 11(a): sort-phase read throughput GB/s vs SSD count",
@@ -468,7 +504,7 @@ fn fig11() -> Vec<Table> {
     out
 }
 
-fn fig12() -> Vec<Table> {
+fn fig12(_p: &BenchParams) -> Vec<Table> {
     let mut out = Vec::new();
     for dir in [IoDir::Read, IoDir::Write] {
         let mut t = Table::new(
@@ -497,7 +533,7 @@ fn fig12() -> Vec<Table> {
     out
 }
 
-fn fig13() -> Vec<Table> {
+fn fig13(_p: &BenchParams) -> Vec<Table> {
     let cpu = CpuModel::xeon_gold_5320();
     let m = SsdModel::p5510();
     let mut out = Vec::new();
@@ -523,7 +559,7 @@ fn fig13() -> Vec<Table> {
     out
 }
 
-fn fig14() -> Vec<Table> {
+fn fig14(_p: &BenchParams) -> Vec<Table> {
     let mem = MemoryModel::xeon_16ch();
     let mut t = Table::new(
         "Fig. 14: CPU memory traffic (GB/s) vs delivered SSD bandwidth",
@@ -544,7 +580,7 @@ fn fig14() -> Vec<Table> {
     vec![t]
 }
 
-fn fig15() -> Vec<Table> {
+fn fig15(_p: &BenchParams) -> Vec<Table> {
     let mut out = Vec::new();
     for dir in [IoDir::Read, IoDir::Write] {
         let mut t = Table::new(
@@ -567,7 +603,7 @@ fn fig15() -> Vec<Table> {
     out
 }
 
-fn fig16() -> Vec<Table> {
+fn fig16(_p: &BenchParams) -> Vec<Table> {
     let mut t = Table::new(
         "Fig. 16: staged (SPDK) GB/s vs granularity, non-contiguous destination, 12 SSDs",
         &["granularity", "SPDK", "CAM"],
@@ -600,7 +636,7 @@ fn fig16() -> Vec<Table> {
     vec![t]
 }
 
-fn issue2() -> Vec<Table> {
+fn issue2(_p: &BenchParams) -> Vec<Table> {
     let mut t = Table::new(
         "Issue 2 (§ II-A): cudaMemcpyAsync share of staged ANNS time, 12 SSDs",
         &["granularity", "copy share"],
@@ -615,7 +651,7 @@ fn issue2() -> Vec<Table> {
     vec![t]
 }
 
-fn motiv() -> Vec<Table> {
+fn motiv(_p: &BenchParams) -> Vec<Table> {
     use cam_workloads::dlrm::{model_iteration, DlrmSystem};
     use cam_workloads::llm::{model_step, LlmSystem};
     let mut t = Table::new(
@@ -657,8 +693,11 @@ fn motiv() -> Vec<Table> {
     vec![t]
 }
 
-fn bench() -> Vec<Table> {
+fn bench(p: &BenchParams) -> Vec<Table> {
     use crate::telemetry_run::{bench_json, run_recorded};
+    use crate::trajectory_run::{
+        current_git_sha, merge_bench_json, run_trajectory, trajectory_entry_json,
+    };
     use cam_telemetry::{critical, FlightRecorder, Stage};
     use std::sync::Arc;
 
@@ -677,14 +716,27 @@ fn bench() -> Vec<Table> {
     // and the per-driver lane-health transition sequences under a transient
     // overload.
     let slo = crate::health_run::run_health_experiment();
-    let json = bench_json(
+    let fresh = bench_json(
         &run,
         Some(&reports),
         Some(&pipeline),
         Some(&fidelity),
         Some(&slo),
     );
+    // The perf trajectory rides along: a seeded multi-trial DES run whose
+    // headline metrics append to the `trajectory` array. Merging (instead
+    // of a plain write) preserves prior runs' trajectory entries and any
+    // sections this binary version no longer generates.
+    let tp = p.trial_params();
+    let trajectory = run_trajectory(&tp);
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let entry = trajectory_entry_json(&trajectory, &current_git_sha(), unix_time);
     let path = "BENCH_repro.json";
+    let prev = std::fs::read_to_string(path).ok();
+    let json = merge_bench_json(prev.as_deref(), &fresh, &entry);
     match std::fs::write(path, &json) {
         Ok(()) => {}
         Err(e) => eprintln!("warning: could not write {path}: {e}"),
@@ -725,6 +777,16 @@ fn bench() -> Vec<Table> {
         f1(slo.des.burn_short),
         slo.sequences_match(),
         slo.overloaded_then_recovered(),
+    ));
+    t.note(format!(
+        "trajectory: {} trials (seed {:#x}, scale {:.2}): p50 {} ns, p99 {} ns, \
+         dominant {}; entry appended to {path}",
+        tp.trials,
+        tp.seed,
+        tp.latency_scale,
+        trajectory.p50_ns,
+        trajectory.p99_ns,
+        cam_telemetry::attribution::component_name(trajectory.decomposition.dominant_mean()),
     ));
 
     // Critical-path attribution from the event timeline: where each
@@ -794,13 +856,16 @@ fn bench() -> Vec<Table> {
     vec![t, cp, pl]
 }
 
-fn cache() -> Vec<Table> {
-    use crate::cache_run::{run_cache_sweep, run_cached, CacheWorkload};
+fn cache(p: &BenchParams) -> Vec<Table> {
+    use crate::cache_run::{
+        run_cache_sweep_seeded, run_cached_seeded, CacheWorkload, DEFAULT_CACHE_SEED,
+    };
     use cam_telemetry::trace::{chrome_trace, validate_chrome_trace};
     use cam_telemetry::FlightRecorder;
     use std::sync::Arc;
 
-    let reports = run_cache_sweep(&[256, 2048]);
+    let seed = p.seed.unwrap_or(DEFAULT_CACHE_SEED);
+    let reports = run_cache_sweep_seeded(&[256, 2048], seed);
     let mut t = Table::new(
         "Block cache: cache size x workload sweep (cached vs uncached runs)",
         &[
@@ -842,7 +907,7 @@ fn cache() -> Vec<Table> {
     // self-validated before writing — the cache events (access / evict /
     // readahead / flush instants) must satisfy the PR-2 trace validator.
     let rec = Arc::new(FlightRecorder::new());
-    let _ = run_cached(CacheWorkload::SeqScan, 1024, Some(Arc::clone(&rec)));
+    let _ = run_cached_seeded(CacheWorkload::SeqScan, 1024, seed, Some(Arc::clone(&rec)));
     let trace = chrome_trace(&rec.snapshot(), &rec.thread_names());
     let path = "cache_trace.json";
     match validate_chrome_trace(&trace) {
@@ -864,15 +929,17 @@ fn cache() -> Vec<Table> {
     vec![t]
 }
 
-fn fidelity() -> Vec<Table> {
+fn fidelity(p: &BenchParams) -> Vec<Table> {
     use crate::fidelity_run::{
-        fidelity_workload, run_des, run_fidelity_experiment, N_CHANNELS, N_SSDS,
+        fidelity_workload_seeded, run_des, run_fidelity_experiment_seeded, DEFAULT_SEED,
+        N_CHANNELS, N_SSDS,
     };
     use cam_telemetry::trace::{chrome_trace, validate_chrome_trace};
     use cam_telemetry::FlightRecorder;
     use std::sync::Arc;
 
-    let report = run_fidelity_experiment(8);
+    let seed = p.seed.unwrap_or(DEFAULT_SEED);
+    let report = run_fidelity_experiment_seeded(8, seed);
 
     // The decision comparison: every counter, plan replay vs. each
     // driver × mode. The whole point is that the four rightmost columns
@@ -948,7 +1015,11 @@ fn fidelity() -> Vec<Table> {
     // The virtual-time trace artifact: a recorded DES pipelined run,
     // validated before writing (sim-ssd tracks under process 2).
     let rec = Arc::new(FlightRecorder::new());
-    let _ = run_des(true, &fidelity_workload(8), Some(Arc::clone(&rec)));
+    let _ = run_des(
+        true,
+        &fidelity_workload_seeded(8, seed),
+        Some(Arc::clone(&rec)),
+    );
     let trace = chrome_trace(&rec.snapshot(), &rec.thread_names());
     let path = "fidelity_trace.json";
     match validate_chrome_trace(&trace) {
@@ -970,6 +1041,73 @@ fn fidelity() -> Vec<Table> {
     vec![t, tr]
 }
 
+fn attribute(p: &BenchParams) -> Vec<Table> {
+    use crate::trajectory_run::{run_trial, TrialParams};
+    use cam_telemetry::attribution::{component_name, decompose};
+    use cam_telemetry::{critical, FlightRecorder, Stage};
+    use std::sync::Arc;
+
+    let defaults = TrialParams::default();
+    let seed = p.seed.unwrap_or(defaults.seed);
+
+    // Threaded driver: a recorded functional-engine run on the wall clock.
+    let recorder = Arc::new(FlightRecorder::new());
+    let run = crate::telemetry_run::run_recorded(20, 64, Some(Arc::clone(&recorder)));
+    let threaded = critical::analyze(&run.events);
+    // DES driver: one seeded virtual-time trial with lifecycle events on.
+    let des_trial = run_trial(seed, defaults.rounds, 1.0);
+
+    let mut out = Vec::new();
+    for (driver, batches) in [
+        ("threaded", &threaded.batches),
+        ("des", &des_trial.attributions),
+    ] {
+        let mut t = Table::new(
+            format!("Queue-delay attribution ({driver}): doorbell->retire decomposition, ns/batch"),
+            &[
+                "row",
+                "doorbell_wait",
+                "dispatch",
+                "lane_wait",
+                "ssd_service",
+                "retire",
+                "total",
+                "dominant",
+            ],
+        );
+        let Some(d) = decompose(batches) else {
+            t.note("no batches attributed");
+            out.push(t);
+            continue;
+        };
+        let row = |label: &str, vals: &[f64; Stage::ALL.len()], total: f64, dom: Stage| {
+            let mut r = vec![label.to_string()];
+            r.extend(Stage::ALL.iter().map(|s| format!("{:.0}", vals[s.index()])));
+            r.push(format!("{total:.0}"));
+            r.push(component_name(dom).into());
+            r
+        };
+        t.row(row("mean", &d.mean_ns, d.mean_total_ns, d.dominant_mean()));
+        let tail_total: f64 = d.tail_mean_ns.iter().sum();
+        t.row(row(
+            "p99 tail",
+            &d.tail_mean_ns,
+            tail_total,
+            d.dominant_tail(),
+        ));
+        t.note(format!(
+            "{} batches, p99 total {} ns, {} tail batches; p99-tail row averages the \
+             batches at or above the p99 (components sum to the tail total)",
+            d.batches, d.p99_total_ns, d.tail_batches
+        ));
+        if driver == "des" {
+            t.note("DES doorbell and pickup coincide in virtual time, so doorbell_wait is structurally 0");
+        }
+        out.push(t);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -978,9 +1116,30 @@ mod tests {
     fn registry_covers_every_table_and_figure() {
         let ids: Vec<&str> = registry().iter().map(|(id, _, _)| *id).collect();
         for want in [
-            "tab1", "fig1", "fig2", "fig3", "fig4", "tab3", "tab4", "tab5", "fig8", "fig9",
-            "fig10", "tab6", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "issue2",
-            "motiv", "bench", "cache", "fidelity",
+            "tab1",
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "tab3",
+            "tab4",
+            "tab5",
+            "fig8",
+            "fig9",
+            "fig10",
+            "tab6",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "issue2",
+            "motiv",
+            "bench",
+            "cache",
+            "fidelity",
+            "attribute",
         ] {
             assert!(ids.contains(&want), "missing {want}");
         }
@@ -998,7 +1157,7 @@ mod tests {
                 .find(|(i, _, _)| *i == id)
                 .map(|(_, _, g)| g)
                 .unwrap();
-            for t in gen() {
+            for t in gen(&BenchParams::default()) {
                 assert!(!t.is_empty(), "{id}: empty table {}", t.title());
             }
         }
@@ -1006,7 +1165,7 @@ mod tests {
 
     #[test]
     fn fig4_table_hits_full_utilization_by_five() {
-        let tables = fig4();
+        let tables = fig4(&BenchParams::default());
         let t = &tables[0];
         // Row 4 = 5 SSDs (1-indexed SSD count in col 0).
         assert_eq!(t.cell(4, 0), "5");

@@ -22,6 +22,7 @@ use cam_core::{CamConfig, CamContext, ChannelOp};
 use cam_iostacks::cam_des::{run_cam_des_obs, CamDesBatch, CamDesConfig, CamDesObs, DesFaultSpec};
 use cam_iostacks::des::cam_thread_cost;
 use cam_iostacks::{Rig, RigConfig};
+use cam_nvme::SsdModel;
 use cam_protocol::RetryPolicy;
 use cam_telemetry::{
     clock, health_state_label, EventKind, FlightRecorder, MetricsRegistry, Observability,
@@ -199,6 +200,7 @@ fn run_des() -> HealthDriverReport {
     let obs = CamDesObs {
         windows: None,
         slo: Some(Arc::clone(&slo)),
+        lifecycle: false,
     };
     let r = run_cam_des_obs(
         CamDesConfig {
@@ -219,6 +221,7 @@ fn run_des() -> HealthDriverReport {
             fault: Some(DesFaultSpec::transient_reads_in(
                 0, 0, FAULT_LBAS, FAIL_TIMES,
             )),
+            ssd_model: SsdModel::p5510(),
         },
         workload(),
         None,

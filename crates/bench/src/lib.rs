@@ -22,6 +22,7 @@ pub mod health_run;
 pub mod pipeline_run;
 mod table;
 pub mod telemetry_run;
+pub mod trajectory_run;
 pub mod watch;
 
 pub use table::Table;

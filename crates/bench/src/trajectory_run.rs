@@ -1,0 +1,908 @@
+//! Perf-trajectory subsystem: seeded multi-trial DES bench runs, a
+//! statistical regression gate against committed baselines, and run
+//! metadata appended to `BENCH_repro.json`'s `trajectory` array.
+//!
+//! The gate runs on the **DES driver only**: virtual time makes every
+//! trial metric machine-independent, so a baseline committed from one
+//! machine is bit-comparable in CI on any other. (Wall-clock numbers from
+//! the threaded driver would drown a 20% model regression in scheduler
+//! noise.) Each trial:
+//!
+//! 1. builds a seeded workload (seed = `params.seed + trial index`, so
+//!    trials differ but the whole trajectory is reproducible),
+//! 2. runs the CAM DES driver with lifecycle events on and a flight
+//!    recorder attached,
+//! 3. feeds the timeline through [`critical::analyze`] and collects the
+//!    per-batch doorbell→retire totals into a log-linear [`Histogram`].
+//!
+//! Warmup trials are discarded; the measured trials' bins are merged and
+//! compared against `bench/baselines/trajectory.json` with a Mann-Whitney
+//! U test plus a minimum-relative-shift guard (see [`GateConfig`]), and
+//! the queue-delay decomposition ([`cam_telemetry::attribution`]) says
+//! *which* component moved. `repro bench --check` exits non-zero on a
+//! flagged regression; `repro bench --update-baselines` rewrites the
+//! baseline file.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use cam_core::CamConfig;
+use cam_core::ChannelOp;
+use cam_iostacks::cam_des::{run_cam_des_obs, CamDesBatch, CamDesConfig, CamDesObs};
+use cam_iostacks::des::cam_thread_cost;
+use cam_nvme::SsdModel;
+use cam_simkit::Dur;
+use cam_telemetry::attribution::{component_name, decompose, LatencyDecomposition};
+use cam_telemetry::stats::{
+    binned_mean, binned_quantile, bootstrap_quantile_ci, mann_whitney, MannWhitney, QuantileCi,
+};
+use cam_telemetry::trace::{parse_json, Json};
+use cam_telemetry::{critical, FlightRecorder, Histogram, Stage};
+
+/// SSDs in the trajectory workload's array.
+pub const N_SSDS: usize = 4;
+/// Channels driven concurrently.
+pub const N_CHANNELS: usize = 4;
+const STRIPE_BLOCKS: u64 = 2;
+const BLOCK_SIZE: u32 = 4096;
+const BLOCKS_PER_REQ: u32 = 2;
+const BATCH_REQS: usize = 16;
+const LBA_WINDOW: u64 = 96;
+
+/// Default path of the committed baseline, relative to the repo root.
+pub const BASELINE_PATH: &str = "bench/baselines/trajectory.json";
+/// Baseline schema version, bumped when the JSON layout changes.
+pub const BASELINE_SCHEMA: u64 = 1;
+
+/// Parameters of one trajectory run (the `repro` CLI threads `--trials`
+/// and `--seed` here).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrialParams {
+    /// Measured trials (after warmup).
+    pub trials: usize,
+    /// Leading trials discarded before statistics.
+    pub warmup: usize,
+    /// Base seed; trial `i` uses `seed + i`.
+    pub seed: u64,
+    /// Batches per channel per trial.
+    pub rounds: u64,
+    /// SSD service-time multiplier — the deliberate perturbation knob the
+    /// gate's failing-path test (and CI job) uses. Scales command latency
+    /// up and channel/link bandwidth down, i.e. `1.2` models a device 20%
+    /// slower across the board.
+    pub latency_scale: f64,
+}
+
+impl Default for TrialParams {
+    fn default() -> Self {
+        TrialParams {
+            trials: 5,
+            warmup: 1,
+            seed: 0x7E57_5EED,
+            rounds: 10,
+            latency_scale: 1.0,
+        }
+    }
+}
+
+/// Metrics of a single measured trial.
+#[derive(Clone, Debug)]
+pub struct TrialMetrics {
+    /// The trial's workload seed.
+    pub seed: u64,
+    /// Virtual doorbell→last-retire duration, ns.
+    pub duration_ns: u64,
+    /// Batches retired.
+    pub batches: u64,
+    /// p50 of per-batch doorbell→retire latency, ns.
+    pub p50_ns: u64,
+    /// p99 of per-batch doorbell→retire latency, ns.
+    pub p99_ns: u64,
+    /// Log-linear histogram bins of the per-batch totals.
+    pub bins: Vec<(u64, u64)>,
+    /// Per-batch attributions (feed of the merged decomposition).
+    pub attributions: Vec<critical::BatchAttribution>,
+}
+
+/// A full trajectory run: per-trial metrics plus merged statistics.
+#[derive(Clone, Debug)]
+pub struct TrajectoryReport {
+    /// The parameters that produced it.
+    pub params: TrialParams,
+    /// Measured trials, in order (warmup already discarded).
+    pub trials: Vec<TrialMetrics>,
+    /// Bins merged across all measured trials.
+    pub bins: Vec<(u64, u64)>,
+    /// Merged p50 of per-batch latency, ns.
+    pub p50_ns: u64,
+    /// Merged p99 of per-batch latency, ns.
+    pub p99_ns: u64,
+    /// Merged mean per-batch latency, ns.
+    pub mean_batch_ns: f64,
+    /// Bootstrap CI around the merged p50.
+    pub p50_ci: QuantileCi,
+    /// Bootstrap CI around the merged p99.
+    pub p99_ci: QuantileCi,
+    /// Queue-delay decomposition over every measured batch.
+    pub decomposition: LatencyDecomposition,
+}
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// The seeded workload of one trial: `rounds` batches per channel, each
+/// [`BATCH_REQS`] two-block reads from the channel's LBA window (same
+/// shape as the fidelity workload, so dedup and stripe splits occur).
+pub fn trial_workload(seed: u64, rounds: u64) -> Vec<Vec<CamDesBatch>> {
+    let mut rng = Lcg(seed);
+    (0..N_CHANNELS)
+        .map(|ch| {
+            let base = ch as u64 * 256;
+            (0..rounds)
+                .map(|_| CamDesBatch {
+                    lbas: (0..BATCH_REQS)
+                        .map(|_| base + rng.next() % LBA_WINDOW)
+                        .collect(),
+                    blocks: BLOCKS_PER_REQ,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn trial_config(latency_scale: f64) -> CamDesConfig {
+    let mut model = SsdModel::p5510();
+    model.read_latency = Dur::ns((model.read_latency.as_ns() as f64 * latency_scale) as u64);
+    model.write_latency = Dur::ns((model.write_latency.as_ns() as f64 * latency_scale) as u64);
+    model.channel_read_gbps /= latency_scale;
+    model.channel_write_gbps /= latency_scale;
+    model.link_gbps /= latency_scale;
+    CamDesConfig {
+        n_ssds: N_SSDS,
+        block_size: BLOCK_SIZE,
+        stripe_blocks: STRIPE_BLOCKS,
+        op: ChannelOp::Read,
+        threads: 1,
+        queue_depth: CamConfig::default().queue_depth,
+        pipelined: true,
+        thread_cost: cam_thread_cost(N_SSDS as f64),
+        host_gbps: 21.0,
+        retry: CamDesConfig::inert_retry(),
+        fault: None,
+        ssd_model: model,
+    }
+}
+
+/// Runs one trial: a recorded DES run with lifecycle events, attributed
+/// through [`critical::analyze`].
+pub fn run_trial(seed: u64, rounds: u64, latency_scale: f64) -> TrialMetrics {
+    let recorder = Arc::new(FlightRecorder::new());
+    let obs = CamDesObs {
+        windows: None,
+        slo: None,
+        lifecycle: true,
+    };
+    let r = run_cam_des_obs(
+        trial_config(latency_scale),
+        trial_workload(seed, rounds),
+        Some(Arc::clone(&recorder)),
+        obs,
+    );
+    let report = critical::analyze(&recorder.snapshot());
+    let mut hist = Histogram::new();
+    for b in &report.batches {
+        hist.record(b.total_ns);
+    }
+    TrialMetrics {
+        seed,
+        duration_ns: r.duration.as_ns(),
+        batches: r.batches,
+        p50_ns: hist.quantile(0.5),
+        p99_ns: hist.quantile(0.99),
+        bins: hist.bins(),
+        attributions: report.batches,
+    }
+}
+
+/// Runs the full trajectory: `warmup` discarded trials then `trials`
+/// measured ones, merged statistics over the measured set. Deterministic:
+/// same params, same report (virtual time end to end).
+pub fn run_trajectory(params: &TrialParams) -> TrajectoryReport {
+    let mut trials = Vec::with_capacity(params.trials);
+    for i in 0..params.warmup + params.trials {
+        let t = run_trial(
+            params.seed.wrapping_add(i as u64),
+            params.rounds,
+            params.latency_scale,
+        );
+        if i >= params.warmup {
+            trials.push(t);
+        }
+    }
+    let mut merged = Histogram::new();
+    let mut attributions = Vec::new();
+    for t in &trials {
+        for b in &t.attributions {
+            merged.record(b.total_ns);
+        }
+        attributions.extend(t.attributions.iter().cloned());
+    }
+    let bins = merged.bins();
+    let decomposition = decompose(&attributions).expect("trajectory retires at least one batch");
+    let p50_ci = bootstrap_quantile_ci(&bins, 0.5, 200, 0.05, params.seed).expect("non-empty bins");
+    let p99_ci =
+        bootstrap_quantile_ci(&bins, 0.99, 200, 0.05, params.seed).expect("non-empty bins");
+    TrajectoryReport {
+        params: *params,
+        p50_ns: merged.quantile(0.5),
+        p99_ns: merged.quantile(0.99),
+        mean_batch_ns: binned_mean(&bins),
+        p50_ci,
+        p99_ci,
+        decomposition,
+        bins,
+        trials,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Baselines
+// ---------------------------------------------------------------------------
+
+/// A committed baseline: the merged bins and headline metrics of a past
+/// trajectory run on the same parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Baseline {
+    /// Merged histogram bins of per-batch latency.
+    pub bins: Vec<(u64, u64)>,
+    /// Merged p50, ns.
+    pub p50_ns: u64,
+    /// Merged p99, ns.
+    pub p99_ns: u64,
+    /// Merged mean, ns.
+    pub mean_batch_ns: f64,
+    /// Mean ns per queue-delay component, indexed by [`Stage::index`].
+    pub mean_component_ns: [f64; Stage::ALL.len()],
+}
+
+/// Serializes a report as the committed baseline file. All values are
+/// integers or short decimals well under 2^53, so the serde-free parser
+/// round-trips them exactly.
+pub fn baseline_json(report: &TrajectoryReport) -> String {
+    let p = &report.params;
+    let mut out = String::with_capacity(1024);
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": {BASELINE_SCHEMA},");
+    let _ = writeln!(
+        out,
+        "  \"params\": {{\"trials\": {}, \"warmup\": {}, \"seed\": {}, \"rounds\": {}}},",
+        p.trials, p.warmup, p.seed, p.rounds
+    );
+    let _ = writeln!(out, "  \"p50_ns\": {},", report.p50_ns);
+    let _ = writeln!(out, "  \"p99_ns\": {},", report.p99_ns);
+    let _ = writeln!(out, "  \"mean_batch_ns\": {:.1},", report.mean_batch_ns);
+    out.push_str("  \"mean_component_ns\": {");
+    for (i, s) in Stage::ALL.iter().enumerate() {
+        let comma = if i > 0 { ", " } else { "" };
+        let _ = write!(
+            out,
+            "{comma}\"{}\": {:.1}",
+            component_name(*s),
+            report.decomposition.mean_ns[s.index()]
+        );
+    }
+    out.push_str("},\n  \"bins\": [");
+    for (i, (low, count)) in report.bins.iter().enumerate() {
+        let comma = if i > 0 { ", " } else { "" };
+        let _ = write!(out, "{comma}[{low}, {count}]");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Parses a baseline file. Numeric fidelity is safe: every stored value
+/// fits an f64 mantissa.
+pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let json = parse_json(text)?;
+    let schema = json
+        .get("schema")
+        .and_then(Json::as_f64)
+        .ok_or("baseline missing 'schema'")? as u64;
+    if schema != BASELINE_SCHEMA {
+        return Err(format!(
+            "baseline schema {schema} != supported {BASELINE_SCHEMA} \
+             (regenerate with 'repro bench --update-baselines')"
+        ));
+    }
+    let num = |key: &str| -> Result<f64, String> {
+        json.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("baseline missing '{key}'"))
+    };
+    let bins = json
+        .get("bins")
+        .and_then(Json::as_arr)
+        .ok_or("baseline missing 'bins'")?
+        .iter()
+        .map(|pair| {
+            let p = pair.as_arr().filter(|p| p.len() == 2);
+            match p {
+                Some(p) => Ok((
+                    p[0].as_f64().ok_or("non-numeric bin low")? as u64,
+                    p[1].as_f64().ok_or("non-numeric bin count")? as u64,
+                )),
+                None => Err("bin is not a [low, count] pair".to_string()),
+            }
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let comps = json
+        .get("mean_component_ns")
+        .ok_or("baseline missing 'mean_component_ns'")?;
+    let mut mean_component_ns = [0.0; Stage::ALL.len()];
+    for s in Stage::ALL {
+        mean_component_ns[s.index()] = comps
+            .get(component_name(s))
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("baseline missing component '{}'", component_name(s)))?;
+    }
+    Ok(Baseline {
+        bins,
+        p50_ns: num("p50_ns")? as u64,
+        p99_ns: num("p99_ns")? as u64,
+        mean_batch_ns: num("mean_batch_ns")?,
+        mean_component_ns,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The gate
+// ---------------------------------------------------------------------------
+
+/// Decision thresholds of the regression gate.
+///
+/// A run is flagged as regressed when **either** detector fires:
+/// * the Mann-Whitney z over the merged bins exceeds `z_threshold`
+///   (current stochastically slower than baseline) — catches dense,
+///   whole-distribution shifts with statistical confidence, **or**
+/// * the relative p50 **or** p99 shift exceeds `min_rel_shift` — catches
+///   tail-only regressions that Mann-Whitney cannot power at these sample
+///   sizes. The tail arm matters in this pipelined system: a device 20%
+///   slower across the board is largely absorbed by CPU/device overlap
+///   near the median (measured p50 shift ~3%, within a log-linear bucket)
+///   but surfaces whole in the tail (p99 +13–15%), leaving z ≈ 1–2 even
+///   at hundreds of batches per side because most histogram mass never
+///   moves.
+///
+/// Using OR instead of AND does not make the gate flaky: the DES is
+/// deterministic, so a baseline-identical rerun reproduces the bins
+/// bit-for-bit (z = 0, shifts = 0) and passes structurally, not by luck.
+/// `min_rel_shift` at 5% sits above the histogram's ~3% bucket
+/// quantization, so a one-bucket wobble alone cannot fire the shift arm.
+#[derive(Clone, Copy, Debug)]
+pub struct GateConfig {
+    /// Mann-Whitney z threshold (≈ one-sided p < 0.001 at 3.0).
+    pub z_threshold: f64,
+    /// Minimum relative p50-or-p99 shift (0.05 = 5%) to call a regression.
+    pub min_rel_shift: f64,
+    /// Bootstrap resamples for the reported CIs.
+    pub resamples: usize,
+    /// Two-sided CI miss probability.
+    pub alpha: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            z_threshold: 3.0,
+            min_rel_shift: 0.05,
+            resamples: 200,
+            alpha: 0.05,
+        }
+    }
+}
+
+/// Per-component baseline-vs-current delta in the gate report.
+#[derive(Clone, Debug)]
+pub struct ComponentDelta {
+    /// Queue-delay component name ([`component_name`]).
+    pub name: &'static str,
+    /// Baseline mean ns per batch in this component.
+    pub baseline_ns: f64,
+    /// Current mean ns per batch in this component.
+    pub current_ns: f64,
+}
+
+impl ComponentDelta {
+    /// Relative change vs baseline (0.2 = +20%); 0 when the baseline
+    /// component is empty.
+    pub fn rel_delta(&self) -> f64 {
+        if self.baseline_ns <= 0.0 {
+            return 0.0;
+        }
+        self.current_ns / self.baseline_ns - 1.0
+    }
+}
+
+/// Outcome of gating a trajectory report against a baseline.
+#[derive(Clone, Debug)]
+pub struct GateOutcome {
+    /// Whether the gate flags a regression.
+    pub regressed: bool,
+    /// The Mann-Whitney test over the merged bins (None only for empty
+    /// inputs, which cannot happen through [`run_trajectory`]).
+    pub mw: Option<MannWhitney>,
+    /// Relative p50 shift vs baseline (positive = slower).
+    pub rel_shift_p50: f64,
+    /// Relative p99 shift vs baseline.
+    pub rel_shift_p99: f64,
+    /// Whether the baseline p50 falls outside the current p50's
+    /// bootstrap CI (reported, not part of the decision rule).
+    pub ci_excludes_baseline: bool,
+    /// Per-component deltas, stage order.
+    pub components: Vec<ComponentDelta>,
+}
+
+impl GateOutcome {
+    /// The component with the largest absolute ns increase — where the
+    /// regression went, in queue-delay terms.
+    pub fn dominant_shift(&self) -> Option<&ComponentDelta> {
+        self.components
+            .iter()
+            .max_by(|a, b| {
+                let da = a.current_ns - a.baseline_ns;
+                let db = b.current_ns - b.baseline_ns;
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .filter(|c| c.current_ns > c.baseline_ns)
+    }
+
+    /// Renders the verdict plus the per-stage attribution table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let z = self.mw.as_ref().map_or(0.0, |m| m.z);
+        let _ = writeln!(
+            out,
+            "gate: {} (z = {:.2}, p50 shift {:+.1}%, p99 shift {:+.1}%, \
+             CI excludes baseline p50: {})",
+            if self.regressed { "REGRESSED" } else { "ok" },
+            z,
+            self.rel_shift_p50 * 100.0,
+            self.rel_shift_p99 * 100.0,
+            self.ci_excludes_baseline
+        );
+        let _ = writeln!(
+            out,
+            "{:<14} {:>14} {:>14} {:>9}",
+            "component", "baseline ns", "current ns", "delta"
+        );
+        for c in &self.components {
+            let _ = writeln!(
+                out,
+                "{:<14} {:>14.0} {:>14.0} {:>8.1}%",
+                c.name,
+                c.baseline_ns,
+                c.current_ns,
+                c.rel_delta() * 100.0
+            );
+        }
+        if let Some(dom) = self.dominant_shift() {
+            let _ = writeln!(
+                out,
+                "largest shift: {} ({:+.0} ns/batch, {:+.1}%)",
+                dom.name,
+                dom.current_ns - dom.baseline_ns,
+                dom.rel_delta() * 100.0
+            );
+        }
+        out
+    }
+
+    /// The machine-readable diff report (`baseline_diff.json`, uploaded
+    /// as a CI artifact when the gate fails).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        let z = self.mw.as_ref().map_or(0.0, |m| m.z);
+        let _ = write!(
+            out,
+            "{{\"regressed\": {}, \"z\": {:.3}, \"rel_shift_p50\": {:.4}, \
+             \"rel_shift_p99\": {:.4}, \"ci_excludes_baseline\": {}, \
+             \"components\": {{",
+            self.regressed, z, self.rel_shift_p50, self.rel_shift_p99, self.ci_excludes_baseline
+        );
+        for (i, c) in self.components.iter().enumerate() {
+            let comma = if i > 0 { ", " } else { "" };
+            let _ = write!(
+                out,
+                "{comma}\"{}\": {{\"baseline_ns\": {:.1}, \"current_ns\": {:.1}, \
+                 \"rel_delta\": {:.4}}}",
+                c.name,
+                c.baseline_ns,
+                c.current_ns,
+                c.rel_delta()
+            );
+        }
+        out.push_str("}, \"dominant_shift\": ");
+        match self.dominant_shift() {
+            Some(d) => {
+                let _ = write!(out, "\"{}\"", d.name);
+            }
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Gates a trajectory report against a baseline.
+pub fn check(report: &TrajectoryReport, baseline: &Baseline, gate: &GateConfig) -> GateOutcome {
+    let mw = mann_whitney(&baseline.bins, &report.bins);
+    let rel = |base: u64, cur: u64| {
+        if base == 0 {
+            0.0
+        } else {
+            cur as f64 / base as f64 - 1.0
+        }
+    };
+    let rel_shift_p50 = rel(baseline.p50_ns, binned_quantile(&report.bins, 0.5));
+    let rel_shift_p99 = rel(baseline.p99_ns, binned_quantile(&report.bins, 0.99));
+    let slower = mw
+        .as_ref()
+        .is_some_and(|m| m.slower_than_baseline(gate.z_threshold));
+    let components = Stage::ALL
+        .iter()
+        .map(|s| ComponentDelta {
+            name: component_name(*s),
+            baseline_ns: baseline.mean_component_ns[s.index()],
+            current_ns: report.decomposition.mean_ns[s.index()],
+        })
+        .collect();
+    GateOutcome {
+        regressed: slower || rel_shift_p50.max(rel_shift_p99) > gate.min_rel_shift,
+        mw,
+        rel_shift_p50,
+        rel_shift_p99,
+        ci_excludes_baseline: report.p50_ci.excludes(baseline.p50_ns),
+        components,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_repro.json trajectory append
+// ---------------------------------------------------------------------------
+
+/// One run's entry in `BENCH_repro.json`'s `trajectory` array.
+pub fn trajectory_entry_json(report: &TrajectoryReport, git_sha: &str, unix_time: u64) -> String {
+    let p = &report.params;
+    format!(
+        "{{\"git_sha\": \"{}\", \"unix_time\": {}, \"seed\": {}, \"trials\": {}, \
+         \"rounds\": {}, \"latency_scale\": {:.2}, \"p50_ns\": {}, \"p99_ns\": {}, \
+         \"mean_batch_ns\": {:.1}, \"dominant_mean\": \"{}\"}}",
+        git_sha.escape_default(),
+        unix_time,
+        p.seed,
+        p.trials,
+        p.rounds,
+        p.latency_scale,
+        report.p50_ns,
+        report.p99_ns,
+        report.mean_batch_ns,
+        component_name(report.decomposition.dominant_mean())
+    )
+}
+
+/// Splits a JSON object's top-level `"key": value` pairs **textually**,
+/// returning each value's raw source text. This is how `BENCH_repro.json`
+/// is merged without a parse → reserialize round trip (the serde-free
+/// parser holds numbers as f64, which would corrupt 64-bit counters).
+pub fn split_top_level(json: &str) -> Option<Vec<(String, String)>> {
+    let bytes = json.as_bytes();
+    let mut i = 0usize;
+    let skip_ws = |i: &mut usize| {
+        while bytes
+            .get(*i)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            *i += 1;
+        }
+    };
+    skip_ws(&mut i);
+    if bytes.get(i) != Some(&b'{') {
+        return None;
+    }
+    i += 1;
+    let mut out = Vec::new();
+    loop {
+        skip_ws(&mut i);
+        match bytes.get(i) {
+            Some(b'}') => return Some(out),
+            Some(b',') if !out.is_empty() => {
+                i += 1;
+                skip_ws(&mut i);
+            }
+            _ => {}
+        }
+        if bytes.get(i) == Some(&b'}') {
+            return Some(out);
+        }
+        // Key.
+        if bytes.get(i) != Some(&b'"') {
+            return None;
+        }
+        let key_start = i + 1;
+        i += 1;
+        while let Some(&b) = bytes.get(i) {
+            match b {
+                b'\\' => i += 2,
+                b'"' => break,
+                _ => i += 1,
+            }
+        }
+        let key = json.get(key_start..i)?.to_string();
+        i += 1;
+        skip_ws(&mut i);
+        if bytes.get(i) != Some(&b':') {
+            return None;
+        }
+        i += 1;
+        skip_ws(&mut i);
+        // Value: balance braces/brackets outside strings.
+        let val_start = i;
+        let mut depth = 0i64;
+        let mut in_str = false;
+        loop {
+            let &b = bytes.get(i)?;
+            if in_str {
+                match b {
+                    b'\\' => i += 1,
+                    b'"' => in_str = false,
+                    _ => {}
+                }
+            } else {
+                match b {
+                    b'"' => in_str = true,
+                    b'{' | b'[' => depth += 1,
+                    b'}' | b']' if depth > 0 => depth -= 1,
+                    b',' | b'}' | b']' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        out.push((key, json.get(val_start..i)?.trim_end().to_string()));
+    }
+}
+
+/// Merges a freshly generated `BENCH_repro.json` body with the previous
+/// file's contents: fresh sections win, prior sections absent from the
+/// fresh body are preserved verbatim, and the `trajectory` array keeps
+/// every prior entry with `entry` appended. `prev = None` (first run)
+/// starts the array at one entry.
+pub fn merge_bench_json(prev: Option<&str>, fresh: &str, entry: &str) -> String {
+    let fresh_sections = split_top_level(fresh).unwrap_or_default();
+    let prev_sections = prev.and_then(split_top_level).unwrap_or_default();
+    let mut out = String::with_capacity(fresh.len() + entry.len() + 256);
+    out.push_str("{\n");
+    let mut first = true;
+    let mut push = |out: &mut String, key: &str, value: &str| {
+        if !std::mem::take(&mut first) {
+            out.push_str(",\n");
+        }
+        let _ = write!(out, "  \"{key}\": {value}");
+    };
+    for (key, value) in &fresh_sections {
+        if key != "trajectory" {
+            push(&mut out, key, value);
+        }
+    }
+    for (key, value) in &prev_sections {
+        if key != "trajectory" && !fresh_sections.iter().any(|(k, _)| k == key) {
+            push(&mut out, key, value);
+        }
+    }
+    // The trajectory array: prior entries (textually preserved) + this run.
+    let mut array = String::from("[");
+    if let Some((_, prior)) = prev_sections.iter().find(|(k, _)| k == "trajectory") {
+        let inner = prior
+            .trim()
+            .strip_prefix('[')
+            .and_then(|s| s.trim_end().strip_suffix(']'))
+            .map(str::trim)
+            .unwrap_or("");
+        if !inner.is_empty() {
+            array.push_str(inner);
+            array.push_str(", ");
+        }
+    }
+    array.push_str(entry);
+    array.push(']');
+    push(&mut out, "trajectory", &array);
+    out.push_str("\n}\n");
+    out
+}
+
+/// Best-effort commit id for trajectory entries: `git rev-parse` in the
+/// current directory, then `GITHUB_SHA`, then `"unknown"`.
+pub fn current_git_sha() -> String {
+    if let Ok(output) = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+    {
+        if output.status.success() {
+            if let Ok(s) = String::from_utf8(output.stdout) {
+                let s = s.trim();
+                if !s.is_empty() {
+                    return s.to_string();
+                }
+            }
+        }
+    }
+    std::env::var("GITHUB_SHA")
+        .ok()
+        .filter(|s| !s.is_empty())
+        .map(|s| s.chars().take(12).collect())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TrialParams {
+        TrialParams {
+            trials: 2,
+            warmup: 1,
+            rounds: 4,
+            ..TrialParams::default()
+        }
+    }
+
+    #[test]
+    fn trajectory_is_deterministic() {
+        let p = small();
+        let a = run_trajectory(&p);
+        let b = run_trajectory(&p);
+        assert_eq!(a.bins, b.bins);
+        assert_eq!(a.p50_ns, b.p50_ns);
+        assert_eq!(a.p99_ns, b.p99_ns);
+        assert!(a.p50_ns > 0);
+        assert_eq!(
+            a.trials.len(),
+            p.trials,
+            "warmup trials are discarded from the measured set"
+        );
+    }
+
+    #[test]
+    fn des_lifecycle_covers_every_batch() {
+        let p = small();
+        let r = run_trajectory(&p);
+        let expected = (p.trials as u64) * (p.rounds * N_CHANNELS as u64);
+        let attributed: u64 = r.trials.iter().map(|t| t.attributions.len() as u64).sum();
+        assert_eq!(attributed, expected, "every retired batch is attributed");
+        // In the DES, doorbell and pickup coincide: the doorbell-wait
+        // component is structurally zero, the device stage dominates.
+        assert_eq!(r.decomposition.mean_ns[Stage::Pickup.index()], 0.0);
+        assert_eq!(r.decomposition.dominant_mean(), Stage::Complete);
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let r = run_trajectory(&small());
+        let json = baseline_json(&r);
+        let b = parse_baseline(&json).expect("parses");
+        assert_eq!(b.bins, r.bins);
+        assert_eq!(b.p50_ns, r.p50_ns);
+        assert_eq!(b.p99_ns, r.p99_ns);
+        for s in Stage::ALL {
+            assert!(
+                (b.mean_component_ns[s.index()] - r.decomposition.mean_ns[s.index()]).abs() < 0.1
+            );
+        }
+    }
+
+    #[test]
+    fn split_top_level_handles_nesting_and_strings() {
+        let json = r#"{"a": {"x": [1, 2, {"y": "},"}]}, "b": 7, "c": "s,tr", "d": []}"#;
+        let sections = split_top_level(json).expect("splits");
+        let get = |k: &str| {
+            sections
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.as_str())
+        };
+        assert_eq!(sections.len(), 4);
+        assert_eq!(get("a"), Some(r#"{"x": [1, 2, {"y": "},"}]}"#));
+        assert_eq!(get("b"), Some("7"));
+        assert_eq!(get("c"), Some(r#""s,tr""#));
+        assert_eq!(get("d"), Some("[]"));
+    }
+
+    #[test]
+    fn merge_preserves_sections_and_appends_trajectory() {
+        let prev = r#"{"run": {"old": 1}, "legacy": [5], "trajectory": [{"seed": 1}]}"#;
+        let fresh = r#"{"run": {"new": 2}, "cache": {"z": 9}}"#;
+        let merged = merge_bench_json(Some(prev), fresh, r#"{"seed": 2}"#);
+        let sections = split_top_level(&merged).expect("merged splits");
+        let get = |k: &str| {
+            sections
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.as_str())
+        };
+        // Fresh wins; absent prior sections survive.
+        assert_eq!(get("run"), Some(r#"{"new": 2}"#));
+        assert_eq!(get("cache"), Some(r#"{"z": 9}"#));
+        assert_eq!(get("legacy"), Some("[5]"));
+        // Trajectory appends.
+        assert_eq!(get("trajectory"), Some(r#"[{"seed": 1}, {"seed": 2}]"#));
+        // And the result is valid JSON.
+        let parsed = parse_json(&merged).expect("valid");
+        assert_eq!(
+            parsed
+                .get("trajectory")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn merge_without_prior_file_starts_the_array() {
+        let fresh = r#"{"run": {"v": 1}}"#;
+        let merged = merge_bench_json(None, fresh, r#"{"seed": 9}"#);
+        let parsed = parse_json(&merged).expect("valid");
+        assert_eq!(
+            parsed
+                .get("trajectory")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn unchanged_rerun_passes_the_gate() {
+        let r = run_trajectory(&small());
+        let baseline = parse_baseline(&baseline_json(&r)).expect("baseline");
+        let outcome = check(&r, &baseline, &GateConfig::default());
+        assert!(!outcome.regressed, "{}", outcome.render());
+        assert_eq!(
+            outcome.mw.as_ref().map(|m| m.z),
+            Some(0.0),
+            "identical bins"
+        );
+    }
+
+    #[test]
+    fn injected_latency_regression_is_flagged_with_attribution() {
+        let p = small();
+        let base_report = run_trajectory(&p);
+        let baseline = parse_baseline(&baseline_json(&base_report)).expect("baseline");
+        let perturbed = TrialParams {
+            latency_scale: 1.2,
+            ..p
+        };
+        let outcome = check(
+            &run_trajectory(&perturbed),
+            &baseline,
+            &GateConfig::default(),
+        );
+        assert!(outcome.regressed, "{}", outcome.render());
+        assert!(outcome.rel_shift_p50.max(outcome.rel_shift_p99) > 0.05);
+        assert_eq!(
+            outcome.dominant_shift().map(|c| c.name),
+            Some("ssd_service"),
+            "a slower device model must be attributed to the ssd_service component"
+        );
+        assert!(outcome.to_json().contains("\"regressed\": true"));
+    }
+}

@@ -8,8 +8,8 @@ use std::sync::Arc;
 use cam_gpu::{Gpu, GpuBuffer, OutOfMemory};
 use cam_iostacks::Rig;
 use cam_telemetry::{
-    clock, ControlMetrics, EventKind, FlightRecorder, HistogramHandle, MetricsRegistry,
-    Observability, TelemetrySink,
+    clock, ControlMetrics, EventKind, FlightRecorder, Histogram, HistogramHandle, MetricsRegistry,
+    Observability, Stage, TelemetrySink,
 };
 
 use crate::engine::{ControlConfig, ControlPlane, ControlStats};
@@ -250,6 +250,23 @@ impl CamContext {
     /// The flight recorder this context emits into, when attached with one.
     pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
         self.recorder.as_ref()
+    }
+
+    /// Full-bin snapshots of every (`op`, stage) latency histogram, as
+    /// `(op label, stage, merged histogram)` triples in
+    /// [`ControlMetrics::OPS`] × [`Stage::ALL`] order. The registry's
+    /// summaries keep only quantiles; the statistical regression gate and
+    /// the queue-delay attribution need the bins themselves, so this is
+    /// the threaded driver's per-stage snapshot hook (the DES driver's
+    /// equivalent is its lifecycle event stream).
+    pub fn stage_snapshots(&self) -> Vec<(&'static str, Stage, Histogram)> {
+        let mut out = Vec::with_capacity(ControlMetrics::OPS.len() * Stage::ALL.len());
+        for (op_idx, op) in ControlMetrics::OPS.iter().enumerate() {
+            for stage in Stage::ALL {
+                out.push((*op, stage, self.metrics.stage(op_idx, stage).snapshot()));
+            }
+        }
+        out
     }
 
     /// `CAM_alloc`: pinned GPU memory SSDs can DMA into directly.

@@ -27,8 +27,9 @@ use std::sync::Arc;
 use cam_nvme::spec::{Opcode, Status};
 use cam_nvme::{DesSsd, SsdModel};
 use cam_protocol::{
-    plan_batch, BatchCore, ChannelOp, Clock, Command, DecisionCounters, GroupSpec, HealthConfig,
-    HealthTransition, LaneHealth, PlanConfig, RetryPolicy, SubmitCmd, VirtualClock, WorkerCore,
+    op_index, plan_batch, BatchCore, ChannelOp, Clock, Command, DecisionCounters, GroupSpec,
+    HealthConfig, HealthTransition, LaneHealth, PlanConfig, RetryPolicy, SubmitCmd, VirtualClock,
+    WorkerCore,
 };
 use cam_simkit::{Dur, EventKind, FlightRecorder, Pipe, Sim, Time};
 use cam_telemetry::{OpsWindows, SloTracker};
@@ -63,6 +64,11 @@ pub struct CamDesConfig {
     /// `FaultPolicy::transient_reads_in` so matched threaded/DES overload
     /// experiments see the same failure schedule.
     pub fault: Option<DesFaultSpec>,
+    /// Calibrated device timing model every SSD in the array runs
+    /// ([`SsdModel::p5510`] in all the paper experiments). Exposed so the
+    /// regression-gate tests can inject a controlled perturbation (e.g. a
+    /// 20% slower read service time) without touching the calibration.
+    pub ssd_model: SsdModel,
 }
 
 impl CamDesConfig {
@@ -116,6 +122,13 @@ pub struct CamDesObs {
     pub windows: Option<Arc<OpsWindows>>,
     /// SLO tracker fed one sample per retired batch.
     pub slo: Option<Arc<SloTracker>>,
+    /// Emit the full batch-lifecycle event stream (doorbell → pickup →
+    /// dispatch → submit → complete → retire) on the virtual timeline, so
+    /// [`cam_telemetry::critical::analyze`] attributes DES batches exactly
+    /// as it does threaded ones. Off by default: the plain DES trace
+    /// artifact stays sim-process-only (issue/complete pairs), which the
+    /// fidelity trace validator asserts.
+    pub lifecycle: bool,
 }
 
 /// One batch to publish on a channel. Destination addresses are
@@ -222,8 +235,23 @@ fn publish_next(sim: &mut Sim<DesWorld>, w: &mut DesWorld, ch: usize) {
         .enumerate()
         .map(|(i, &lba)| (lba, i as u64 * bytes_per_req))
         .collect();
+    let n_requests = reqs.len() as u32;
     let plan = plan_batch(&w.plan, w.cfg.op, batch.blocks, reqs);
     w.decisions.record_plan(&plan);
+    if w.obs.lifecycle {
+        // Doorbell and pickup coincide in virtual time: the DES has no
+        // polling delay, so the doorbell-wait component is structurally 0.
+        sim.emit(EventKind::BatchDoorbell {
+            channel: ch as u16,
+            seq,
+            op: op_index(w.cfg.op) as u8,
+            requests: n_requests,
+        });
+        sim.emit(EventKind::BatchPickup {
+            channel: ch as u16,
+            seq,
+        });
+    }
     let core = Arc::new(BatchCore {
         channel: ch,
         seq,
@@ -258,10 +286,24 @@ fn publish_next(sim: &mut Sim<DesWorld>, w: &mut DesWorld, ch: usize) {
 fn deliver(sim: &mut Sim<DesWorld>, w: &mut DesWorld, wid: usize, spec: GroupSpec) {
     if w.cfg.pipelined || w.cores[wid].idle() {
         let now = now_ns(sim, w);
+        emit_dispatch(sim, w, wid, &spec);
         w.cores[wid].on_group(spec, now);
         pump_worker(sim, w, wid);
     } else {
         w.pending[wid].push_back(spec);
+    }
+}
+
+/// Lifecycle tap: one [`EventKind::GroupDispatch`] as the worker accepts a
+/// group, matching the threaded driver's dispatch emission point.
+fn emit_dispatch(sim: &Sim<DesWorld>, w: &DesWorld, wid: usize, spec: &GroupSpec) {
+    if w.obs.lifecycle {
+        sim.emit(EventKind::GroupDispatch {
+            channel: spec.batch.channel as u16,
+            seq: spec.batch.seq,
+            ssd: spec.ssd as u16,
+            worker: wid as u16,
+        });
     }
 }
 
@@ -272,6 +314,7 @@ fn feed_pending(sim: &mut Sim<DesWorld>, w: &mut DesWorld, wid: usize) {
             return;
         };
         let now = now_ns(sim, w);
+        emit_dispatch(sim, w, wid, &spec);
         w.cores[wid].on_group(spec, now);
         pump_worker(sim, w, wid);
     }
@@ -334,7 +377,20 @@ fn execute(sim: &mut Sim<DesWorld>, w: &mut DesWorld, wid: usize, out: &mut Vec<
             // Doorbell rings and the submit markers are free here: their
             // cost is folded into `thread_cost`, and the decision counters
             // live in the protocol core itself.
-            Command::RingDoorbell { .. } | Command::GroupSubmitted { .. } => {}
+            Command::RingDoorbell { .. } => {}
+            Command::GroupSubmitted {
+                batch, ssd, sqes, ..
+            } => {
+                if w.obs.lifecycle {
+                    sim.emit(EventKind::GroupSubmit {
+                        channel: batch.channel as u16,
+                        seq: batch.seq,
+                        ssd: ssd as u16,
+                        worker: wid as u16,
+                        sqes,
+                    });
+                }
+            }
             Command::CmdRetry { ssd, now_ns, .. } => {
                 if let Some(wd) = &w.obs.windows {
                     wd.ssd_retries[ssd].add_at(now_ns, 1, 0);
@@ -352,11 +408,22 @@ fn execute(sim: &mut Sim<DesWorld>, w: &mut DesWorld, wid: usize, out: &mut Vec<
                 }
             }
             Command::GroupComplete {
+                batch,
                 ssd,
+                errors,
                 anchor_ns,
                 complete_ns,
                 ..
             } => {
+                if w.obs.lifecycle {
+                    sim.emit(EventKind::GroupComplete {
+                        channel: batch.channel as u16,
+                        seq: batch.seq,
+                        ssd: ssd as u16,
+                        worker: wid as u16,
+                        errors: errors.min(u64::from(u32::MAX)) as u32,
+                    });
+                }
                 if let Some(wd) = &w.obs.windows {
                     wd.ssd_complete[ssd]
                         .record_at(complete_ns, complete_ns.saturating_sub(anchor_ns));
@@ -371,6 +438,13 @@ fn execute(sim: &mut Sim<DesWorld>, w: &mut DesWorld, wid: usize, out: &mut Vec<
                 let total_ns = complete_ns.saturating_sub(batch.doorbell_ns);
                 w.batch_total_ns += u128::from(total_ns);
                 let errors = batch.errors.load(Ordering::Relaxed);
+                if w.obs.lifecycle {
+                    sim.emit(EventKind::BatchRetire {
+                        channel: batch.channel as u16,
+                        seq: batch.seq,
+                        errors: errors.min(u64::from(u32::MAX)) as u32,
+                    });
+                }
                 if let Some(wd) = &w.obs.windows {
                     wd.channel_batch[batch.channel].record_at(complete_ns, total_ns);
                 }
@@ -495,7 +569,7 @@ pub fn run_cam_des_obs(
         sim.attach_recorder(rec);
     }
     let ssds: Vec<DesSsd> = (0..cfg.n_ssds)
-        .map(|_| DesSsd::new(&mut sim, SsdModel::p5510()))
+        .map(|_| DesSsd::new(&mut sim, cfg.ssd_model))
         .collect();
     let host = sim.new_pipe(cfg.host_gbps);
     let cpus: Vec<Pipe> = (0..cfg.threads).map(|_| sim.new_pipe(1.0)).collect();
@@ -610,6 +684,7 @@ mod tests {
             host_gbps: 21.0,
             retry: CamDesConfig::inert_retry(),
             fault: None,
+            ssd_model: SsdModel::p5510(),
         }
     }
 
@@ -776,6 +851,7 @@ mod tests {
         let obs = CamDesObs {
             windows: Some(Arc::clone(&windows)),
             slo: Some(Arc::clone(&slo)),
+            lifecycle: false,
         };
         let r = run_cam_des_obs(
             cfg(1, true),
@@ -797,6 +873,7 @@ mod tests {
         let obs2 = CamDesObs {
             windows: Some(Arc::clone(&windows2)),
             slo: None,
+            lifecycle: false,
         };
         let r2 = run_cam_des_obs(
             cfg(1, true),

@@ -454,6 +454,7 @@ fn run_cam_microbench(
         host_gbps: gpu.pcie_gbps,
         retry: CamDesConfig::inert_retry(),
         fault: None,
+        ssd_model: SsdModel::p5510(),
     };
     // Round-robin the request budget into per-channel batches of ~32
     // requests per SSD; each channel keeps one batch outstanding and

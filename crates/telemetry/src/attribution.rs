@@ -1,0 +1,305 @@
+//! Queue-delay attribution: decomposes doorbell→retire latency into the
+//! delay components a regression report can act on.
+//!
+//! [`critical::analyze`](crate::critical::analyze) already attributes each
+//! retired batch's latency to the five protocol stages. This module rolls
+//! those per-batch attributions up into the operator-facing decomposition:
+//! *where does the mean go, and where does the p99 go?* The five stages map
+//! onto queueing-delay components:
+//!
+//! | stage    | component       | what the batch was waiting on          |
+//! |----------|-----------------|----------------------------------------|
+//! | pickup   | `doorbell_wait` | the CPU poller to notice the doorbell  |
+//! | dispatch | `dispatch`      | the poller to fan groups out to workers|
+//! | submit   | `lane_wait`     | queue-pair depth / CPU submit cost     |
+//! | complete | `ssd_service`   | the device (and host fabric) itself    |
+//! | retire   | `retire`        | the last worker's region-4 write       |
+//!
+//! The p99 decomposition averages the stage times of the batches **in the
+//! p99 tail** (total ≥ the p99 of totals) rather than taking per-stage
+//! p99s, so the components of the tail row still sum to the tail's total —
+//! per-stage quantiles don't add up and routinely mis-attribute tails.
+
+use std::fmt::Write as _;
+
+use crate::critical::BatchAttribution;
+use crate::span::Stage;
+
+/// Operator-facing name of a stage's delay component (see module docs).
+pub fn component_name(stage: Stage) -> &'static str {
+    match stage {
+        Stage::Pickup => "doorbell_wait",
+        Stage::Dispatch => "dispatch",
+        Stage::Submit => "lane_wait",
+        Stage::Complete => "ssd_service",
+        Stage::Retire => "retire",
+    }
+}
+
+/// Mean + p99-tail decomposition of doorbell→retire latency over a set of
+/// attributed batches.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LatencyDecomposition {
+    /// Batches decomposed.
+    pub batches: u64,
+    /// Mean doorbell→retire latency, ns.
+    pub mean_total_ns: f64,
+    /// Exact p99 of the per-batch totals (nearest-rank), ns.
+    pub p99_total_ns: u64,
+    /// Batches in the p99 tail (total ≥ `p99_total_ns`).
+    pub tail_batches: u64,
+    /// Mean nanoseconds per component across all batches, indexed by
+    /// [`Stage::index`].
+    pub mean_ns: [f64; Stage::ALL.len()],
+    /// Mean nanoseconds per component across the p99-tail batches.
+    pub tail_mean_ns: [f64; Stage::ALL.len()],
+}
+
+impl LatencyDecomposition {
+    /// The component that dominates the mean.
+    pub fn dominant_mean(&self) -> Stage {
+        argmax(&self.mean_ns)
+    }
+
+    /// The component that dominates the p99 tail.
+    pub fn dominant_tail(&self) -> Stage {
+        argmax(&self.tail_mean_ns)
+    }
+
+    /// Fraction (0..=1) of the mean spent in `stage`.
+    pub fn mean_fraction(&self, stage: Stage) -> f64 {
+        if self.mean_total_ns <= 0.0 {
+            return 0.0;
+        }
+        self.mean_ns[stage.index()] / self.mean_total_ns
+    }
+
+    /// Renders the decomposition as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        let _ = write!(
+            out,
+            "{{\"batches\": {}, \"mean_total_ns\": {:.1}, \"p99_total_ns\": {}, \
+             \"tail_batches\": {}, \"mean_ns\": {{",
+            self.batches, self.mean_total_ns, self.p99_total_ns, self.tail_batches
+        );
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            let comma = if i > 0 { ", " } else { "" };
+            let _ = write!(
+                out,
+                "{comma}\"{}\": {:.1}",
+                component_name(*s),
+                self.mean_ns[s.index()]
+            );
+        }
+        out.push_str("}, \"p99_tail_mean_ns\": {");
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            let comma = if i > 0 { ", " } else { "" };
+            let _ = write!(
+                out,
+                "{comma}\"{}\": {:.1}",
+                component_name(*s),
+                self.tail_mean_ns[s.index()]
+            );
+        }
+        let _ = write!(
+            out,
+            "}}, \"dominant_mean\": \"{}\", \"dominant_tail\": \"{}\"}}",
+            component_name(self.dominant_mean()),
+            component_name(self.dominant_tail())
+        );
+        out
+    }
+
+    /// Renders a two-row human table: mean and p99-tail, one column per
+    /// component, with the dominant component flagged.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<10} {:>14} {:>14} {:>12} {:>14} {:>10}  total (ns)",
+            "row", "doorbell_wait", "dispatch", "lane_wait", "ssd_service", "retire"
+        );
+        let row = |label: &str, vals: &[f64; Stage::ALL.len()], total: f64, dom: Stage| {
+            format!(
+                "{:<10} {:>14.0} {:>14.0} {:>12.0} {:>14.0} {:>10.0}  {:.0} (dominant: {})",
+                label,
+                vals[Stage::Pickup.index()],
+                vals[Stage::Dispatch.index()],
+                vals[Stage::Submit.index()],
+                vals[Stage::Complete.index()],
+                vals[Stage::Retire.index()],
+                total,
+                component_name(dom),
+            )
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            row(
+                "mean",
+                &self.mean_ns,
+                self.mean_total_ns,
+                self.dominant_mean()
+            )
+        );
+        let tail_total: f64 = self.tail_mean_ns.iter().sum();
+        let _ = writeln!(
+            out,
+            "{}",
+            row(
+                "p99 tail",
+                &self.tail_mean_ns,
+                tail_total,
+                self.dominant_tail()
+            )
+        );
+        out
+    }
+}
+
+fn argmax(vals: &[f64; Stage::ALL.len()]) -> Stage {
+    let mut best = Stage::ALL[0];
+    for s in Stage::ALL {
+        if vals[s.index()] > vals[best.index()] {
+            best = s;
+        }
+    }
+    best
+}
+
+/// Decomposes a set of per-batch attributions (from
+/// [`critical::analyze`](crate::critical::analyze), either driver) into
+/// the mean and p99-tail component breakdown. Returns `None` when there
+/// are no batches.
+pub fn decompose(batches: &[BatchAttribution]) -> Option<LatencyDecomposition> {
+    if batches.is_empty() {
+        return None;
+    }
+    let n = batches.len() as u64;
+    let mut totals: Vec<u64> = batches.iter().map(|b| b.total_ns).collect();
+    totals.sort_unstable();
+    // p99 over the exact per-batch totals (no binning error), picked so the
+    // tail is the top 1% of batches: index ⌊0.99·n⌋ in the sorted totals.
+    let idx = ((0.99 * n as f64) as usize).min(totals.len() - 1);
+    let p99 = totals[idx];
+
+    let mut mean_ns = [0.0f64; Stage::ALL.len()];
+    let mut tail_mean_ns = [0.0f64; Stage::ALL.len()];
+    let mut mean_total = 0.0f64;
+    let mut tail_batches = 0u64;
+    for b in batches {
+        mean_total += b.total_ns as f64;
+        for s in Stage::ALL {
+            mean_ns[s.index()] += b.stage_ns[s.index()] as f64;
+        }
+        if b.total_ns >= p99 {
+            tail_batches += 1;
+            for s in Stage::ALL {
+                tail_mean_ns[s.index()] += b.stage_ns[s.index()] as f64;
+            }
+        }
+    }
+    for v in &mut mean_ns {
+        *v /= n as f64;
+    }
+    for v in &mut tail_mean_ns {
+        *v /= tail_batches.max(1) as f64;
+    }
+    Some(LatencyDecomposition {
+        batches: n,
+        mean_total_ns: mean_total / n as f64,
+        p99_total_ns: p99,
+        tail_batches,
+        mean_ns,
+        tail_mean_ns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(total: u64, complete: u64) -> BatchAttribution {
+        let mut stage_ns = [0u64; Stage::ALL.len()];
+        stage_ns[Stage::Pickup.index()] = 10;
+        stage_ns[Stage::Dispatch.index()] = 5;
+        stage_ns[Stage::Submit.index()] = total - complete - 35;
+        stage_ns[Stage::Complete.index()] = complete;
+        stage_ns[Stage::Retire.index()] = 20;
+        BatchAttribution {
+            channel: 0,
+            seq: 0,
+            op: 0,
+            stage_ns,
+            total_ns: total,
+        }
+    }
+
+    #[test]
+    fn mean_components_sum_to_mean_total() {
+        let batches: Vec<_> = (0..100)
+            .map(|i| batch(1000 + i * 10, 800 + i * 10))
+            .collect();
+        let d = decompose(&batches).unwrap();
+        assert_eq!(d.batches, 100);
+        let sum: f64 = d.mean_ns.iter().sum();
+        assert!(
+            (sum - d.mean_total_ns).abs() < 1e-6,
+            "{sum} vs {}",
+            d.mean_total_ns
+        );
+        assert_eq!(d.dominant_mean(), Stage::Complete);
+        assert!(d.mean_fraction(Stage::Complete) > 0.5);
+    }
+
+    #[test]
+    fn p99_tail_attributes_the_actual_slow_batches() {
+        // 99 fast device-bound batches and one slow batch gated on
+        // lane_wait: the tail row must finger lane_wait, the mean must not.
+        let mut batches: Vec<_> = (0..99).map(|_| batch(1000, 900)).collect();
+        batches.push(batch(50_000, 900)); // submit = 49_065 ns
+        let d = decompose(&batches).unwrap();
+        assert_eq!(d.p99_total_ns, 50_000);
+        assert_eq!(d.tail_batches, 1);
+        assert_eq!(d.dominant_mean(), Stage::Complete);
+        assert_eq!(d.dominant_tail(), Stage::Submit);
+        // Tail components sum to the tail batch's total.
+        let tail_sum: f64 = d.tail_mean_ns.iter().sum();
+        assert!((tail_sum - 50_000.0).abs() < 1e-6, "{tail_sum}");
+    }
+
+    #[test]
+    fn json_and_table_render_every_component() {
+        let batches: Vec<_> = (0..10).map(|i| batch(2000 + i, 1500)).collect();
+        let d = decompose(&batches).unwrap();
+        let json = d.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        for key in [
+            "\"doorbell_wait\"",
+            "\"dispatch\"",
+            "\"lane_wait\"",
+            "\"ssd_service\"",
+            "\"retire\"",
+            "\"dominant_mean\"",
+            "\"p99_tail_mean_ns\"",
+        ] {
+            assert!(json.contains(key), "missing {key}: {json}");
+        }
+        let parsed = crate::trace::parse_json(&json).expect("valid json");
+        assert_eq!(
+            parsed
+                .get("dominant_mean")
+                .and_then(crate::trace::Json::as_str),
+            Some("ssd_service")
+        );
+        let table = d.render_table();
+        assert_eq!(table.lines().count(), 3);
+        assert!(table.contains("ssd_service"));
+    }
+
+    #[test]
+    fn empty_input_yields_none() {
+        assert!(decompose(&[]).is_none());
+    }
+}

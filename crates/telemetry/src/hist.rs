@@ -149,6 +149,20 @@ impl Histogram {
         out
     }
 
+    /// The non-empty bins as `(representative value, count)` pairs in
+    /// ascending value order. The representative is the bin's lower bound,
+    /// so reconstructed samples carry the histogram's usual ≤
+    /// `1/SUB_BUCKETS` relative error — the input the [`crate::stats`]
+    /// rank and bootstrap machinery runs on.
+    pub fn bins(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_low(i), c))
+            .collect()
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
@@ -279,6 +293,29 @@ mod tests {
         }
         assert_eq!(buckets.last().unwrap().1, 5);
         assert!(buckets.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn bins_cover_every_sample_in_order() {
+        let mut h = Histogram::new();
+        for v in [3u64, 3, 40, 100, 1000] {
+            h.record(v);
+        }
+        let bins = h.bins();
+        assert_eq!(bins.iter().map(|&(_, c)| c).sum::<u64>(), h.count());
+        assert!(bins.windows(2).all(|w| w[0].0 < w[1].0), "{bins:?}");
+        // Small values land in the exact linear region.
+        assert!(bins.contains(&(3, 2)), "{bins:?}");
+        // Every representative is within one sub-bucket of a real sample.
+        for &(v, _) in &bins {
+            assert!(
+                [3u64, 40, 100, 1000]
+                    .iter()
+                    .any(|&s| v <= s && (s - v) as f64 <= s as f64 / 32.0 + 1.0),
+                "bin {v} far from all samples"
+            );
+        }
+        assert!(Histogram::new().bins().is_empty());
     }
 
     #[test]

@@ -35,6 +35,12 @@
 //!   events plus a registry snapshot;
 //! * [`critical`] — per-batch critical-path attribution of doorbell→retire
 //!   latency to the five protocol stages;
+//! * [`attribution`] — queue-delay decomposition of mean and p99
+//!   doorbell→retire latency into doorbell-wait / dispatch / lane-wait /
+//!   SSD-service / retire components;
+//! * [`stats`] — Mann-Whitney U change detection and seeded bootstrap
+//!   confidence intervals over histogram bins, the substrate of the bench
+//!   perf-regression gate;
 //! * [`Observability`] — the bundle (`registry` + `sink` + `recorder` +
 //!   `postmortem` + deadline) a CAM attachment records into.
 //!
@@ -45,6 +51,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod attribution;
 pub mod clock;
 mod control;
 pub mod critical;
@@ -57,6 +64,7 @@ mod registry;
 mod shared;
 mod sink;
 mod span;
+pub mod stats;
 pub mod trace;
 mod window;
 

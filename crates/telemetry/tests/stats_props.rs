@@ -1,0 +1,122 @@
+//! Property tests of the change-detection statistics behind the
+//! perf-regression gate: Mann-Whitney U over histogram bins and the seeded
+//! percentile-bootstrap quantile CI. The gate's soundness rests on a few
+//! algebraic identities (tie symmetry, U partition, determinism) that unit
+//! tests only spot-check; here they must hold for arbitrary samples.
+
+use cam_telemetry::stats::{binned_mean, binned_quantile, bootstrap_quantile_ci, mann_whitney};
+use cam_telemetry::Histogram;
+use proptest::prelude::*;
+
+/// Bin a raw sample the way the trajectory runner does: through the
+/// log-linear histogram, so ties and bucket quantization are realistic.
+fn bins_of(values: &[u64]) -> Vec<(u64, u64)> {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.bins()
+}
+
+proptest! {
+    /// A sample compared against itself carries no evidence: z is exactly
+    /// the tie-corrected null (0), and U sits at its mean n²/2.
+    #[test]
+    fn identical_samples_are_null(
+        values in proptest::collection::vec(1u64..10_000_000, 1..300),
+    ) {
+        let bins = bins_of(&values);
+        let m = mann_whitney(&bins, &bins).unwrap();
+        prop_assert_eq!(m.n_baseline, values.len() as u64);
+        prop_assert_eq!(m.n_current, values.len() as u64);
+        prop_assert!(m.z.abs() < 1e-9, "z = {}", m.z);
+        let mean = (m.n_baseline * m.n_current) as f64 / 2.0;
+        prop_assert!((m.u_current - mean).abs() < 1e-6);
+    }
+
+    /// Swapping baseline and current mirrors the verdict: z flips sign and
+    /// the two U statistics partition the n1·n2 comparison pairs.
+    #[test]
+    fn comparison_is_antisymmetric(
+        a in proptest::collection::vec(1u64..1_000_000, 1..200),
+        b in proptest::collection::vec(1u64..1_000_000, 1..200),
+    ) {
+        let (ba, bb) = (bins_of(&a), bins_of(&b));
+        let fwd = mann_whitney(&ba, &bb).unwrap();
+        let rev = mann_whitney(&bb, &ba).unwrap();
+        prop_assert!((fwd.z + rev.z).abs() < 1e-6, "{} vs {}", fwd.z, rev.z);
+        let n1n2 = (fwd.n_baseline * fwd.n_current) as f64;
+        prop_assert!((fwd.u_current + rev.u_current - n1n2).abs() < 1e-6);
+        // At most one direction can be significant.
+        prop_assert!(!(fwd.slower_than_baseline(2.0) && rev.slower_than_baseline(2.0)));
+    }
+
+    /// Complete separation — every current sample strictly above every
+    /// baseline sample — drives U to its maximum n1·n2 with positive z:
+    /// the strongest possible "slower" verdict.
+    #[test]
+    fn complete_separation_maximizes_u(
+        base in proptest::collection::vec(1u64..1_000, 2..100),
+        cur in proptest::collection::vec(1_000_000u64..2_000_000, 2..100),
+    ) {
+        let (bb, bc) = (bins_of(&base), bins_of(&cur));
+        let m = mann_whitney(&bb, &bc).unwrap();
+        let n1n2 = (m.n_baseline * m.n_current) as f64;
+        prop_assert!((m.u_current - n1n2).abs() < 1e-9, "U = {}", m.u_current);
+        prop_assert!(m.z > 0.0);
+    }
+
+    /// The bootstrap CI brackets its point estimate, stays inside the
+    /// sample's support, and is bit-reproducible under the same seed —
+    /// the property that makes committed baselines meaningful in CI.
+    #[test]
+    fn bootstrap_ci_is_bracketed_and_deterministic(
+        values in proptest::collection::vec(1u64..10_000_000, 1..300),
+        q in 0.01f64..0.99,
+        seed in 0u64..u64::MAX,
+    ) {
+        let bins = bins_of(&values);
+        let ci = bootstrap_quantile_ci(&bins, q, 100, 0.05, seed).unwrap();
+        prop_assert!(ci.lo <= ci.point && ci.point <= ci.hi, "{ci:?}");
+        prop_assert_eq!(ci.point, binned_quantile(&bins, q));
+        let (first, last) = (bins.first().unwrap().0, bins.last().unwrap().0);
+        prop_assert!(ci.lo >= first && ci.hi <= last, "{ci:?} outside [{first}, {last}]");
+        let again = bootstrap_quantile_ci(&bins, q, 100, 0.05, seed).unwrap();
+        prop_assert_eq!(ci, again, "same seed must reproduce the interval");
+    }
+
+    /// A single-bucket sample has zero sampling variability: the CI
+    /// collapses onto the point estimate for any quantile and seed.
+    #[test]
+    fn degenerate_sample_gives_zero_width_ci(
+        v in 1u64..1_000_000,
+        n in 1u64..500,
+        seed in 0u64..u64::MAX,
+    ) {
+        let bins = vec![(v, n)];
+        let ci = bootstrap_quantile_ci(&bins, 0.5, 50, 0.05, seed).unwrap();
+        prop_assert_eq!((ci.lo, ci.point, ci.hi), (v, v, v));
+        prop_assert!(!ci.excludes(v));
+        prop_assert!(ci.excludes(v + 1) && ci.excludes(v - 1));
+    }
+
+    /// Binned quantiles are monotone in q and bracketed by the sample's
+    /// support; the binned mean sits inside the same support.
+    #[test]
+    fn quantiles_monotone_mean_bracketed(
+        values in proptest::collection::vec(1u64..10_000_000, 1..300),
+    ) {
+        let bins = bins_of(&values);
+        let qs: Vec<u64> = [0.0, 0.25, 0.5, 0.75, 0.99, 1.0]
+            .iter()
+            .map(|&q| binned_quantile(&bins, q))
+            .collect();
+        for pair in qs.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "not monotone: {qs:?}");
+        }
+        let (first, last) = (bins.first().unwrap().0, bins.last().unwrap().0);
+        prop_assert!(qs[0] >= first && *qs.last().unwrap() <= last);
+        let mean = binned_mean(&bins);
+        prop_assert!(mean >= first as f64 && mean <= last as f64, "mean {mean}");
+    }
+}
