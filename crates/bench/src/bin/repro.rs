@@ -22,11 +22,17 @@
 //! the simulated SSDs.
 //!
 //! `repro watch` drives a fault-injected workload through a fully observed
-//! engine and renders a live per-lane / per-channel snapshot table every
-//! few hundred milliseconds (rolling-window retries, latency quantiles,
-//! SLO burn rates, lane health). `repro watch --once` renders a single
-//! end-of-run snapshot and writes `health_snapshot.json` — for scripting
-//! and CI smoke.
+//! engine and renders a live per-lane / per-channel / per-tenant snapshot
+//! table every few hundred milliseconds (rolling-window retries, latency
+//! quantiles, SLO burn rates, lane health, tenant hit rates). `repro
+//! watch --once` renders a single end-of-run snapshot and writes
+//! `health_snapshot.json` — for scripting and CI smoke.
+//!
+//! `repro serve` runs the multi-tenant KV-cache serving experiment
+//! (`docs/SERVING.md`): a 1050-session 4-tenant scale run on the DES
+//! driver, a hot-tenant skew run under both DRR and FIFO (the fairness
+//! comparison), and a threaded smoke — writing the `"serving"` section of
+//! `BENCH_repro.json`.
 //!
 //! `repro bench --check` runs the seeded DES perf trajectory and gates it
 //! against the committed baseline (`bench/baselines/trajectory.json`,

@@ -50,77 +50,94 @@ impl BenchParams {
 pub type Generator = fn(&BenchParams) -> Vec<Table>;
 
 /// Every experiment, in paper order: `(id, description, generator)`.
+///
+/// The single source of truth for the CLI verb list — `registry()`, the
+/// `repro` usage text, and the coverage test all derive from this const,
+/// so a new verb registers in exactly one place.
+pub static EXPERIMENTS: &[(&str, &str, Generator)] = &[
+    ("tab1", "Architectural design comparison", tab1),
+    ("fig1", "GIDS GNN training time breakdown (Paper100M)", fig1),
+    (
+        "fig2",
+        "4KB random I/O throughput of software I/O stacks",
+        fig2,
+    ),
+    (
+        "fig3",
+        "Read/write I/O time breakdown of software I/O stacks",
+        fig3,
+    ),
+    (
+        "fig4",
+        "A100 SM utilization for BaM to saturate N SSDs",
+        fig4,
+    ),
+    ("tab3", "Experimental platform", tab3),
+    ("tab4", "Real-world datasets", tab4),
+    ("tab5", "GNN experiment configuration", tab5),
+    ("fig8", "I/O throughput: CAM vs BaM, SPDK, POSIX", fig8),
+    ("fig9", "GNN training epoch time: CAM vs GIDS", fig9),
+    ("fig10", "Sort and GEMM end-to-end comparison", fig10),
+    ("tab6", "Lines of code in real-world applications", tab6),
+    ("fig11", "CAM-Sync vs CAM-Async vs SPDK (sort)", fig11),
+    ("fig12", "One CPU thread controlling multiple SSDs", fig12),
+    ("fig13", "CPU instructions/cycles per request", fig13),
+    (
+        "fig14",
+        "CPU memory bandwidth usage vs SSD bandwidth",
+        fig14,
+    ),
+    ("fig15", "Throughput at 2 vs 16 memory channels", fig15),
+    (
+        "fig16",
+        "SPDK staging throughput vs access granularity",
+        fig16,
+    ),
+    (
+        "issue2",
+        "ANNS: cudaMemcpyAsync share of staged-path time",
+        issue2,
+    ),
+    (
+        "motiv",
+        "Section II motivation: DLRM / LLM-offload baselines",
+        motiv,
+    ),
+    (
+        "bench",
+        "Functional-engine telemetry benchmark (writes BENCH_repro.json)",
+        bench,
+    ),
+    (
+        "cache",
+        "GPU-memory block cache: hit rate / NVMe-submission sweep (writes cache_trace.json)",
+        cache,
+    ),
+    (
+        "fidelity",
+        "Model fidelity: DES driver vs functional driver on a matched workload (writes fidelity_trace.json)",
+        fidelity,
+    ),
+    (
+        "attribute",
+        "Queue-delay attribution: doorbell->retire decomposition, threaded and DES drivers",
+        attribute,
+    ),
+    (
+        "serve",
+        "Multi-tenant KV-cache serving: admission, DRR fairness, per-tenant SLO (writes the serving section of BENCH_repro.json)",
+        serve,
+    ),
+];
+
+/// Every experiment, in paper order (a `Vec` view of [`EXPERIMENTS`] for
+/// callers that iterate by value).
 pub fn registry() -> Vec<(&'static str, &'static str, Generator)> {
-    vec![
-        ("tab1", "Architectural design comparison", tab1),
-        ("fig1", "GIDS GNN training time breakdown (Paper100M)", fig1),
-        (
-            "fig2",
-            "4KB random I/O throughput of software I/O stacks",
-            fig2,
-        ),
-        (
-            "fig3",
-            "Read/write I/O time breakdown of software I/O stacks",
-            fig3,
-        ),
-        (
-            "fig4",
-            "A100 SM utilization for BaM to saturate N SSDs",
-            fig4,
-        ),
-        ("tab3", "Experimental platform", tab3),
-        ("tab4", "Real-world datasets", tab4),
-        ("tab5", "GNN experiment configuration", tab5),
-        ("fig8", "I/O throughput: CAM vs BaM, SPDK, POSIX", fig8),
-        ("fig9", "GNN training epoch time: CAM vs GIDS", fig9),
-        ("fig10", "Sort and GEMM end-to-end comparison", fig10),
-        ("tab6", "Lines of code in real-world applications", tab6),
-        ("fig11", "CAM-Sync vs CAM-Async vs SPDK (sort)", fig11),
-        ("fig12", "One CPU thread controlling multiple SSDs", fig12),
-        ("fig13", "CPU instructions/cycles per request", fig13),
-        (
-            "fig14",
-            "CPU memory bandwidth usage vs SSD bandwidth",
-            fig14,
-        ),
-        ("fig15", "Throughput at 2 vs 16 memory channels", fig15),
-        (
-            "fig16",
-            "SPDK staging throughput vs access granularity",
-            fig16,
-        ),
-        (
-            "issue2",
-            "ANNS: cudaMemcpyAsync share of staged-path time",
-            issue2,
-        ),
-        (
-            "motiv",
-            "Section II motivation: DLRM / LLM-offload baselines",
-            motiv,
-        ),
-        (
-            "bench",
-            "Functional-engine telemetry benchmark (writes BENCH_repro.json)",
-            bench,
-        ),
-        (
-            "cache",
-            "GPU-memory block cache: hit rate / NVMe-submission sweep (writes cache_trace.json)",
-            cache,
-        ),
-        (
-            "fidelity",
-            "Model fidelity: DES driver vs functional driver on a matched workload (writes fidelity_trace.json)",
-            fidelity,
-        ),
-        (
-            "attribute",
-            "Queue-delay attribution: doorbell->retire decomposition, threaded and DES drivers",
-            attribute,
-        ),
-    ]
+    EXPERIMENTS.to_vec()
+}
+
+fn serve(p: &BenchParams) -> Vec<Table> {
+    crate::serving_run::serve(p)
 }
 
 fn tab1(_p: &BenchParams) -> Vec<Table> {
@@ -1114,34 +1131,21 @@ mod tests {
 
     #[test]
     fn registry_covers_every_table_and_figure() {
-        let ids: Vec<&str> = registry().iter().map(|(id, _, _)| *id).collect();
-        for want in [
-            "tab1",
-            "fig1",
-            "fig2",
-            "fig3",
-            "fig4",
-            "tab3",
-            "tab4",
-            "tab5",
-            "fig8",
-            "fig9",
-            "fig10",
-            "tab6",
-            "fig11",
-            "fig12",
-            "fig13",
-            "fig14",
-            "fig15",
-            "fig16",
-            "issue2",
-            "motiv",
-            "bench",
-            "cache",
-            "fidelity",
-            "attribute",
-        ] {
+        // `EXPERIMENTS` is the single source of truth for the CLI verb list;
+        // this test guards its invariants rather than mirroring its contents.
+        let ids: Vec<&str> = EXPERIMENTS.iter().map(|(id, _, _)| *id).collect();
+        let mut unique = ids.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), ids.len(), "duplicate experiment ids: {ids:?}");
+        // The paper's core evaluation plus every repo-grown experiment must
+        // register exactly once, including the serving front-end verb.
+        assert!(ids.len() >= 25, "registry shrank: {ids:?}");
+        for want in ["tab1", "fig8", "bench", "attribute", "serve"] {
             assert!(ids.contains(&want), "missing {want}");
+        }
+        for (id, desc, _) in EXPERIMENTS {
+            assert!(!desc.is_empty(), "experiment {id} has no description");
         }
     }
 

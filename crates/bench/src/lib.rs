@@ -20,6 +20,7 @@ pub mod fidelity_run;
 pub mod figures;
 pub mod health_run;
 pub mod pipeline_run;
+pub mod serving_run;
 mod table;
 pub mod telemetry_run;
 pub mod trajectory_run;

@@ -729,6 +729,30 @@ pub fn merge_bench_json(prev: Option<&str>, fresh: &str, entry: &str) -> String 
     out
 }
 
+/// Replaces (or inserts) one top-level section of `BENCH_repro.json`,
+/// preserving every other section — including the `trajectory` array —
+/// verbatim. Experiments that own a single section (e.g. `"serving"`)
+/// use this instead of [`merge_bench_json`] so they never fabricate a
+/// trajectory entry.
+pub fn merge_section(prev: Option<&str>, key: &str, value: &str) -> String {
+    let mut sections = prev.and_then(split_top_level).unwrap_or_default();
+    match sections.iter_mut().find(|(k, _)| k == key) {
+        Some((_, v)) => *v = value.to_string(),
+        None => sections.push((key.to_string(), value.to_string())),
+    }
+    let mut out = String::with_capacity(value.len() + 256);
+    out.push_str("{\n");
+    let mut first = true;
+    for (k, v) in &sections {
+        if !std::mem::take(&mut first) {
+            out.push_str(",\n");
+        }
+        let _ = write!(out, "  \"{k}\": {v}");
+    }
+    out.push_str("\n}\n");
+    out
+}
+
 /// Best-effort commit id for trajectory entries: `git rev-parse` in the
 /// current directory, then `GITHUB_SHA`, then `"unknown"`.
 pub fn current_git_sha() -> String {
@@ -853,6 +877,27 @@ mod tests {
                 .map(<[Json]>::len),
             Some(2)
         );
+    }
+
+    #[test]
+    fn merge_section_replaces_only_its_key() {
+        let prev = r#"{"run": {"old": 1}, "trajectory": [{"seed": 1}], "serving": {"v": 0}}"#;
+        let merged = merge_section(Some(prev), "serving", r#"{"v": 1}"#);
+        let sections = split_top_level(&merged).expect("merged splits");
+        let get = |k: &str| {
+            sections
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.as_str())
+        };
+        assert_eq!(get("serving"), Some(r#"{"v": 1}"#));
+        assert_eq!(get("run"), Some(r#"{"old": 1}"#));
+        // Unlike merge_bench_json, the trajectory array is untouched.
+        assert_eq!(get("trajectory"), Some(r#"[{"seed": 1}]"#));
+        assert!(parse_json(&merged).is_ok(), "merged output parses");
+        // Absent key (or no prior file) inserts.
+        let fresh = merge_section(None, "serving", "{}");
+        assert_eq!(fresh.trim(), "{\n  \"serving\": {}\n}");
     }
 
     #[test]

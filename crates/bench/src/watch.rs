@@ -17,10 +17,13 @@ use std::time::Duration;
 use cam_blockdev::{BlockGeometry, BlockStore, FaultPolicy, FaultyStore, SparseMemStore};
 use cam_core::{CamConfig, CamContext, ChannelOp};
 use cam_iostacks::{Rig, RigConfig};
+use cam_serving::{run_serving_threaded, Policy, ServingConfig, ServingCore};
 use cam_telemetry::{
     clock, health_state_label, FlightRecorder, MetricsRegistry, Observability, OpsWindows,
     SloConfig, SloTracker, WindowConfig,
 };
+use cam_workloads::kv_cache::KvCacheConfig;
+use parking_lot::Mutex;
 
 use crate::Table;
 
@@ -29,6 +32,8 @@ const N_CHANNELS: usize = 2;
 const BLOCK_SIZE: u32 = 4096;
 const BATCH_REQS: u64 = 32;
 const ROUNDS: usize = 24;
+/// Tenants in the serving smoke that feeds the per-tenant table.
+const SERVE_TENANTS: usize = 3;
 /// Per-thread flight-recorder ring: small enough that a watch run
 /// exercises the drop accounting (`cam_trace_dropped_total`).
 const RING_CAPACITY: usize = 512;
@@ -43,10 +48,31 @@ pub struct WatchReport {
     pub frames: u64,
 }
 
+/// A short multi-tenant serving run on the threaded driver; its registry
+/// (tenant-labeled burn / latency / hit-rate gauges) feeds the watch
+/// view's per-tenant table. Kept on its own registry so the serving
+/// engine's lane gauges never clobber the fault workload's.
+fn run_serving_smoke() -> Arc<MetricsRegistry> {
+    let mut wl = KvCacheConfig::uniform(SERVE_TENANTS, 4, 24);
+    wl.seed = 0x005e_5511;
+    let mut cfg = ServingConfig::for_workload(wl, Policy::Drr);
+    // GPU budget below even one session's full extent, so the demand
+    // channel pages and hit rates are meaningfully below 1.
+    cfg.gpu_budget_blocks = cfg.workload.session_blocks / 2;
+    cfg.max_batch_blocks = 32;
+    let registry = Arc::new(MetricsRegistry::new());
+    let core = Arc::new(Mutex::new(ServingCore::new(cfg, Some(&registry))));
+    let _ = run_serving_threaded(core, N_SSDS, Some(Arc::clone(&registry)));
+    registry
+}
+
 /// Runs the watch workload; `emit` receives each rendered frame (live
 /// mode renders every ~200 ms until the workload drains; `--once` renders
 /// only the final frame).
 pub fn run_watch(once: bool, mut emit: impl FnMut(&str)) -> WatchReport {
+    // The serving smoke runs first: its end-of-run gauges hold steady, so
+    // every frame (live and final) carries the per-tenant rows.
+    let tenant_reg = run_serving_smoke();
     let rig_cfg = RigConfig {
         n_ssds: N_SSDS,
         blocks_per_ssd: 4096,
@@ -125,7 +151,7 @@ pub fn run_watch(once: bool, mut emit: impl FnMut(&str)) -> WatchReport {
         }
         if !once {
             while !done.load(Ordering::Acquire) {
-                emit(&render(&registry, &windows, &slo));
+                emit(&render(&registry, &windows, &slo, &tenant_reg));
                 frames += 1;
                 std::thread::sleep(Duration::from_millis(200));
             }
@@ -134,19 +160,44 @@ pub fn run_watch(once: bool, mut emit: impl FnMut(&str)) -> WatchReport {
     // Stopping the engine drains the lanes, so the final frame shows
     // `recovered` rather than a stuck `overloaded`.
     drop(cam);
-    let rendered = render(&registry, &windows, &slo);
+    let rendered = render(&registry, &windows, &slo, &tenant_reg);
     emit(&rendered);
     frames += 1;
     WatchReport {
-        snapshot_json: snapshot_json(&registry, &windows, &slo),
+        snapshot_json: snapshot_json(&registry, &windows, &slo, &tenant_reg),
         rendered,
         frames,
     }
 }
 
-/// Renders one per-lane / per-channel snapshot from the live registry and
-/// the rolling windows at the current telemetry timestamp.
-pub fn render(registry: &MetricsRegistry, windows: &OpsWindows, slo: &SloTracker) -> String {
+/// Reads one tenant's gauge/counter row out of the serving registry.
+/// Returns `(burn, p50_ns, p99_ns, hit_rate, admitted, throttled,
+/// completed)`.
+fn tenant_row(
+    snap: &cam_telemetry::MetricsSnapshot,
+    tenant: usize,
+) -> (f64, u64, u64, f64, u64, u64, u64) {
+    let g = |name: &str| snap.gauge(&format!("{name}{{tenant=\"{tenant}\"}}"));
+    let c = |name: &str| snap.counter(&format!("{name}{{tenant=\"{tenant}\"}}"));
+    (
+        g("cam_slo_burn_rate") as f64 / 1000.0,
+        g("cam_tenant_latency_p50_ns"),
+        g("cam_tenant_latency_p99_ns"),
+        g("cam_tenant_hit_rate_milli") as f64 / 1000.0,
+        c("cam_tenant_admitted_total"),
+        c("cam_tenant_throttled_total"),
+        c("cam_tenant_completed_total"),
+    )
+}
+
+/// Renders one per-lane / per-channel / per-tenant snapshot from the live
+/// registries and the rolling windows at the current telemetry timestamp.
+pub fn render(
+    registry: &MetricsRegistry,
+    windows: &OpsWindows,
+    slo: &SloTracker,
+    tenant_reg: &MetricsRegistry,
+) -> String {
     let now = clock::now_ns();
     let snap = registry.snapshot();
     let mut lanes = Table::new(
@@ -196,15 +247,47 @@ pub fn render(registry: &MetricsRegistry, windows: &OpsWindows, slo: &SloTracker
             windows.channel_batch[ch].quantile_at(now, 0.99).to_string(),
         ]);
     }
+    let mut tenants = Table::new(
+        "tenants (rolling window)",
+        &[
+            "tenant",
+            "burn",
+            "p50 (ns)",
+            "p99 (ns)",
+            "hit rate",
+            "admitted",
+            "throttled",
+            "done",
+        ],
+    );
+    let tsnap = tenant_reg.snapshot();
+    for tenant in 0..SERVE_TENANTS {
+        let (burn, p50, p99, hit, admitted, throttled, completed) = tenant_row(&tsnap, tenant);
+        tenants.row(vec![
+            tenant.to_string(),
+            format!("{burn:.2}"),
+            p50.to_string(),
+            p99.to_string(),
+            format!("{:.1}%", hit * 100.0),
+            admitted.to_string(),
+            throttled.to_string(),
+            completed.to_string(),
+        ]);
+    }
     format!(
-        "{lanes}\n{channels}\ntrace events dropped: {}\n",
+        "{lanes}\n{channels}\n{tenants}\ntrace events dropped: {}\n",
         snap.counter("cam_trace_dropped_total")
     )
 }
 
-/// The `health_snapshot.json` payload: the same per-lane / per-channel
-/// view, machine-readable.
-pub fn snapshot_json(registry: &MetricsRegistry, windows: &OpsWindows, slo: &SloTracker) -> String {
+/// The `health_snapshot.json` payload: the same per-lane / per-channel /
+/// per-tenant view, machine-readable.
+pub fn snapshot_json(
+    registry: &MetricsRegistry,
+    windows: &OpsWindows,
+    slo: &SloTracker,
+    tenant_reg: &MetricsRegistry,
+) -> String {
     let now = clock::now_ns();
     let snap = registry.snapshot();
     let mut out = String::with_capacity(1024);
@@ -244,6 +327,22 @@ pub fn snapshot_json(registry: &MetricsRegistry, windows: &OpsWindows, slo: &Slo
             "\n"
         });
     }
+    out.push_str("  ],\n  \"tenants\": [\n");
+    let tsnap = tenant_reg.snapshot();
+    for tenant in 0..SERVE_TENANTS {
+        let (burn, p50, p99, hit, admitted, throttled, completed) = tenant_row(&tsnap, tenant);
+        let _ = write!(
+            out,
+            "    {{\"tenant\": {tenant}, \"burn_rate\": {burn:.2}, \"p50_ns\": {p50}, \
+             \"p99_ns\": {p99}, \"hit_rate\": {hit:.3}, \"admitted\": {admitted}, \
+             \"throttled\": {throttled}, \"completed\": {completed}}}"
+        );
+        out.push_str(if tenant + 1 < SERVE_TENANTS {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
     let _ = write!(
         out,
         "  ],\n  \"trace_dropped\": {}\n}}\n",
@@ -270,6 +369,7 @@ mod tests {
             report.rendered
         );
         assert!(report.rendered.contains("healthy"));
+        assert!(report.rendered.contains("tenants (rolling window)"));
         assert!(report.rendered.contains("trace events dropped:"));
         let json = &report.snapshot_json;
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -279,9 +379,25 @@ mod tests {
             "\"health\": \"recovered\"",
             "\"health\": \"healthy\"",
             "\"burn_short\"",
+            "\"tenants\"",
+            "\"hit_rate\"",
             "\"trace_dropped\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // The serving smoke retired real multi-tenant traffic: every
+        // tenant row reports completions and a sub-unity hit rate.
+        let parsed = cam_telemetry::trace::parse_json(json).expect("snapshot json");
+        let tenants = parsed
+            .get("tenants")
+            .and_then(cam_telemetry::trace::Json::as_arr)
+            .expect("tenants array");
+        assert_eq!(tenants.len(), SERVE_TENANTS);
+        for t in tenants {
+            let completed = t.get("completed").and_then(|v| v.as_f64()).unwrap();
+            assert!(completed > 0.0, "tenant retired no traffic: {json}");
+            let hit = t.get("hit_rate").and_then(|v| v.as_f64()).unwrap();
+            assert!((0.0..1.0).contains(&hit), "degenerate hit rate: {json}");
         }
     }
 }

@@ -43,7 +43,9 @@ pub struct CamDesConfig {
     pub block_size: u32,
     /// Blocks per stripe unit.
     pub stripe_blocks: u64,
-    /// Operation every batch carries.
+    /// Operation every batch of a fixed [`run_cam_des`] workload carries.
+    /// Ignored by [`run_cam_des_source`], where each batch brings its own
+    /// op from the [`DesBatchSource`].
     pub op: ChannelOp,
     /// Worker threads modelled (one CPU submit pipe each); SSD `s` belongs
     /// to worker `s % threads`, as in the threaded driver's routing.
@@ -142,6 +144,57 @@ pub struct CamDesBatch {
     pub blocks: u32,
 }
 
+/// A dynamic batch feed for [`run_cam_des_source`]: instead of fixed
+/// per-channel queues, the source decides each channel's next batch (and
+/// the NVMe op it carries) at the moment the channel frees, on the virtual
+/// timeline. This is what lets a closed-loop layer above the protocol — a
+/// fair scheduler, an admission controller — make decisions that depend on
+/// completions, while the driver keeps the paper's single-outstanding-batch
+/// channel semantics.
+pub trait DesBatchSource {
+    /// The next batch for `channel` at virtual instant `now_ns`, with its
+    /// op. `None` leaves the channel idle; the driver re-polls after every
+    /// retirement and at [`DesBatchSource::next_ready_ns`]. Returned
+    /// batches must be non-empty.
+    fn next_batch(&mut self, channel: usize, now_ns: u64) -> Option<(CamDesBatch, ChannelOp)>;
+
+    /// A batch previously returned for `channel` retired at `now_ns` with
+    /// `errors` failed commands.
+    fn on_retire(&mut self, channel: usize, now_ns: u64, errors: u64) {
+        let _ = (channel, now_ns, errors);
+    }
+
+    /// Earliest future instant at which new work may appear even if no
+    /// retirement happens first (e.g. a token bucket refilling). The driver
+    /// arms a calendar timer there whenever a channel is idle. `None`
+    /// means only retirements can unblock the source.
+    fn next_ready_ns(&mut self, now_ns: u64) -> Option<u64> {
+        let _ = now_ns;
+        None
+    }
+
+    /// Whether the source has no queued, gated, or in-flight work left.
+    /// The run asserts this after the calendar drains.
+    fn is_drained(&self) -> bool;
+}
+
+/// The fixed-workload source behind [`run_cam_des`]: one pre-built queue
+/// per channel, every batch carrying the configured op.
+struct StaticSource {
+    queues: Vec<VecDeque<CamDesBatch>>,
+    op: ChannelOp,
+}
+
+impl DesBatchSource for StaticSource {
+    fn next_batch(&mut self, channel: usize, _now_ns: u64) -> Option<(CamDesBatch, ChannelOp)> {
+        self.queues[channel].pop_front().map(|b| (b, self.op))
+    }
+
+    fn is_drained(&self) -> bool {
+        self.queues.iter().all(VecDeque::is_empty)
+    }
+}
+
 /// Outcome of a DES CAM run.
 #[derive(Clone, Debug)]
 pub struct CamDesReport {
@@ -186,7 +239,14 @@ struct DesWorld {
     cpus: Vec<Pipe>,
     ssds: Vec<DesSsd>,
     host: Pipe,
-    channels: Vec<VecDeque<CamDesBatch>>,
+    source: Box<dyn DesBatchSource>,
+    n_channels: usize,
+    /// Per-channel single-outstanding-batch latch: `true` from publish to
+    /// retire.
+    channel_busy: Vec<bool>,
+    /// Armed source wakeup instant (0 = none) — dedupes calendar timers
+    /// for admission-gated work while every channel is idle.
+    source_timer_ns: u64,
     seqs: Vec<u64>,
     /// Reused command buffer (taken/restored around protocol calls).
     scratch: Vec<Command>,
@@ -219,15 +279,24 @@ fn now_ns(sim: &Sim<DesWorld>, w: &DesWorld) -> u64 {
     w.clock.now_ns()
 }
 
-/// Publishes the channel's next batch, if any: plan it, open its
-/// [`BatchCore`], and deliver its per-SSD groups to their workers.
+/// Publishes the channel's next batch, if any: pull it from the source,
+/// plan it, open its [`BatchCore`], and deliver its per-SSD groups to
+/// their workers.
 fn publish_next(sim: &mut Sim<DesWorld>, w: &mut DesWorld, ch: usize) {
-    let Some(batch) = w.channels[ch].pop_front() else {
+    if w.channel_busy[ch] {
+        return;
+    }
+    let now = now_ns(sim, w);
+    let Some((batch, op)) = w.source.next_batch(ch, now) else {
         return;
     };
+    assert!(
+        !batch.lbas.is_empty(),
+        "published batches must be non-empty"
+    );
+    w.channel_busy[ch] = true;
     w.seqs[ch] += 1;
     let seq = w.seqs[ch];
-    let now = now_ns(sim, w);
     let bytes_per_req = u64::from(batch.blocks) * u64::from(w.cfg.block_size);
     let reqs: Vec<(u64, u64)> = batch
         .lbas
@@ -236,7 +305,7 @@ fn publish_next(sim: &mut Sim<DesWorld>, w: &mut DesWorld, ch: usize) {
         .map(|(i, &lba)| (lba, i as u64 * bytes_per_req))
         .collect();
     let n_requests = reqs.len() as u32;
-    let plan = plan_batch(&w.plan, w.cfg.op, batch.blocks, reqs);
+    let plan = plan_batch(&w.plan, op, batch.blocks, reqs);
     w.decisions.record_plan(&plan);
     if w.obs.lifecycle {
         // Doorbell and pickup coincide in virtual time: the DES has no
@@ -244,7 +313,7 @@ fn publish_next(sim: &mut Sim<DesWorld>, w: &mut DesWorld, ch: usize) {
         sim.emit(EventKind::BatchDoorbell {
             channel: ch as u16,
             seq,
-            op: op_index(w.cfg.op) as u8,
+            op: op_index(op) as u8,
             requests: n_requests,
         });
         sim.emit(EventKind::BatchPickup {
@@ -255,7 +324,7 @@ fn publish_next(sim: &mut Sim<DesWorld>, w: &mut DesWorld, ch: usize) {
     let core = Arc::new(BatchCore {
         channel: ch,
         seq,
-        op: w.cfg.op,
+        op,
         remaining: AtomicUsize::new(plan.n_groups()),
         errors: AtomicU64::new(0),
         requests: plan.requests,
@@ -278,6 +347,33 @@ fn publish_next(sim: &mut Sim<DesWorld>, w: &mut DesWorld, ch: usize) {
         };
         deliver(sim, w, wid, spec);
     }
+}
+
+/// Offers every idle channel to the source, then arms a wakeup at the
+/// source's next time-gated readiness instant so admission-throttled work
+/// makes progress even with nothing left on the calendar.
+fn publish_all_idle(sim: &mut Sim<DesWorld>, w: &mut DesWorld) {
+    for ch in 0..w.n_channels {
+        publish_next(sim, w, ch);
+    }
+    if w.channel_busy.iter().all(|&b| b) {
+        return; // a retirement is pending; it will re-poll the source
+    }
+    let now = now_ns(sim, w);
+    let Some(t) = w.source.next_ready_ns(now) else {
+        return;
+    };
+    let t = t.max(now + 1);
+    if w.source_timer_ns == t {
+        return;
+    }
+    w.source_timer_ns = t;
+    sim.schedule_at(Time::from_ns(t), move |sim, w| {
+        if w.source_timer_ns == t {
+            w.source_timer_ns = 0;
+        }
+        publish_all_idle(sim, w);
+    });
 }
 
 /// Hands a group to its worker — immediately when pipelined (or the worker
@@ -451,9 +547,14 @@ fn execute(sim: &mut Sim<DesWorld>, w: &mut DesWorld, wid: usize, out: &mut Vec<
                 if let Some(slo) = &w.obs.slo {
                     slo.record(batch.channel, total_ns, errors, complete_ns);
                 }
-                // Single-outstanding-batch channels: retirement publishes
-                // the channel's next batch (the closed loop of Fig. 7).
-                publish_next(sim, w, batch.channel);
+                // Single-outstanding-batch channels: retirement frees the
+                // channel and re-polls the source (the closed loop of
+                // Fig. 7). Every idle channel is offered, because a
+                // completion on one channel can unblock work on another
+                // (e.g. a read retiring admits a session's write-back).
+                w.channel_busy[batch.channel] = false;
+                w.source.on_retire(batch.channel, complete_ns, errors);
+                publish_all_idle(sim, w);
             }
         }
     }
@@ -562,8 +663,30 @@ pub fn run_cam_des_obs(
     recorder: Option<Arc<FlightRecorder>>,
     obs: CamDesObs,
 ) -> CamDesReport {
-    assert!(cfg.n_ssds >= 1 && cfg.threads >= 1 && cfg.queue_depth >= 1);
     assert!(!channels.is_empty(), "at least one channel");
+    let n_channels = channels.len();
+    let source = StaticSource {
+        queues: channels.into_iter().map(VecDeque::from).collect(),
+        op: cfg.op,
+    };
+    run_cam_des_source(cfg, n_channels, Box::new(source), recorder, obs)
+}
+
+/// Runs the CAM protocol layer over the DES timing models with a dynamic
+/// [`DesBatchSource`] feeding the channels (the serving front-end's entry
+/// point). `cfg.op` is ignored — each batch carries the op the source
+/// returns. The run ends when the calendar drains, and asserts the source
+/// reports itself drained (a source stalled with work left and no
+/// [`DesBatchSource::next_ready_ns`] wakeup is a scheduling bug).
+pub fn run_cam_des_source(
+    cfg: CamDesConfig,
+    n_channels: usize,
+    source: Box<dyn DesBatchSource>,
+    recorder: Option<Arc<FlightRecorder>>,
+    obs: CamDesObs,
+) -> CamDesReport {
+    assert!(cfg.n_ssds >= 1 && cfg.threads >= 1 && cfg.queue_depth >= 1);
+    assert!(n_channels >= 1, "at least one channel");
     let mut sim: Sim<DesWorld> = Sim::new();
     if let Some(rec) = recorder {
         sim.attach_recorder(rec);
@@ -574,7 +697,6 @@ pub fn run_cam_des_obs(
     let host = sim.new_pipe(cfg.host_gbps);
     let cpus: Vec<Pipe> = (0..cfg.threads).map(|_| sim.new_pipe(1.0)).collect();
     let retry = cfg.retry;
-    let n_channels = channels.len();
     let mut w = DesWorld {
         plan: PlanConfig {
             n_ssds: cfg.n_ssds,
@@ -588,7 +710,10 @@ pub fn run_cam_des_obs(
         cpus,
         ssds,
         host,
-        channels: channels.into_iter().map(VecDeque::from).collect(),
+        source,
+        n_channels,
+        channel_busy: vec![false; n_channels],
+        source_timer_ns: 0,
         seqs: vec![0; n_channels],
         scratch: Vec::new(),
         clock: VirtualClock::new(),
@@ -617,9 +742,7 @@ pub fn run_cam_des_obs(
         timer_armed: vec![0; cfg.threads],
         cfg,
     };
-    for ch in 0..n_channels {
-        publish_next(&mut sim, &mut w, ch);
-    }
+    publish_all_idle(&mut sim, &mut w);
     let end = sim.run(&mut w);
     let end_ns = end.as_ns();
     // End-of-calendar drain: every lane is quiesced, so degraded or
@@ -630,9 +753,10 @@ pub fn run_cam_des_obs(
             lane_transition(&sim, &mut w, t);
         }
     }
+    assert!(w.source.is_drained(), "every batch must publish");
     assert!(
-        w.channels.iter().all(VecDeque::is_empty),
-        "every batch must publish"
+        !w.channel_busy.iter().any(|&b| b),
+        "every published batch must retire"
     );
     assert!(
         w.cores.iter().all(WorkerCore::idle) && w.pending.iter().all(VecDeque::is_empty),
@@ -903,6 +1027,96 @@ mod tests {
             assert_eq!(cam_telemetry::health_state_label(s.code()), s.name());
         }
         assert_eq!(cam_telemetry::health_state_label(200), "unknown");
+    }
+
+    /// A closed-loop source: channel 0 reads, channel 1 writes, and the
+    /// write for round `k` is gated on round `k`'s read retiring — plus a
+    /// token-style time gate that only `next_ready_ns` can clear.
+    struct LoopSource {
+        rounds: u64,
+        published_reads: u64,
+        retired_reads: u64,
+        published_writes: u64,
+        /// Virtual instant before which nothing may publish.
+        gate_ns: u64,
+    }
+
+    impl DesBatchSource for LoopSource {
+        fn next_batch(&mut self, ch: usize, now_ns: u64) -> Option<(CamDesBatch, ChannelOp)> {
+            if now_ns < self.gate_ns {
+                return None;
+            }
+            match ch {
+                0 if self.published_reads < self.rounds => {
+                    let base = self.published_reads * 8;
+                    self.published_reads += 1;
+                    Some((seq_batch(base, 8), ChannelOp::Read))
+                }
+                1 if self.published_writes < self.retired_reads => {
+                    let base = 1024 + self.published_writes * 8;
+                    self.published_writes += 1;
+                    Some((seq_batch(base, 8), ChannelOp::Write))
+                }
+                _ => None,
+            }
+        }
+
+        fn on_retire(&mut self, ch: usize, _now_ns: u64, errors: u64) {
+            assert_eq!(errors, 0);
+            if ch == 0 {
+                self.retired_reads += 1;
+            }
+        }
+
+        fn next_ready_ns(&mut self, now_ns: u64) -> Option<u64> {
+            (now_ns < self.gate_ns).then_some(self.gate_ns)
+        }
+
+        fn is_drained(&self) -> bool {
+            self.published_reads == self.rounds && self.published_writes == self.rounds
+        }
+    }
+
+    #[test]
+    fn dynamic_source_drives_mixed_ops_through_a_time_gate() {
+        let rounds = 3u64;
+        let gate_ns = 5_000_000u64;
+        let r = run_cam_des_source(
+            cfg(2, true),
+            2,
+            Box::new(LoopSource {
+                rounds,
+                published_reads: 0,
+                retired_reads: 0,
+                published_writes: 0,
+                gate_ns,
+            }),
+            None,
+            CamDesObs::default(),
+        );
+        assert_eq!(r.batches, 2 * rounds, "reads plus gated write-backs");
+        assert_eq!(r.commands, 2 * rounds * 8);
+        assert!(
+            r.duration.as_ns() >= gate_ns,
+            "the armed source timer waited out the gate: {:?}",
+            r.duration
+        );
+        // Determinism: the dynamic path is as replayable as the static one.
+        let r2 = run_cam_des_source(
+            cfg(2, true),
+            2,
+            Box::new(LoopSource {
+                rounds,
+                published_reads: 0,
+                retired_reads: 0,
+                published_writes: 0,
+                gate_ns,
+            }),
+            None,
+            CamDesObs::default(),
+        );
+        assert_eq!(r2.duration.as_ns(), r.duration.as_ns());
+        assert_eq!(r2.decisions, r.decisions);
     }
 
     #[test]

@@ -1,0 +1,335 @@
+//! The session table: (tenant, session) → KV-block extents on the striped
+//! namespace, plus GPU-residency accounting.
+//!
+//! Every session owns one fixed-size extent of `session_blocks` array LBAs
+//! (bump-allocated, recycled through a free list). The KV cache grows
+//! append-only inside the extent; the GPU holds a *suffix* of each
+//! session's written blocks (the most recent context), and the table
+//! enforces a global GPU budget by evicting the least-recently-used
+//! unpinned session's residency — evicted context pages back in from SSD
+//! on the session's next decode step.
+//!
+//! Sessions with requests in flight are *pinned*: eviction skips them and
+//! [`SessionTable::close`] defers the actual free until the last unpin,
+//! so a retiring batch never touches a recycled extent.
+
+use std::collections::BTreeMap;
+
+/// Session-table shape.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionConfig {
+    /// Array LBAs per session extent (the per-session KV capacity).
+    pub session_blocks: u64,
+    /// Total array LBAs available for extents.
+    pub capacity_blocks: u64,
+    /// GPU KV-residency budget across all sessions, blocks.
+    pub gpu_budget_blocks: u64,
+}
+
+/// Key of a session: tenant id + tenant-local session id.
+pub type SessionKey = (usize, usize);
+
+#[derive(Debug)]
+struct Session {
+    /// First array LBA of the extent.
+    extent: u64,
+    /// Blocks written so far (≤ `session_blocks`).
+    written: u64,
+    /// GPU-resident suffix length: the last `resident` written blocks are
+    /// on the GPU and read for free.
+    resident: u64,
+    /// In-flight requests referencing this session.
+    pins: u32,
+    /// Close requested while pinned; freed at the last unpin.
+    closing: bool,
+    /// Last touch instant, the LRU eviction key.
+    last_use_ns: u64,
+}
+
+/// The table. Clock-agnostic: every mutation takes an explicit `now_ns`
+/// used only for LRU ordering.
+#[derive(Debug)]
+pub struct SessionTable {
+    cfg: SessionConfig,
+    /// Ordered map: eviction scans must be deterministic (LRU ties break
+    /// on the session key), so runs replay identically on both drivers.
+    sessions: BTreeMap<SessionKey, Session>,
+    free: Vec<u64>,
+    next_extent: u64,
+    resident_total: u64,
+    evictions: u64,
+}
+
+impl SessionTable {
+    /// An empty table.
+    pub fn new(cfg: SessionConfig) -> Self {
+        assert!(cfg.session_blocks > 0);
+        SessionTable {
+            cfg,
+            sessions: BTreeMap::new(),
+            free: Vec::new(),
+            next_extent: 0,
+            resident_total: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Opens `key` if it is not already open. Returns `true` on first open.
+    /// Panics when the namespace is out of extents — sizing the array is
+    /// the caller's contract, not a runtime condition.
+    pub fn ensure_open(&mut self, key: SessionKey, now_ns: u64) -> bool {
+        if self.sessions.contains_key(&key) {
+            self.touch(key, now_ns);
+            return false;
+        }
+        let extent = self.free.pop().unwrap_or_else(|| {
+            let e = self.next_extent;
+            assert!(
+                e + self.cfg.session_blocks <= self.cfg.capacity_blocks,
+                "session capacity exhausted: {} extents of {} blocks in {} total",
+                self.sessions.len(),
+                self.cfg.session_blocks,
+                self.cfg.capacity_blocks
+            );
+            self.next_extent = e + self.cfg.session_blocks;
+            e
+        });
+        self.sessions.insert(
+            key,
+            Session {
+                extent,
+                written: 0,
+                resident: 0,
+                pins: 0,
+                closing: false,
+                last_use_ns: now_ns,
+            },
+        );
+        true
+    }
+
+    fn get(&self, key: SessionKey) -> &Session {
+        self.sessions.get(&key).expect("session not open")
+    }
+
+    fn get_mut(&mut self, key: SessionKey) -> &mut Session {
+        self.sessions.get_mut(&key).expect("session not open")
+    }
+
+    /// Array LBA of the session's `block`-th KV block.
+    pub fn lba(&self, key: SessionKey, block: u64) -> u64 {
+        let s = self.get(key);
+        debug_assert!(block < self.cfg.session_blocks);
+        s.extent + block
+    }
+
+    /// Blocks the session has written.
+    pub fn written(&self, key: SessionKey) -> u64 {
+        self.get(key).written
+    }
+
+    /// GPU-resident suffix length of the session.
+    pub fn resident(&self, key: SessionKey) -> u64 {
+        self.get(key).resident
+    }
+
+    /// Appends `blocks` to the session (clamped to the extent size) and
+    /// extends the resident suffix by the same amount — freshly produced
+    /// KV blocks are born on the GPU. Returns the block indices appended.
+    pub fn append(&mut self, key: SessionKey, blocks: u64, now_ns: u64) -> std::ops::Range<u64> {
+        let limit = self.cfg.session_blocks;
+        let s = self.get_mut(key);
+        let start = s.written;
+        let end = (s.written + blocks).min(limit);
+        s.written = end;
+        let grow = (s.resident + (end - start)).min(end) - s.resident;
+        s.resident += grow;
+        s.last_use_ns = now_ns;
+        self.resident_total += grow;
+        self.enforce_budget(Some(key));
+        start..end
+    }
+
+    /// Raises the session's resident suffix to `target` blocks (clamped to
+    /// what is written), evicting other sessions if the GPU budget
+    /// overflows. Called when paged-in context lands on the GPU.
+    pub fn mark_resident(&mut self, key: SessionKey, target: u64, now_ns: u64) {
+        let s = self.get_mut(key);
+        let target = target.min(s.written);
+        if target > s.resident {
+            let grow = target - s.resident;
+            s.resident = target;
+            s.last_use_ns = now_ns;
+            self.resident_total += grow;
+            self.enforce_budget(Some(key));
+        } else {
+            s.last_use_ns = now_ns;
+        }
+    }
+
+    /// Evicts LRU unpinned sessions (other than `keep`) until the resident
+    /// total fits the GPU budget. An evicted session's context pages back
+    /// in from SSD on its next read.
+    fn enforce_budget(&mut self, keep: Option<SessionKey>) {
+        while self.resident_total > self.cfg.gpu_budget_blocks {
+            let victim = self
+                .sessions
+                .iter()
+                .filter(|(k, s)| s.resident > 0 && s.pins == 0 && Some(**k) != keep)
+                .min_by_key(|(k, s)| (s.last_use_ns, **k))
+                .map(|(k, _)| *k);
+            let Some(victim) = victim else {
+                // Everything left is pinned (or the protected session):
+                // transiently over budget until the in-flight work retires.
+                return;
+            };
+            let s = self.sessions.get_mut(&victim).expect("victim exists");
+            self.resident_total -= s.resident;
+            s.resident = 0;
+            self.evictions += 1;
+        }
+    }
+
+    /// Updates the session's LRU stamp.
+    pub fn touch(&mut self, key: SessionKey, now_ns: u64) {
+        self.get_mut(key).last_use_ns = now_ns;
+    }
+
+    /// Pins the session against eviction and close while a request holds
+    /// references to its extent.
+    pub fn pin(&mut self, key: SessionKey) {
+        self.get_mut(key).pins += 1;
+    }
+
+    /// Drops one pin; completes a deferred [`close`](Self::close) when the
+    /// last pin goes away.
+    pub fn unpin(&mut self, key: SessionKey) {
+        let s = self.get_mut(key);
+        assert!(s.pins > 0, "unpin without pin");
+        s.pins -= 1;
+        if s.pins == 0 && s.closing {
+            self.free_session(key);
+        }
+    }
+
+    /// Closes the session: frees its extent and residency now if unpinned,
+    /// or defers to the last [`unpin`](Self::unpin) while requests are in
+    /// flight.
+    pub fn close(&mut self, key: SessionKey) {
+        let Some(s) = self.sessions.get_mut(&key) else {
+            return;
+        };
+        if s.pins > 0 {
+            s.closing = true;
+        } else {
+            self.free_session(key);
+        }
+    }
+
+    fn free_session(&mut self, key: SessionKey) {
+        let s = self.sessions.remove(&key).expect("session open");
+        self.resident_total -= s.resident;
+        self.free.push(s.extent);
+    }
+
+    /// Whether the session is currently open.
+    pub fn is_open(&self, key: SessionKey) -> bool {
+        self.sessions.contains_key(&key)
+    }
+
+    /// Open sessions.
+    pub fn open_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// GPU-resident blocks across all sessions.
+    pub fn resident_total(&self) -> u64 {
+        self.resident_total
+    }
+
+    /// Residency evictions performed so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(budget: u64) -> SessionTable {
+        SessionTable::new(SessionConfig {
+            session_blocks: 8,
+            capacity_blocks: 64,
+            gpu_budget_blocks: budget,
+        })
+    }
+
+    #[test]
+    fn extents_are_disjoint_and_recycled() {
+        let mut t = table(1000);
+        assert!(t.ensure_open((0, 0), 1));
+        assert!(t.ensure_open((0, 1), 2));
+        assert!(!t.ensure_open((0, 0), 3));
+        let a = t.lba((0, 0), 0);
+        let b = t.lba((0, 1), 0);
+        assert_ne!(a, b);
+        t.close((0, 0));
+        assert!(!t.is_open((0, 0)));
+        t.ensure_open((1, 7), 4);
+        assert_eq!(t.lba((1, 7), 0), a, "freed extent is recycled");
+    }
+
+    #[test]
+    fn append_grows_written_and_residency_within_extent() {
+        let mut t = table(1000);
+        t.ensure_open((0, 0), 1);
+        assert_eq!(t.append((0, 0), 5, 1), 0..5);
+        assert_eq!(t.written((0, 0)), 5);
+        assert_eq!(t.resident((0, 0)), 5);
+        // Clamp at the extent boundary.
+        assert_eq!(t.append((0, 0), 10, 2), 5..8);
+        assert_eq!(t.written((0, 0)), 8);
+        assert_eq!(t.resident_total(), 8);
+    }
+
+    #[test]
+    fn budget_evicts_lru_but_never_pinned() {
+        let mut t = table(12);
+        t.ensure_open((0, 0), 1);
+        t.append((0, 0), 6, 1);
+        t.ensure_open((0, 1), 2);
+        t.append((0, 1), 6, 2);
+        assert_eq!(t.resident_total(), 12);
+        // Opening a third session overflows the budget: LRU (0,0) evicts.
+        t.ensure_open((0, 2), 3);
+        t.append((0, 2), 6, 3);
+        assert_eq!(t.resident((0, 0)), 0);
+        assert_eq!(t.resident_total(), 12);
+        assert_eq!(t.evictions(), 1);
+        // Pin (0,1); it must survive the next overflow even though it is
+        // now the LRU.
+        t.pin((0, 1));
+        t.ensure_open((0, 3), 4);
+        t.append((0, 3), 6, 4);
+        assert_eq!(t.resident((0, 1)), 6, "pinned session evicted");
+        assert_eq!(t.resident((0, 2)), 0);
+        t.unpin((0, 1));
+    }
+
+    #[test]
+    fn close_defers_until_last_unpin() {
+        let mut t = table(1000);
+        t.ensure_open((0, 0), 1);
+        t.append((0, 0), 4, 1);
+        t.pin((0, 0));
+        t.pin((0, 0));
+        t.close((0, 0));
+        assert!(t.is_open((0, 0)), "close must defer while pinned");
+        t.unpin((0, 0));
+        assert!(t.is_open((0, 0)));
+        t.unpin((0, 0));
+        assert!(!t.is_open((0, 0)), "last unpin completes the close");
+        assert_eq!(t.resident_total(), 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Property-based tests for the Zipf sampler in `cam_simkit::dist`
+//! (rejection-inversion): determinism under a fixed seed, support bounds,
+//! and monotone rank-frequency ordering. The serving plane's fairness
+//! experiments lean on all three — a sampler that drifted out of its
+//! support or lost its skew would silently invalidate the hot-tenant
+//! scenario.
+
+use cam_simkit::dist::{seeded_rng, Zipf};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    /// The same seed replays the same sample stream, and different seeds
+    /// (almost surely) diverge for a non-trivial support.
+    #[test]
+    fn fixed_seed_is_deterministic(seed in 0u64..1_000_000, n in 2u64..10_000, draws in 1usize..500) {
+        let zipf = Zipf::new(n, 0.99);
+        let stream = |s: u64| -> Vec<u64> {
+            let mut rng = seeded_rng(s);
+            (0..draws).map(|_| zipf.sample(&mut rng)).collect()
+        };
+        prop_assert_eq!(stream(seed), stream(seed));
+    }
+
+    /// Every sample lies in the support `1..=n`, across exponents on both
+    /// sides of 1 (the rejection-inversion branches differ there).
+    #[test]
+    fn samples_stay_in_support(seed in 0u64..1_000_000, n in 1u64..5_000, exp_milli in 200u64..3_000) {
+        let zipf = Zipf::new(n, exp_milli as f64 / 1000.0);
+        let mut rng = seeded_rng(seed);
+        for _ in 0..300 {
+            let s = zipf.sample(&mut rng);
+            prop_assert!((1..=n).contains(&s), "sample {} outside 1..={}", s, n);
+        }
+    }
+
+    /// Rank-frequency is monotone: over a large sample, lower ranks are
+    /// drawn at least as often as higher ranks (compared rank-1 vs the
+    /// tail half, which is robust to sampling noise at any exponent ≥ 0.8).
+    #[test]
+    fn rank_frequency_is_monotone(seed in 0u64..1_000_000) {
+        let n = 64u64;
+        let zipf = Zipf::new(n, 1.1);
+        let mut rng = seeded_rng(seed);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..20_000 {
+            counts[(zipf.sample(&mut rng) - 1) as usize] += 1;
+        }
+        // Rank 1 beats every rank in the tail half individually…
+        let head = counts[0];
+        for (rank, &c) in counts.iter().enumerate().skip(n as usize / 2) {
+            prop_assert!(head > c, "rank 1 ({head}) ≤ rank {} ({c})", rank + 1);
+        }
+        // …and adjacent *quartile* mass is ordered (pairwise adjacent
+        // ranks can invert by noise; quartile sums cannot at s = 1.1).
+        let q = n as usize / 4;
+        let quartiles: Vec<u64> = counts.chunks(q).map(|c| c.iter().sum()).collect();
+        for pair in quartiles.windows(2) {
+            prop_assert!(pair[0] > pair[1], "quartile mass not decreasing: {:?}", quartiles);
+        }
+    }
+}

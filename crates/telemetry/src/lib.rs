@@ -21,6 +21,8 @@
 //!   span records out of the control plane;
 //! * [`ControlMetrics`] — the pre-registered metric bundle the functional
 //!   engine records into, so hot paths never touch the registry's maps;
+//! * [`TenantMetrics`] — the per-tenant bundle the `cam-serving` request
+//!   plane records into (`tenant`-labeled burn rate, latency, hit rate);
 //! * [`clock`] — the shared monotonic nanosecond clock all spans use.
 //!
 //! On top of the metric layer sits the **event layer** (this PR): the
@@ -65,6 +67,7 @@ mod shared;
 mod sink;
 mod span;
 pub mod stats;
+mod tenant;
 pub mod trace;
 mod window;
 
@@ -78,6 +81,7 @@ pub use registry::{Counter, Gauge, HistogramSummary, MetricsRegistry, MetricsSna
 pub use shared::{HistogramHandle, SharedHistogram};
 pub use sink::{NoopSink, TelemetrySink};
 pub use span::{BatchSpan, Stage};
+pub use tenant::TenantMetrics;
 pub use window::{
     OpsWindows, SloBurn, SloConfig, SloTracker, WindowConfig, WindowedCounter, WindowedHistogram,
 };

@@ -1,0 +1,98 @@
+//! [`TenantMetrics`] — the per-tenant metric bundle the serving front-end
+//! records into. Mirrors [`ControlMetrics`](crate::control::ControlMetrics):
+//! every handle is registered up front so the admission/retire hot paths
+//! never touch the registry map.
+//!
+//! The `tenant` label rides on the same metric families the per-channel
+//! plane already exports — `cam_slo_burn_rate{tenant="0"}` coexists with
+//! `cam_slo_burn_rate{channel="0"}` because the registry keys on the full
+//! labeled name.
+
+use crate::registry::{Counter, Gauge, MetricsRegistry};
+
+/// Per-tenant serving metrics, resolved to handles. Index every `Vec` by
+/// tenant id.
+///
+/// | metric | kind | meaning |
+/// |---|---|---|
+/// | `cam_slo_burn_rate{tenant=..}` | gauge | max(short, long) burn ×1000 |
+/// | `cam_tenant_latency_p50_ns{tenant=..}` | gauge | rolling-window p50 |
+/// | `cam_tenant_latency_p99_ns{tenant=..}` | gauge | rolling-window p99 |
+/// | `cam_tenant_hit_rate_milli{tenant=..}` | gauge | KV-block hit rate ×1000 |
+/// | `cam_tenant_admitted_total{tenant=..}` | counter | steps past admission |
+/// | `cam_tenant_throttled_total{tenant=..}` | counter | admission stalls |
+/// | `cam_tenant_completed_total{tenant=..}` | counter | steps fully retired |
+pub struct TenantMetrics {
+    /// Per-tenant SLO burn rate ×1000 (same convention as the per-channel
+    /// `cam_slo_burn_rate{channel=..}` gauges: 1000 = burning error budget
+    /// exactly at the allowed speed).
+    pub slo_burn: Vec<Gauge>,
+    /// Rolling-window p50 of step latency (admission → last demand-read
+    /// retire), nanoseconds.
+    pub latency_p50_ns: Vec<Gauge>,
+    /// Rolling-window p99 of step latency, nanoseconds.
+    pub latency_p99_ns: Vec<Gauge>,
+    /// KV-block GPU-residency hit rate ×1000 over the run so far.
+    pub hit_rate_milli: Vec<Gauge>,
+    /// Steps admitted past the tenant's token bucket.
+    pub admitted: Vec<Counter>,
+    /// Times the tenant's head-of-line step found the bucket empty.
+    pub throttled: Vec<Counter>,
+    /// Steps fully retired (all demand reads complete).
+    pub completed: Vec<Counter>,
+}
+
+impl TenantMetrics {
+    /// Registers (or re-attaches to) every per-tenant metric in `reg`.
+    pub fn new(reg: &MetricsRegistry, n_tenants: usize) -> Self {
+        let gauges = |family: &str| -> Vec<Gauge> {
+            (0..n_tenants)
+                .map(|t| reg.gauge(&format!("{family}{{tenant=\"{t}\"}}")))
+                .collect()
+        };
+        let counters = |family: &str| -> Vec<Counter> {
+            (0..n_tenants)
+                .map(|t| reg.counter(&format!("{family}{{tenant=\"{t}\"}}")))
+                .collect()
+        };
+        TenantMetrics {
+            slo_burn: gauges("cam_slo_burn_rate"),
+            latency_p50_ns: gauges("cam_tenant_latency_p50_ns"),
+            latency_p99_ns: gauges("cam_tenant_latency_p99_ns"),
+            hit_rate_milli: gauges("cam_tenant_hit_rate_milli"),
+            admitted: counters("cam_tenant_admitted_total"),
+            throttled: counters("cam_tenant_throttled_total"),
+            completed: counters("cam_tenant_completed_total"),
+        }
+    }
+
+    /// Tenants this bundle covers.
+    pub fn n_tenants(&self) -> usize {
+        self.slo_burn.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_and_channel_burn_gauges_coexist() {
+        let reg = MetricsRegistry::new();
+        let chan_burn = reg.gauge("cam_slo_burn_rate{channel=\"0\"}");
+        let m = TenantMetrics::new(&reg, 2);
+        chan_burn.set(250);
+        m.slo_burn[1].set(1750);
+        m.admitted[0].add(3);
+        m.hit_rate_milli[1].set(900);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauges["cam_slo_burn_rate{channel=\"0\"}"], 250);
+        assert_eq!(snap.gauges["cam_slo_burn_rate{tenant=\"1\"}"], 1750);
+        assert_eq!(snap.counter("cam_tenant_admitted_total{tenant=\"0\"}"), 3);
+        assert_eq!(snap.gauges["cam_tenant_hit_rate_milli{tenant=\"1\"}"], 900);
+        // Re-attach shares state.
+        let m2 = TenantMetrics::new(&reg, 2);
+        assert_eq!(m2.admitted[0].get(), 3);
+        assert_eq!(m2.n_tenants(), 2);
+    }
+}

@@ -1,0 +1,230 @@
+//! SSD-backed LLM KV-cache paging workload (the Tutti scenario).
+//!
+//! Long-context LLM serving keeps each session's attention KV cache in
+//! fixed-size blocks. The GPU holds only the hot sessions' blocks; the
+//! rest page through the SSD array. This module generates that access
+//! pattern as deterministic per-tenant *traces* of session steps:
+//!
+//! * **Prefill** — a session's first step materializes its prompt KV
+//!   blocks (block-granular writes, no reads).
+//! * **Decode** — every later step reads the session's recent context
+//!   window (block-granular reads — hits if the blocks are GPU-resident,
+//!   SSD paging otherwise) and appends the newly produced KV block(s).
+//!
+//! Which session steps next is drawn from a seeded [`Zipf`] over the
+//! tenant's sessions — a few hot sessions dominate, the long tail pages.
+//! The trace is *demand-pulled*: it carries no timestamps. The serving
+//! layer (`cam-serving`) admits steps through per-tenant token buckets and
+//! schedules the resulting reads/writes onto the CAM channels, so the same
+//! trace drives both the threaded and the DES driver.
+
+use cam_simkit::dist::{seeded_rng, Zipf};
+
+/// Shape of the KV-cache paging workload.
+#[derive(Clone, Debug)]
+pub struct KvCacheConfig {
+    /// Sessions per tenant (`sessions.len()` is the tenant count). Tenant
+    /// session popularity is Zipf over `1..=sessions[t]`.
+    pub sessions: Vec<usize>,
+    /// Steps in each tenant's trace (same length as `sessions`). A
+    /// tenant's traffic share is its share of total steps — skewing this
+    /// is how the hot-tenant scenario is built.
+    pub steps: Vec<usize>,
+    /// Zipf exponent of session popularity within a tenant.
+    pub zipf_exponent: f64,
+    /// KV blocks a session's prefill writes.
+    pub prefill_blocks: u64,
+    /// Context blocks a decode step reads (clamped to what the session
+    /// has written so far).
+    pub context_blocks: u64,
+    /// KV blocks a decode step appends.
+    pub append_blocks: u64,
+    /// Per-session KV capacity in blocks; appends past this are dropped
+    /// (the session's context is full).
+    pub session_blocks: u64,
+    /// Base seed; tenant `t` derives its own independent stream.
+    pub seed: u64,
+}
+
+impl KvCacheConfig {
+    /// A uniform workload: `tenants` tenants with `sessions_per_tenant`
+    /// sessions and `steps_per_tenant` steps each.
+    pub fn uniform(tenants: usize, sessions_per_tenant: usize, steps_per_tenant: usize) -> Self {
+        KvCacheConfig {
+            sessions: vec![sessions_per_tenant; tenants],
+            steps: vec![steps_per_tenant; tenants],
+            zipf_exponent: 0.99,
+            prefill_blocks: 8,
+            context_blocks: 4,
+            append_blocks: 1,
+            session_blocks: 32,
+            seed: 0x005e_5510,
+        }
+    }
+
+    /// Tenants in the workload.
+    pub fn tenants(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Sessions across every tenant.
+    pub fn total_sessions(&self) -> usize {
+        self.sessions.iter().sum()
+    }
+}
+
+/// Which phase of its lifetime a session step is in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KvPhase {
+    /// First touch: materialize the prompt's KV blocks (writes only).
+    Prefill,
+    /// Later touches: read the context window, append new KV blocks.
+    Decode,
+}
+
+/// One step of one session: the block-granular paging work it implies.
+#[derive(Clone, Copy, Debug)]
+pub struct KvStep {
+    /// Tenant-local session index (`0..sessions[tenant]`).
+    pub session: usize,
+    /// Prefill or decode.
+    pub phase: KvPhase,
+    /// Context blocks this step reads (0 for prefill). The window covers
+    /// the session's most recently written blocks.
+    pub read_blocks: u64,
+    /// KV blocks this step appends to the session's extent.
+    pub write_blocks: u64,
+}
+
+/// Generates every tenant's trace. Deterministic in `cfg.seed`: tenant
+/// `t`'s stream depends only on the seed, `t`, and the tenant's own shape
+/// — adding a tenant never perturbs the others' traces.
+pub fn generate(cfg: &KvCacheConfig) -> Vec<Vec<KvStep>> {
+    assert_eq!(
+        cfg.sessions.len(),
+        cfg.steps.len(),
+        "sessions and steps must list the same tenants"
+    );
+    assert!(cfg.prefill_blocks > 0, "prefill must write");
+    assert!(
+        cfg.prefill_blocks <= cfg.session_blocks,
+        "prefill must fit the session extent"
+    );
+    cfg.sessions
+        .iter()
+        .zip(&cfg.steps)
+        .enumerate()
+        .map(|(tenant, (&sessions, &steps))| {
+            assert!(sessions >= 1, "tenant {tenant} has no sessions");
+            let mut rng =
+                seeded_rng(cfg.seed ^ (tenant as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let zipf = Zipf::new(sessions as u64, cfg.zipf_exponent);
+            // Blocks each session has written so far (simulated growth, so
+            // read windows never exceed what exists on the namespace).
+            let mut written = vec![0u64; sessions];
+            (0..steps)
+                .map(|_| {
+                    let session = (zipf.sample(&mut rng) - 1) as usize;
+                    if written[session] == 0 {
+                        written[session] = cfg.prefill_blocks;
+                        KvStep {
+                            session,
+                            phase: KvPhase::Prefill,
+                            read_blocks: 0,
+                            write_blocks: cfg.prefill_blocks,
+                        }
+                    } else {
+                        let read = cfg.context_blocks.min(written[session]);
+                        let room = cfg.session_blocks - written[session];
+                        let write = cfg.append_blocks.min(room);
+                        written[session] += write;
+                        KvStep {
+                            session,
+                            phase: KvPhase::Decode,
+                            read_blocks: read,
+                            write_blocks: write,
+                        }
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn cfg() -> KvCacheConfig {
+        KvCacheConfig::uniform(3, 64, 400)
+    }
+
+    #[test]
+    fn traces_are_deterministic_and_tenant_independent() {
+        let a = generate(&cfg());
+        let b = generate(&cfg());
+        assert_eq!(a.len(), 3);
+        for (ta, tb) in a.iter().zip(&b) {
+            assert_eq!(ta.len(), 400);
+            for (sa, sb) in ta.iter().zip(tb) {
+                assert_eq!(sa.session, sb.session);
+                assert_eq!(sa.phase, sb.phase);
+                assert_eq!(
+                    (sa.read_blocks, sa.write_blocks),
+                    (sb.read_blocks, sb.write_blocks)
+                );
+            }
+        }
+        // Dropping a tenant leaves the survivors' traces untouched.
+        let mut small = cfg();
+        small.sessions.pop();
+        small.steps.pop();
+        let c = generate(&small);
+        assert_eq!(c[0].len(), a[0].len());
+        assert_eq!(c[0][7].session, a[0][7].session);
+    }
+
+    #[test]
+    fn first_touch_prefills_then_decodes_within_bounds() {
+        let c = cfg();
+        for trace in generate(&c) {
+            let mut seen: HashSet<usize> = HashSet::new();
+            let mut written = vec![0u64; 64];
+            for step in trace {
+                assert!(step.session < 64);
+                if seen.insert(step.session) {
+                    assert_eq!(step.phase, KvPhase::Prefill);
+                    assert_eq!(step.read_blocks, 0);
+                    assert_eq!(step.write_blocks, c.prefill_blocks);
+                } else {
+                    assert_eq!(step.phase, KvPhase::Decode);
+                    assert!(step.read_blocks >= 1 && step.read_blocks <= c.context_blocks);
+                    assert!(step.read_blocks <= written[step.session]);
+                    assert!(step.write_blocks <= c.append_blocks);
+                }
+                written[step.session] += step.write_blocks;
+                assert!(written[step.session] <= c.session_blocks, "extent overflow");
+            }
+        }
+    }
+
+    #[test]
+    fn session_popularity_is_zipf_skewed() {
+        let mut c = cfg();
+        c.steps = vec![4000; 3];
+        for trace in generate(&c) {
+            let mut counts = vec![0usize; 64];
+            for s in &trace {
+                counts[s.session] += 1;
+            }
+            let top: usize = counts.iter().take(6).sum();
+            // With s≈1 over 64 ranks, the top-6 sessions hold ~half the mass.
+            assert!(
+                top * 10 > trace.len() * 3,
+                "top-6 sessions hold only {top}/{}",
+                trace.len()
+            );
+        }
+    }
+}

@@ -15,7 +15,10 @@
 //! * **DLRM** ([`dlrm`]) and **LLM offload** ([`llm`]) — the § I/§ II
 //!   motivating applications: SSD-resident embedding tables with
 //!   Zipf-skewed pooled lookups, and an Adam optimizer whose state streams
-//!   from SSD each step.
+//!   from SSD each step;
+//! * **KV-cache serving** ([`kv_cache`]) — multi-tenant LLM session traces
+//!   (Tutti-style) paging attention-cache blocks through the SSD tier,
+//!   consumed by the `cam-serving` request plane.
 //!
 //! Every workload comes in two forms, mirroring the substrate crates:
 //! a **functional** implementation generic over
@@ -32,5 +35,6 @@ pub mod dlrm;
 pub mod gemm;
 pub mod gnn;
 pub mod graph;
+pub mod kv_cache;
 pub mod llm;
 pub mod sort;

@@ -52,9 +52,10 @@ pub use cam_core::{
 pub use cam_iostacks::{
     BackendError, BamBackend, IoRequest, PosixBackend, Rig, RigConfig, SpdkBackend, StorageBackend,
 };
+pub use cam_serving::{ServingConfig, ServingCore, ServingStats, TenantStats};
 pub use cam_telemetry::{
     BatchSpan, ControlMetrics, Counter, Gauge, Histogram, HistogramHandle, HistogramSummary,
-    MetricsRegistry, MetricsSnapshot, NoopSink, Stage, TelemetrySink,
+    MetricsRegistry, MetricsSnapshot, NoopSink, Stage, TelemetrySink, TenantMetrics,
 };
 
 /// Substrate crates, re-exported for direct access to the simulated
@@ -68,8 +69,15 @@ pub mod substrate {
     pub use cam_simkit as simkit;
 }
 
-/// Evaluation workloads (GNN training, mergesort, GEMM) — functional and
-/// analytic forms.
+/// Evaluation workloads (GNN training, mergesort, GEMM, KV-cache serving)
+/// — functional and analytic forms.
 pub mod workloads {
-    pub use cam_workloads::{anns, dlrm, gemm, gnn, graph, llm, sort};
+    pub use cam_workloads::{anns, dlrm, gemm, gnn, graph, kv_cache, llm, sort};
+}
+
+/// The multi-tenant serving front-end (session table, token-bucket
+/// admission, DRR fair scheduling, per-tenant SLO accounting) — see
+/// `docs/SERVING.md`.
+pub mod serving {
+    pub use cam_serving::*;
 }
