@@ -26,7 +26,7 @@
 //! table every few hundred milliseconds (rolling-window retries, latency
 //! quantiles, SLO burn rates, lane health, tenant hit rates). `repro
 //! watch --once` renders a single end-of-run snapshot and writes
-//! `health_snapshot.json` — for scripting and CI smoke.
+//! `bench/out/health_snapshot.json` — for scripting and CI smoke.
 //!
 //! `repro serve` runs the multi-tenant KV-cache serving experiment
 //! (`docs/SERVING.md`): a 1050-session 4-tenant scale run on the DES
@@ -34,24 +34,33 @@
 //! comparison), and a threaded smoke — writing the `"serving"` section of
 //! `BENCH_repro.json`.
 //!
-//! `repro bench --check` runs the seeded DES perf trajectory and gates it
-//! against the committed baseline (`bench/baselines/trajectory.json`,
-//! override with `--baselines <path>`): exit 1 plus `baseline_diff.json`
-//! with per-component queue-delay attribution on a statistical
-//! regression. `repro bench --update-baselines` regenerates the baseline.
+//! `repro bench --check` runs the seeded DES perf trajectories — uncached
+//! and cached-mode — and gates each against its committed baseline
+//! (`bench/baselines/trajectory.json` and `trajectory_cached.json`;
+//! `--baselines <path>` relocates both): exit 1 plus `baseline_diff.json`
+//! (or `baseline_diff_cached.json`) with per-component queue-delay
+//! attribution on a statistical regression. `repro bench
+//! --update-baselines` regenerates both baselines.
 //! `--trials N` / `--seed S` tune the trajectory; `--perturb F` scales
 //! the SSD model's service time (the gate's self-test knob: `--perturb
 //! 1.2` models a device 20% slower across the board). `repro attribute`
 //! prints the doorbell→retire queue-delay decomposition (mean + p99
 //! tail) for both drivers.
+//!
+//! `repro calibrate [--rounds N]` re-fits the DES CPU-pipe constants
+//! (`CpuPipeModel::calibrated()`) from the threaded engine's own lifecycle
+//! traces on this machine and exits 1 when the predicted dispatch cost
+//! drifts more than 25% from the committed model on three consecutive
+//! sweeps — the CI smoke against stale calibration.
 
 use std::process::ExitCode;
 
 use cam_bench::figures::{registry, BenchParams};
 use cam_bench::telemetry_run::{run_instrumented, run_traced};
 use cam_bench::trajectory_run::{
-    baseline_json, check, current_git_sha, merge_bench_json, parse_baseline, run_trajectory,
-    trajectory_entry_json, GateConfig, BASELINE_PATH,
+    baseline_json, cached_baseline_path, check, current_git_sha, merge_bench_json, parse_baseline,
+    run_cached_trajectory, run_trajectory, trajectory_entry_json, GateConfig, TrajectoryReport,
+    BASELINE_PATH,
 };
 use cam_telemetry::trace::validate_chrome_trace;
 
@@ -98,15 +107,9 @@ fn parse_flag<T: std::str::FromStr>(
 /// `repro bench --check` / `--update-baselines`: the statistical
 /// perf-regression gate over the DES trajectory. Returns the process exit
 /// code: 0 pass, 1 regression, 2 usage/environment error.
-fn run_gate(params: &BenchParams, baselines: &str, update: bool) -> ExitCode {
-    let tp = params.trial_params();
+fn print_merged(label: &str, report: &TrajectoryReport) {
     println!(
-        "trajectory: {} trials + {} warmup, seed {:#x}, {} rounds/channel, latency scale {:.2}",
-        tp.trials, tp.warmup, tp.seed, tp.rounds, tp.latency_scale
-    );
-    let report = run_trajectory(&tp);
-    println!(
-        "merged: {} batches, p50 {} ns (CI {}..{}), p99 {} ns (CI {}..{}), mean {:.0} ns",
+        "{label}: {} batches, p50 {} ns (CI {}..{}), p99 {} ns (CI {}..{}), mean {:.0} ns",
         report.decomposition.batches,
         report.p50_ns,
         report.p50_ci.lo,
@@ -117,6 +120,52 @@ fn run_gate(params: &BenchParams, baselines: &str, update: bool) -> ExitCode {
         report.mean_batch_ns,
     );
     print!("{}", report.decomposition.render_table());
+}
+
+/// Gates one report against the baseline at `path`; writes `diff_path` on
+/// regression. Returns the exit code the whole gate should (at least)
+/// carry: 0 pass, 1 regression, 2 missing/invalid baseline.
+fn gate_one(label: &str, report: &TrajectoryReport, path: &str, diff_path: &str) -> u8 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "could not read {label} baseline {path}: {e}\n\
+                 (seed one with 'repro bench --update-baselines')"
+            );
+            return 2;
+        }
+    };
+    let baseline = match parse_baseline(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("invalid {label} baseline {path}: {e}");
+            return 2;
+        }
+    };
+    let outcome = check(report, &baseline, &GateConfig::default());
+    print!("{label} {}", outcome.render());
+    if outcome.regressed {
+        match std::fs::write(diff_path, outcome.to_json()) {
+            Ok(()) => eprintln!("{label} regression report written to {diff_path}"),
+            Err(e) => eprintln!("could not write {diff_path}: {e}"),
+        }
+        return 1;
+    }
+    0
+}
+
+fn run_gate(params: &BenchParams, baselines: &str, update: bool) -> ExitCode {
+    let tp = params.trial_params();
+    println!(
+        "trajectory: {} trials + {} warmup, seed {:#x}, {} rounds/channel, latency scale {:.2}",
+        tp.trials, tp.warmup, tp.seed, tp.rounds, tp.latency_scale
+    );
+    let report = run_trajectory(&tp);
+    print_merged("uncached merged", &report);
+    let cached_report = run_cached_trajectory(&tp);
+    print_merged("cached merged", &cached_report);
+    let cached_path = cached_baseline_path(baselines);
     if update {
         if let Some(dir) = std::path::Path::new(baselines).parent() {
             if !dir.as_os_str().is_empty() {
@@ -126,39 +175,26 @@ fn run_gate(params: &BenchParams, baselines: &str, update: bool) -> ExitCode {
                 }
             }
         }
-        if let Err(e) = std::fs::write(baselines, baseline_json(&report)) {
-            eprintln!("could not write {baselines}: {e}");
-            return ExitCode::from(2);
+        for (path, rep) in [(baselines, &report), (cached_path.as_str(), &cached_report)] {
+            if let Err(e) = std::fs::write(path, baseline_json(rep)) {
+                eprintln!("could not write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            println!("updated baseline at {path}");
         }
-        println!("updated baseline at {baselines}");
         return ExitCode::SUCCESS;
     }
-    let text = match std::fs::read_to_string(baselines) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!(
-                "could not read baseline {baselines}: {e}\n\
-                 (seed one with 'repro bench --update-baselines')"
-            );
-            return ExitCode::from(2);
-        }
-    };
-    let baseline = match parse_baseline(&text) {
-        Ok(b) => b,
-        Err(e) => {
-            eprintln!("invalid baseline {baselines}: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    let outcome = check(&report, &baseline, &GateConfig::default());
-    print!("{}", outcome.render());
-    if outcome.regressed {
-        let diff_path = "baseline_diff.json";
-        match std::fs::write(diff_path, outcome.to_json()) {
-            Ok(()) => eprintln!("regression report written to {diff_path}"),
-            Err(e) => eprintln!("could not write {diff_path}: {e}"),
-        }
-        return ExitCode::FAILURE;
+    let uncached = gate_one("uncached", &report, baselines, "baseline_diff.json");
+    let cached = gate_one(
+        "cached",
+        &cached_report,
+        &cached_path,
+        "baseline_diff_cached.json",
+    );
+    // Environment errors (2) outrank regressions (1).
+    match uncached.max(cached) {
+        0 => {}
+        code => return ExitCode::from(code),
     }
     // A passing run still extends the trajectory record.
     let unix_time = std::time::SystemTime::now()
@@ -217,13 +253,51 @@ fn main() -> ExitCode {
         }
         return run_gate(&params, &baselines, update_flag);
     }
+    // `calibrate` re-fits the DES CPU-pipe constants on this machine and
+    // gates the drift — the CI smoke for stale CpuPipeModel::calibrated().
+    if args.first().map(String::as_str) == Some("calibrate") {
+        let rounds = match parse_flag::<u64>(&mut args, "--rounds") {
+            Ok(v) => v.unwrap_or(24),
+            Err(code) => return code,
+        };
+        // Up to three sweeps, passing on the first in-tolerance fit: a
+        // transient load spike (CI runner just finished compiling) fails
+        // one sweep; genuinely stale constants fail all three.
+        const ATTEMPTS: u32 = 3;
+        let mut report = None;
+        for attempt in 1..=ATTEMPTS {
+            let Some(r) = cam_bench::calibrate::calibrate(rounds) else {
+                eprintln!("calibration sweep produced too few samples to fit");
+                return ExitCode::from(2);
+            };
+            if attempt > 1 {
+                println!("-- attempt {attempt}/{ATTEMPTS} --");
+            }
+            print!("{}", r.render());
+            let ok = r.within_tolerance();
+            report = Some(r);
+            if ok {
+                break;
+            }
+        }
+        let report = report.expect("at least one attempt ran");
+        return if report.within_tolerance() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     // `watch` is a live view, not a figure generator: handle it before the
     // registry dispatch.
     if args.first().map(String::as_str) == Some("watch") {
         let once = args.iter().any(|a| a == "--once");
         let report = cam_bench::watch::run_watch(once, |frame| println!("{frame}"));
         if once {
-            let path = "health_snapshot.json";
+            let path = "bench/out/health_snapshot.json";
+            if let Err(e) = std::fs::create_dir_all("bench/out") {
+                eprintln!("could not create bench/out: {e}");
+                return ExitCode::FAILURE;
+            }
             if let Err(e) = std::fs::write(path, &report.snapshot_json) {
                 eprintln!("could not write {path}: {e}");
                 return ExitCode::FAILURE;
@@ -239,7 +313,7 @@ fn main() -> ExitCode {
     {
         eprintln!(
             "usage: repro [--metrics <path>] [--trace <path>] [--trials N] [--seed S] \
-             [--perturb F] [--baselines <path>] [all|list|watch [--once]|\
+             [--perturb F] [--baselines <path>] [all|list|watch [--once]|calibrate [--rounds N]|\
              bench [--check|--update-baselines]|<experiment id>...]"
         );
         eprintln!("experiments:");

@@ -19,7 +19,9 @@ use std::sync::Arc;
 
 use cam_blockdev::{BlockGeometry, BlockStore, FaultPolicy, FaultyStore, SparseMemStore};
 use cam_core::{CamConfig, CamContext, ChannelOp};
-use cam_iostacks::cam_des::{run_cam_des_obs, CamDesBatch, CamDesConfig, CamDesObs, DesFaultSpec};
+use cam_iostacks::cam_des::{
+    run_cam_des_obs, CamDesBatch, CamDesConfig, CamDesObs, CpuPipeModel, DesFaultSpec,
+};
 use cam_iostacks::des::cam_thread_cost;
 use cam_iostacks::{Rig, RigConfig};
 use cam_nvme::SsdModel;
@@ -212,6 +214,7 @@ fn run_des() -> HealthDriverReport {
             queue_depth: CamConfig::default().queue_depth,
             pipelined: true,
             thread_cost: cam_thread_cost(N_SSDS as f64),
+            cpu_pipe: CpuPipeModel::calibrated(),
             host_gbps: 21.0,
             retry: RetryPolicy {
                 max_retries: MAX_RETRIES,

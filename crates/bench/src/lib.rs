@@ -16,6 +16,7 @@
 #![deny(unsafe_code)]
 
 pub mod cache_run;
+pub mod calibrate;
 pub mod fidelity_run;
 pub mod figures;
 pub mod health_run;

@@ -22,13 +22,22 @@
 //! *which* component moved. `repro bench --check` exits non-zero on a
 //! flagged regression; `repro bench --update-baselines` rewrites the
 //! baseline file.
+//!
+//! A second, **cached-mode** trajectory runs the seeded cache workload
+//! through the DES cache stage ([`run_cached_trajectory`]) and gates it
+//! against `bench/baselines/trajectory_cached.json` with the same
+//! statistics — so a regression in the cache hit path, the write-back
+//! flush, or the readahead pipeline moves a committed number even though
+//! the uncached trajectory never exercises that code.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
 
 use cam_core::CamConfig;
 use cam_core::ChannelOp;
-use cam_iostacks::cam_des::{run_cam_des_obs, CamDesBatch, CamDesConfig, CamDesObs};
+use cam_iostacks::cam_des::{
+    run_cam_des_cached, run_cam_des_obs, CamDesBatch, CamDesConfig, CamDesObs, CpuPipeModel,
+};
 use cam_iostacks::des::cam_thread_cost;
 use cam_nvme::SsdModel;
 use cam_simkit::Dur;
@@ -53,6 +62,19 @@ const LBA_WINDOW: u64 = 96;
 pub const BASELINE_PATH: &str = "bench/baselines/trajectory.json";
 /// Baseline schema version, bumped when the JSON layout changes.
 pub const BASELINE_SCHEMA: u64 = 1;
+/// Blocks in the cached trajectory's array (matches the fidelity rig:
+/// [`N_SSDS`] SSDs × 16 Ki blocks each), so readahead sees real bounds.
+const CACHED_ARRAY_BLOCKS: u64 = N_SSDS as u64 * 16 * 1024;
+
+/// The cached-mode baseline path derived from the uncached one:
+/// `trajectory.json` → `trajectory_cached.json`, so `--baselines <path>`
+/// relocates both files together.
+pub fn cached_baseline_path(baselines: &str) -> String {
+    match baselines.strip_suffix(".json") {
+        Some(stem) => format!("{stem}_cached.json"),
+        None => format!("{baselines}_cached"),
+    }
+}
 
 /// Parameters of one trajectory run (the `repro` CLI threads `--trials`
 /// and `--seed` here).
@@ -175,6 +197,7 @@ fn trial_config(latency_scale: f64) -> CamDesConfig {
         queue_depth: CamConfig::default().queue_depth,
         pipelined: true,
         thread_cost: cam_thread_cost(N_SSDS as f64),
+        cpu_pipe: CpuPipeModel::calibrated(),
         host_gbps: 21.0,
         retry: CamDesConfig::inert_retry(),
         fault: None,
@@ -213,13 +236,65 @@ pub fn run_trial(seed: u64, rounds: u64, latency_scale: f64) -> TrialMetrics {
     }
 }
 
+/// Runs one **cached-mode** trial: the seeded cache workload (same shape
+/// the cached fidelity matrix proved decision-exact across drivers)
+/// through the DES cache stage, attributed exactly like [`run_trial`].
+/// The trajectory gates latency distributions, not decisions — decision
+/// exactness is the fidelity suite's job — but it runs on the identical
+/// [`crate::fidelity_run::cached_cache_cfg`] configuration, so a cache
+/// regression surfaces here as a latency/attribution shift.
+pub fn run_cached_trial(seed: u64, rounds: u64, latency_scale: f64) -> TrialMetrics {
+    let recorder = Arc::new(FlightRecorder::new());
+    let obs = CamDesObs {
+        windows: None,
+        slo: None,
+        lifecycle: true,
+    };
+    let (r, _counters) = run_cam_des_cached(
+        trial_config(latency_scale),
+        crate::fidelity_run::cached_cache_cfg(),
+        CACHED_ARRAY_BLOCKS,
+        crate::fidelity_run::cached_fidelity_workload_seeded(rounds * 3, seed),
+        Some(Arc::clone(&recorder)),
+        obs,
+    );
+    let report = critical::analyze(&recorder.snapshot());
+    let mut hist = Histogram::new();
+    for b in &report.batches {
+        hist.record(b.total_ns);
+    }
+    TrialMetrics {
+        seed,
+        duration_ns: r.duration.as_ns(),
+        batches: r.batches,
+        p50_ns: hist.quantile(0.5),
+        p99_ns: hist.quantile(0.99),
+        bins: hist.bins(),
+        attributions: report.batches,
+    }
+}
+
 /// Runs the full trajectory: `warmup` discarded trials then `trials`
 /// measured ones, merged statistics over the measured set. Deterministic:
 /// same params, same report (virtual time end to end).
 pub fn run_trajectory(params: &TrialParams) -> TrajectoryReport {
+    run_trajectory_with(params, run_trial)
+}
+
+/// The cached-mode counterpart of [`run_trajectory`]: same trial/warmup
+/// merge over [`run_cached_trial`]. Gated against
+/// `bench/baselines/trajectory_cached.json` by `repro bench --check`.
+pub fn run_cached_trajectory(params: &TrialParams) -> TrajectoryReport {
+    run_trajectory_with(params, run_cached_trial)
+}
+
+fn run_trajectory_with(
+    params: &TrialParams,
+    run: impl Fn(u64, u64, f64) -> TrialMetrics,
+) -> TrajectoryReport {
     let mut trials = Vec::with_capacity(params.trials);
     for i in 0..params.warmup + params.trials {
-        let t = run_trial(
+        let t = run(
             params.seed.wrapping_add(i as u64),
             params.rounds,
             params.latency_scale,
@@ -813,9 +888,74 @@ mod tests {
         let attributed: u64 = r.trials.iter().map(|t| t.attributions.len() as u64).sum();
         assert_eq!(attributed, expected, "every retired batch is attributed");
         // In the DES, doorbell and pickup coincide: the doorbell-wait
-        // component is structurally zero, the device stage dominates.
+        // component is structurally zero. Dispatch and submit are NOT —
+        // the calibrated CPU pipe charges batch planning on the dispatch
+        // pipe and SQE pushes on the worker pipe, so both components are
+        // visible exactly as in the threaded driver.
         assert_eq!(r.decomposition.mean_ns[Stage::Pickup.index()], 0.0);
-        assert_eq!(r.decomposition.dominant_mean(), Stage::Complete);
+        assert!(
+            r.decomposition.mean_ns[Stage::Dispatch.index()] > 0.0,
+            "CPU pipe must surface a dispatch component"
+        );
+        assert!(
+            r.decomposition.mean_ns[Stage::Submit.index()] > 0.0,
+            "worker CPU must surface a lane-wait component"
+        );
+        // One worker pushing four channels' SQEs at the paper's per-command
+        // cost makes the submission CPU the honest bottleneck of this
+        // configuration; device service is the runner-up.
+        assert!(matches!(
+            r.decomposition.dominant_mean(),
+            Stage::Submit | Stage::Complete
+        ));
+    }
+
+    #[test]
+    fn cached_trajectory_is_deterministic_and_gateable() {
+        let p = small();
+        let a = run_cached_trajectory(&p);
+        let b = run_cached_trajectory(&p);
+        assert_eq!(a.bins, b.bins, "virtual time replays bit-identically");
+        assert_eq!(a.p50_ns, b.p50_ns);
+        assert!(a.p50_ns > 0);
+        // The cached stage runs on the calibrated CPU pipe too: dispatch
+        // and lane-wait are charged, doorbell-wait stays structurally zero.
+        assert!(a.decomposition.mean_ns[Stage::Dispatch.index()] > 0.0);
+        assert_eq!(a.decomposition.mean_ns[Stage::Pickup.index()], 0.0);
+        // The same baseline schema and gate serve cached mode unchanged.
+        let baseline = parse_baseline(&baseline_json(&a)).expect("baseline");
+        let outcome = check(&a, &baseline, &GateConfig::default());
+        assert!(!outcome.regressed, "{}", outcome.render());
+    }
+
+    #[test]
+    fn cached_trajectory_flags_a_slower_device() {
+        let p = small();
+        let baseline =
+            parse_baseline(&baseline_json(&run_cached_trajectory(&p))).expect("baseline");
+        let perturbed = TrialParams {
+            latency_scale: 1.5,
+            ..p
+        };
+        let outcome = check(
+            &run_cached_trajectory(&perturbed),
+            &baseline,
+            &GateConfig::default(),
+        );
+        assert!(outcome.regressed, "{}", outcome.render());
+    }
+
+    #[test]
+    fn cached_baseline_path_derives_from_the_uncached_one() {
+        assert_eq!(
+            cached_baseline_path(BASELINE_PATH),
+            "bench/baselines/trajectory_cached.json"
+        );
+        assert_eq!(
+            cached_baseline_path("custom/t.json"),
+            "custom/t_cached.json"
+        );
+        assert_eq!(cached_baseline_path("noext"), "noext_cached");
     }
 
     #[test]

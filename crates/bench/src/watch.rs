@@ -7,7 +7,7 @@
 //! table from the *windowed* samplers, so the numbers are "last few
 //! seconds", not since-boot cumulative. `--once` renders a single
 //! end-of-run snapshot (deterministic shape, for scripts and CI smoke) and
-//! returns the `health_snapshot.json` payload.
+//! returns the `bench/out/health_snapshot.json` payload.
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -42,7 +42,7 @@ const RING_CAPACITY: usize = 512;
 pub struct WatchReport {
     /// The final rendered snapshot (what `--once` prints).
     pub rendered: String,
-    /// The `health_snapshot.json` payload.
+    /// The `bench/out/health_snapshot.json` payload.
     pub snapshot_json: String,
     /// Snapshot frames rendered (1 in `--once` mode).
     pub frames: u64,
@@ -280,7 +280,7 @@ pub fn render(
     )
 }
 
-/// The `health_snapshot.json` payload: the same per-lane / per-channel /
+/// The `bench/out/health_snapshot.json` payload: the same per-lane / per-channel /
 /// per-tenant view, machine-readable.
 pub fn snapshot_json(
     registry: &MetricsRegistry,

@@ -1,27 +1,24 @@
-//! [`BlockCache`] — a sharded, lock-striped block cache over pinned GPU
-//! memory, keyed by array LBA.
+//! [`BlockCache`] — the threaded wrapper over the clock-agnostic
+//! [`CacheCore`]: pinned GPU memory, a mutex + condvar, and RAII handles.
 //!
-//! Each shard owns a contiguous range of fixed-size slots inside one pinned
-//! [`GpuBuffer`] plus a private mutex, so lookups on different shards never
-//! contend. Within a shard:
+//! Every cache *decision* (CLOCK eviction, refcount pinning, in-flight
+//! miss coalescing, dirty tracking, readahead planning) lives in
+//! `cam_protocol::cache_core` — the same state machine the DES driver and
+//! the fidelity replay step in virtual time. This wrapper adds what only
+//! the threaded world needs:
 //!
-//! * **CLOCK eviction** — a hand sweeps the shard's slots; referenced slots
-//!   get a second chance, pinned or filling slots are never reclaimed, and
-//!   dirty slots are skipped (the caller flushes and retries on
-//!   [`Lookup::NeedFlush`]).
-//! * **Refcount pinning** — [`SlotPin`] holds a per-slot refcount; a pinned
-//!   block is never evicted mid-use.
-//! * **In-flight coalescing** — a miss transitions the slot to *Filling*
-//!   and hands the caller a [`FillTicket`]; concurrent lookups for the same
-//!   LBA get a [`SlotWait`] that blocks on the shard condvar until the one
-//!   outstanding NVMe fill completes, so N racing misses cost one request.
-//! * **Dirty tracking** — `write_back` data is absorbed into slots marked
-//!   dirty and flushed lazily via [`BlockCache::take_dirty`].
+//! * slot addresses inside one pinned [`GpuBuffer`];
+//! * blocking coalesced waits ([`SlotWait`]) on a condvar;
+//! * RAII pin/fill ownership ([`SlotPin`], [`FillTicket`]);
+//! * `cam_cache_*` metrics, synced from the core's decision counters;
+//! * `CacheEvict` flight-recorder events.
 
-use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use cam_gpu::GpuBuffer;
+use cam_protocol::cache_core::{
+    CacheCore, CacheDecisionCounters, CoreLookup, Intent, ReadaheadPlan, Resolve,
+};
 use cam_telemetry::{EventKind, FlightRecorder, MetricsRegistry};
 
 use crate::config::CacheConfig;
@@ -44,42 +41,18 @@ pub enum Lookup {
     Busy,
 }
 
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum SlotState {
-    Free,
-    Filling,
-    Resident,
-}
-
-struct Slot {
-    lba: u64,
-    state: SlotState,
-    referenced: bool,
-    dirty: bool,
-    /// Set by speculative (readahead) fills, cleared by the first demand
-    /// access — the signal behind `cam_cache_readahead_hits_total`.
-    speculative: bool,
-    pins: u32,
-}
-
-struct Shard {
-    map: HashMap<u64, usize>,
-    slots: Vec<Slot>,
-    /// Global index of `slots[0]` (slot addresses are computed globally).
-    base: usize,
-    hand: usize,
-}
-
-struct ShardLock {
-    state: Mutex<Shard>,
-    /// Signalled whenever a fill completes or aborts.
-    filled: Condvar,
+struct CoreState {
+    core: CacheCore,
+    /// Counter values already mirrored into the metrics registry.
+    synced: CacheDecisionCounters,
 }
 
 struct Inner {
     buf: GpuBuffer,
     block_size: u32,
-    shards: Vec<ShardLock>,
+    state: Mutex<CoreState>,
+    /// Signalled whenever a fill completes or aborts.
+    filled: Condvar,
     metrics: CacheMetrics,
     recorder: Option<Arc<FlightRecorder>>,
 }
@@ -88,6 +61,37 @@ struct Inner {
 #[derive(Clone)]
 pub struct BlockCache {
     inner: Arc<Inner>,
+}
+
+/// A planned (reserved, not yet issued) speculative readahead batch: the
+/// core's decision plus one [`FillTicket`] per reserved slot. Dropping the
+/// batch without [`BlockCache::commit_readahead`] aborts every fill.
+pub struct ReadaheadBatch {
+    plan: ReadaheadPlan,
+    tickets: Vec<FillTicket>,
+}
+
+impl ReadaheadBatch {
+    /// First predicted LBA.
+    pub fn pred_start(&self) -> u64 {
+        self.plan.pred_start
+    }
+
+    /// Window the detector proposed, in blocks.
+    pub fn window(&self) -> u32 {
+        self.plan.window
+    }
+
+    /// The reserved fills, in LBA order.
+    pub fn tickets(&self) -> &[FillTicket] {
+        &self.tickets
+    }
+
+    /// Consumes the batch, handing the caller the fill tickets (after a
+    /// successful [`BlockCache::commit_readahead`]).
+    pub fn into_tickets(self) -> Vec<FillTicket> {
+        self.tickets
+    }
 }
 
 impl BlockCache {
@@ -101,7 +105,6 @@ impl BlockCache {
         recorder: Option<Arc<FlightRecorder>>,
     ) -> Self {
         assert!(cfg.slots >= 1, "cache needs at least one slot");
-        let shards = cfg.shards.clamp(1, cfg.slots);
         assert!(
             buf.capacity() >= cfg.slots * block_size as usize,
             "cache buffer too small: {} < {} slots x {} B",
@@ -111,39 +114,15 @@ impl BlockCache {
         );
         let metrics = CacheMetrics::new(registry);
         metrics.slots.set(cfg.slots as u64);
-        let per = cfg.slots / shards;
-        let rem = cfg.slots % shards;
-        let mut base = 0usize;
-        let shard_locks = (0..shards)
-            .map(|s| {
-                let count = per + usize::from(s < rem);
-                let shard = Shard {
-                    map: HashMap::with_capacity(count),
-                    slots: (0..count)
-                        .map(|_| Slot {
-                            lba: 0,
-                            state: SlotState::Free,
-                            referenced: false,
-                            dirty: false,
-                            speculative: false,
-                            pins: 0,
-                        })
-                        .collect(),
-                    base,
-                    hand: 0,
-                };
-                base += count;
-                ShardLock {
-                    state: Mutex::new(shard),
-                    filled: Condvar::new(),
-                }
-            })
-            .collect();
         BlockCache {
             inner: Arc::new(Inner {
                 buf,
                 block_size,
-                shards: shard_locks,
+                state: Mutex::new(CoreState {
+                    core: CacheCore::new(cfg),
+                    synced: CacheDecisionCounters::default(),
+                }),
+                filled: Condvar::new(),
                 metrics,
                 recorder,
             }),
@@ -161,134 +140,169 @@ impl BlockCache {
         self.inner.block_size
     }
 
+    /// The core's decision counters so far — the cross-driver fidelity
+    /// currency (see `cam_protocol::cache_core`).
+    pub fn decision_counters(&self) -> CacheDecisionCounters {
+        self.lock().core.counters()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, CoreState> {
+        self.inner.state.lock().unwrap()
+    }
+
     /// Pinned address of global slot index `idx`.
     fn slot_addr(&self, idx: usize) -> u64 {
         self.inner.buf.addr() + idx as u64 * self.inner.block_size as u64
     }
 
-    /// Multiplicative hash so strided LBA streams still spread over shards.
-    fn shard_of(&self, lba: u64) -> usize {
-        let h = lba.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
-        (h as usize) % self.inner.shards.len()
+    /// Mirrors new core decisions into the metrics registry (and the
+    /// rolling hit/accuracy windows). Called with the state lock held
+    /// after every mutating core operation.
+    fn sync_metrics(&self, st: &mut CoreState) {
+        let c = st.core.counters();
+        let s = &st.synced;
+        let m = &self.inner.metrics;
+        let (d_hits, d_misses, d_coal) = (
+            c.hits - s.hits,
+            c.misses - s.misses,
+            c.coalesced - s.coalesced,
+        );
+        let (d_ra_hits, d_ra_issued) = (
+            c.readahead_hits - s.readahead_hits,
+            c.readahead_issued - s.readahead_issued,
+        );
+        m.hits.add(d_hits);
+        m.misses.add(d_misses);
+        m.coalesced.add(d_coal);
+        m.evictions.add(c.evictions - s.evictions);
+        m.write_absorbed.add(c.write_absorbed - s.write_absorbed);
+        m.flushed_blocks.add(c.flushed_blocks - s.flushed_blocks);
+        m.readahead_issued.add(d_ra_issued);
+        m.readahead_hits.add(d_ra_hits);
+        if d_hits + d_misses + d_coal > 0 {
+            m.hit_window.add_at(
+                cam_telemetry::clock::now_ns(),
+                d_hits,
+                d_hits + d_misses + d_coal,
+            );
+        }
+        if d_ra_hits + d_ra_issued > 0 {
+            m.ra_window
+                .add_at(cam_telemetry::clock::now_ns(), d_ra_hits, d_ra_issued);
+        }
+        st.synced = c;
+    }
+
+    fn emit_evict(&self, lba: u64) {
+        if let Some(rec) = &self.inner.recorder {
+            rec.emit(EventKind::CacheEvict { lba, dirty: false });
+        }
     }
 
     /// Whether `lba` currently has a slot (resident *or* filling). Racy by
-    /// nature — use only as a cheap filter (readahead candidate selection).
+    /// nature — use only as a cheap filter.
     pub fn contains(&self, lba: u64) -> bool {
-        let sl = &self.inner.shards[self.shard_of(lba)];
-        sl.state.lock().unwrap().map.contains_key(&lba)
+        self.lock().core.contains(lba)
+    }
+
+    fn lookup_with(&self, lba: u64, intent: Intent) -> Lookup {
+        let mut st = self.lock();
+        let out = match st.core.lookup(lba, intent) {
+            CoreLookup::Hit { slot } => Lookup::Hit(SlotPin {
+                cache: self.clone(),
+                slot,
+                lba,
+                addr: self.slot_addr(slot),
+            }),
+            CoreLookup::Miss { slot, evicted } => {
+                if let Some(old) = evicted {
+                    self.emit_evict(old);
+                }
+                Lookup::Miss(FillTicket {
+                    cache: self.clone(),
+                    slot,
+                    lba,
+                    addr: self.slot_addr(slot),
+                    done: false,
+                })
+            }
+            CoreLookup::InFlight => Lookup::InFlight(SlotWait {
+                cache: self.clone(),
+                lba,
+                intent,
+            }),
+            CoreLookup::NeedFlush => Lookup::NeedFlush,
+            CoreLookup::Busy => Lookup::Busy,
+        };
+        self.sync_metrics(&mut st);
+        out
     }
 
     /// Classifies `lba`: resident (pin returned), absent (fill ticket
     /// returned, slot reserved), or being filled by someone else (waiter
     /// returned). See [`Lookup`] for the two backpressure outcomes.
+    ///
+    /// Counts no demand metrics — hit/miss accounting belongs to the
+    /// intent-aware device paths ([`lookup_read`](Self::lookup_read),
+    /// [`lookup_write`](Self::lookup_write)); a speculative hit still
+    /// counts its readahead hit, whoever touches it.
     pub fn lookup(&self, lba: u64) -> Lookup {
-        let si = self.shard_of(lba);
-        let sl = &self.inner.shards[si];
-        let mut s = sl.state.lock().unwrap();
-        if let Some(&idx) = s.map.get(&lba) {
-            match s.slots[idx].state {
-                SlotState::Resident => {
-                    let addr = self.slot_addr(s.base + idx);
-                    let slot = &mut s.slots[idx];
-                    slot.pins += 1;
-                    slot.referenced = true;
-                    if slot.speculative {
-                        slot.speculative = false;
-                        self.inner.metrics.readahead_hits.inc();
-                        self.inner
-                            .metrics
-                            .ra_window
-                            .add_at(cam_telemetry::clock::now_ns(), 1, 0);
-                    }
-                    return Lookup::Hit(SlotPin {
-                        cache: self.clone(),
-                        shard: si,
-                        idx,
-                        lba,
-                        addr,
-                    });
-                }
-                SlotState::Filling => {
-                    return Lookup::InFlight(SlotWait {
-                        cache: self.clone(),
-                        shard: si,
-                        lba,
-                    });
-                }
-                // A mapped Free slot cannot happen (fill aborts unmap), but
-                // recover by dropping the stale mapping and allocating.
-                SlotState::Free => {
-                    s.map.remove(&lba);
-                }
-            }
+        self.lookup_with(lba, Intent::Speculative)
+    }
+
+    /// [`lookup`](Self::lookup) as a demand read: counts
+    /// hits/misses/coalesced decisions.
+    pub fn lookup_read(&self, lba: u64) -> Lookup {
+        self.lookup_with(lba, Intent::DemandRead)
+    }
+
+    /// [`lookup`](Self::lookup) as a write-back absorption: counts
+    /// `write_absorbed` decisions.
+    pub fn lookup_write(&self, lba: u64) -> Lookup {
+        self.lookup_with(lba, Intent::Write)
+    }
+
+    /// Feeds the readahead stream detector with a demand batch starting at
+    /// `batch_start` and reserves fills for the predicted window (see
+    /// [`CacheCore::plan_readahead`]). Issue the I/O, then either
+    /// [`commit_readahead`](Self::commit_readahead) or drop the batch to
+    /// abort the reserved fills.
+    pub fn plan_readahead(&self, batch_start: u64, array_blocks: u64) -> Option<ReadaheadBatch> {
+        let mut st = self.lock();
+        let plan = st.core.plan_readahead(batch_start, array_blocks);
+        self.sync_metrics(&mut st);
+        drop(st);
+        let plan = plan?;
+        for &lba in &plan.evicted {
+            self.emit_evict(lba);
         }
-        // CLOCK sweep: two passes so every referenced bit can be cleared
-        // once before giving up.
-        let len = s.slots.len();
-        let mut dirty_seen = false;
-        let mut found = None;
-        for _ in 0..2 * len {
-            let idx = s.hand;
-            s.hand = (s.hand + 1) % len;
-            let (state, pins, referenced, dirty, old_lba) = {
-                let sl = &s.slots[idx];
-                (sl.state, sl.pins, sl.referenced, sl.dirty, sl.lba)
-            };
-            match state {
-                SlotState::Free => {
-                    found = Some(idx);
-                    break;
-                }
-                SlotState::Filling => continue,
-                SlotState::Resident => {
-                    if pins > 0 {
-                        continue;
-                    }
-                    if referenced {
-                        s.slots[idx].referenced = false;
-                        continue;
-                    }
-                    if dirty {
-                        dirty_seen = true;
-                        continue;
-                    }
-                    s.map.remove(&old_lba);
-                    self.inner.metrics.evictions.inc();
-                    if let Some(rec) = &self.inner.recorder {
-                        rec.emit(EventKind::CacheEvict {
-                            lba: old_lba,
-                            dirty: false,
-                        });
-                    }
-                    found = Some(idx);
-                    break;
-                }
-            }
-        }
-        match found {
-            Some(idx) => {
-                let addr = self.slot_addr(s.base + idx);
-                let slot = &mut s.slots[idx];
-                slot.lba = lba;
-                slot.state = SlotState::Filling;
-                slot.referenced = false;
-                slot.dirty = false;
-                slot.speculative = false;
-                slot.pins = 0;
-                s.map.insert(lba, idx);
-                Lookup::Miss(FillTicket {
-                    cache: self.clone(),
-                    shard: si,
-                    idx,
-                    lba,
-                    addr,
-                    done: false,
-                })
-            }
-            None if dirty_seen => Lookup::NeedFlush,
-            None => Lookup::Busy,
-        }
+        let tickets = plan
+            .fills
+            .iter()
+            .map(|&(slot, lba)| FillTicket {
+                cache: self.clone(),
+                slot,
+                lba,
+                addr: self.slot_addr(slot),
+                done: false,
+            })
+            .collect();
+        Some(ReadaheadBatch { plan, tickets })
+    }
+
+    /// Commits a planned readahead batch whose I/O was issued: counts the
+    /// issue and arms the accuracy sample (see
+    /// [`CacheCore::commit_readahead`]).
+    pub fn commit_readahead(&self, batch: &ReadaheadBatch) {
+        let mut st = self.lock();
+        st.core.commit_readahead(&batch.plan);
+        self.sync_metrics(&mut st);
+    }
+
+    /// Marks the committed speculative batch as retired (after its tickets
+    /// completed or aborted).
+    pub fn readahead_retired(&self) {
+        self.lock().core.readahead_retired();
     }
 
     /// Claims up to `max` dirty, unpinned, resident slots for a flush: each
@@ -296,71 +310,36 @@ impl BlockCache {
     /// its dirty bit already cleared — a racing `write_back` re-dirties the
     /// slot and the *next* flush picks it up again.
     pub fn take_dirty(&self, max: usize) -> Vec<SlotPin> {
-        let mut out = Vec::new();
-        for (si, sl) in self.inner.shards.iter().enumerate() {
-            if out.len() >= max {
-                break;
-            }
-            let mut s = sl.state.lock().unwrap();
-            let base = s.base;
-            for idx in 0..s.slots.len() {
-                if out.len() >= max {
-                    break;
-                }
-                let slot = &mut s.slots[idx];
-                if slot.state == SlotState::Resident && slot.dirty && slot.pins == 0 {
-                    slot.dirty = false;
-                    slot.pins = 1;
-                    let lba = slot.lba;
-                    out.push(SlotPin {
-                        cache: self.clone(),
-                        shard: si,
-                        idx,
-                        lba,
-                        addr: self.slot_addr(base + idx),
-                    });
-                }
-            }
-        }
-        out
+        let mut st = self.lock();
+        let claimed = st.core.take_dirty(max);
+        self.sync_metrics(&mut st);
+        drop(st);
+        claimed
+            .into_iter()
+            .map(|(slot, lba)| SlotPin {
+                cache: self.clone(),
+                slot,
+                lba,
+                addr: self.slot_addr(slot),
+            })
+            .collect()
     }
 
     /// Number of dirty resident blocks (flush-loop termination check).
     pub fn dirty_blocks(&self) -> usize {
-        self.inner
-            .shards
-            .iter()
-            .map(|sl| {
-                let s = sl.state.lock().unwrap();
-                s.slots
-                    .iter()
-                    .filter(|sl| sl.state == SlotState::Resident && sl.dirty)
-                    .count()
-            })
-            .sum()
+        self.lock().core.dirty_blocks()
     }
 
     /// Number of resident blocks.
     pub fn resident_blocks(&self) -> usize {
-        self.inner
-            .shards
-            .iter()
-            .map(|sl| {
-                let s = sl.state.lock().unwrap();
-                s.slots
-                    .iter()
-                    .filter(|sl| sl.state == SlotState::Resident)
-                    .count()
-            })
-            .sum()
+        self.lock().core.resident_blocks()
     }
 }
 
 /// A resident block, pinned against eviction until dropped.
 pub struct SlotPin {
     cache: BlockCache,
-    shard: usize,
-    idx: usize,
+    slot: usize,
     lba: u64,
     addr: u64,
 }
@@ -378,18 +357,13 @@ impl SlotPin {
 
     /// Marks the block dirty (its slot now differs from the array).
     pub fn mark_dirty(&self) {
-        let sl = &self.cache.inner.shards[self.shard];
-        sl.state.lock().unwrap().slots[self.idx].dirty = true;
+        self.cache.lock().core.mark_dirty(self.slot);
     }
 }
 
 impl Drop for SlotPin {
     fn drop(&mut self) {
-        let sl = &self.cache.inner.shards[self.shard];
-        let mut s = sl.state.lock().unwrap();
-        let slot = &mut s.slots[self.idx];
-        debug_assert!(slot.pins > 0, "unbalanced SlotPin drop");
-        slot.pins = slot.pins.saturating_sub(1);
+        self.cache.lock().core.unpin(self.slot);
     }
 }
 
@@ -399,8 +373,7 @@ impl Drop for SlotPin {
 /// [`SlotWait`] is woken (they observe the abort and fall back).
 pub struct FillTicket {
     cache: BlockCache,
-    shard: usize,
-    idx: usize,
+    slot: usize,
     lba: u64,
     addr: u64,
     done: bool,
@@ -422,21 +395,11 @@ impl FillTicket {
     /// rather than from the array.
     pub fn complete(mut self, dirty: bool) -> SlotPin {
         self.done = true;
-        let sl = &self.cache.inner.shards[self.shard];
-        {
-            let mut s = sl.state.lock().unwrap();
-            let slot = &mut s.slots[self.idx];
-            slot.state = SlotState::Resident;
-            slot.dirty = dirty;
-            slot.referenced = true;
-            slot.speculative = false;
-            slot.pins = 1;
-        }
-        sl.filled.notify_all();
+        self.cache.lock().core.complete_fill(self.slot, dirty);
+        self.cache.inner.filled.notify_all();
         SlotPin {
             cache: self.cache.clone(),
-            shard: self.shard,
-            idx: self.idx,
+            slot: self.slot,
             lba: self.lba,
             addr: self.addr,
         }
@@ -446,17 +409,8 @@ impl FillTicket {
     /// flagged so the first demand access counts as a readahead hit.
     pub fn complete_speculative(mut self) {
         self.done = true;
-        let sl = &self.cache.inner.shards[self.shard];
-        {
-            let mut s = sl.state.lock().unwrap();
-            let slot = &mut s.slots[self.idx];
-            slot.state = SlotState::Resident;
-            slot.dirty = false;
-            slot.referenced = true;
-            slot.speculative = true;
-            slot.pins = 0;
-        }
-        sl.filled.notify_all();
+        self.cache.lock().core.complete_fill_speculative(self.slot);
+        self.cache.inner.filled.notify_all();
     }
 }
 
@@ -465,17 +419,8 @@ impl Drop for FillTicket {
         if self.done {
             return;
         }
-        let sl = &self.cache.inner.shards[self.shard];
-        {
-            let mut s = sl.state.lock().unwrap();
-            s.map.remove(&self.lba);
-            let slot = &mut s.slots[self.idx];
-            slot.state = SlotState::Free;
-            slot.dirty = false;
-            slot.speculative = false;
-            slot.pins = 0;
-        }
-        sl.filled.notify_all();
+        self.cache.lock().core.abort_fill(self.slot);
+        self.cache.inner.filled.notify_all();
     }
 }
 
@@ -483,47 +428,31 @@ impl Drop for FillTicket {
 /// [`FillTicket`]. [`wait`](Self::wait) blocks until that fill resolves.
 pub struct SlotWait {
     cache: BlockCache,
-    shard: usize,
     lba: u64,
+    intent: Intent,
 }
 
 impl SlotWait {
     /// Blocks until the in-flight fill completes (returns the block pinned)
     /// or aborts (returns `None`; the caller must fetch the block itself).
     pub fn wait(self) -> Option<SlotPin> {
-        let sl = &self.cache.inner.shards[self.shard];
-        let mut s = sl.state.lock().unwrap();
+        let inner = &self.cache.inner;
+        let mut st = inner.state.lock().unwrap();
         loop {
-            match s.map.get(&self.lba).copied() {
-                None => return None,
-                Some(idx) => match s.slots[idx].state {
-                    SlotState::Resident => {
-                        let addr = self.cache.slot_addr(s.base + idx);
-                        let slot = &mut s.slots[idx];
-                        slot.pins += 1;
-                        slot.referenced = true;
-                        if slot.speculative {
-                            slot.speculative = false;
-                            self.cache.inner.metrics.readahead_hits.inc();
-                            self.cache.inner.metrics.ra_window.add_at(
-                                cam_telemetry::clock::now_ns(),
-                                1,
-                                0,
-                            );
-                        }
-                        return Some(SlotPin {
-                            cache: self.cache.clone(),
-                            shard: self.shard,
-                            idx,
-                            lba: self.lba,
-                            addr,
-                        });
-                    }
-                    SlotState::Filling => {
-                        s = sl.filled.wait(s).unwrap();
-                    }
-                    SlotState::Free => return None,
-                },
+            match st.core.resolve_wait(self.lba, self.intent) {
+                Resolve::Ready { slot } => {
+                    self.cache.sync_metrics(&mut st);
+                    return Some(SlotPin {
+                        cache: self.cache.clone(),
+                        slot,
+                        lba: self.lba,
+                        addr: self.cache.slot_addr(slot),
+                    });
+                }
+                Resolve::Aborted => return None,
+                Resolve::Pending => {
+                    st = inner.filled.wait(st).unwrap();
+                }
             }
         }
     }

@@ -1,73 +1,7 @@
 //! Tuning knobs for the block cache and its readahead engine.
+//!
+//! The types live in `cam_protocol::cache_core` — the decision core is
+//! shared with the DES driver and the fidelity replay — and are re-exported
+//! here so cache call sites stay source-compatible.
 
-/// Configuration for [`BlockCache`](crate::BlockCache) /
-/// [`CachedDevice`](crate::CachedDevice).
-#[derive(Clone, Copy, Debug)]
-pub struct CacheConfig {
-    /// Cache capacity in blocks (one pinned GPU-memory slot per block).
-    pub slots: usize,
-    /// Lock stripes. Each shard owns `slots / shards` slots with a private
-    /// mutex, so concurrent lookups on different shards never contend.
-    pub shards: usize,
-    /// Maximum dirty blocks written back per flush batch.
-    pub flush_batch: usize,
-    /// Speculative-prefetch knobs.
-    pub readahead: ReadaheadConfig,
-}
-
-impl Default for CacheConfig {
-    fn default() -> Self {
-        CacheConfig {
-            slots: 1024,
-            shards: 8,
-            flush_batch: 256,
-            readahead: ReadaheadConfig::default(),
-        }
-    }
-}
-
-impl CacheConfig {
-    /// Same knobs with a different slot count (the bench sweep's axis).
-    pub fn with_slots(slots: usize) -> Self {
-        CacheConfig {
-            slots,
-            ..CacheConfig::default()
-        }
-    }
-}
-
-/// Adaptive-readahead configuration.
-///
-/// The engine watches the start LBA of successive demand batches on the
-/// read channel. Once the inter-batch stride is stable for two transitions
-/// it speculatively fetches a window of blocks one stride ahead, then grows
-/// or shrinks the window from the measured accuracy of the previous issue
-/// (speculative blocks that later served a demand hit).
-#[derive(Clone, Copy, Debug)]
-pub struct ReadaheadConfig {
-    /// Master switch. Readahead also requires the context to have a third
-    /// channel (`CamConfig::n_channels >= 3`) so speculation never occupies
-    /// the demand channels.
-    pub enable: bool,
-    /// Window floor in blocks.
-    pub min_window: u32,
-    /// Window at startup, in blocks.
-    pub initial_window: u32,
-    /// Window ceiling in blocks.
-    pub max_window: u32,
-    /// Hard cap on speculative blocks in flight — speculation never starves
-    /// demand misses of cache slots.
-    pub budget_blocks: u32,
-}
-
-impl Default for ReadaheadConfig {
-    fn default() -> Self {
-        ReadaheadConfig {
-            enable: true,
-            min_window: 4,
-            initial_window: 8,
-            max_window: 64,
-            budget_blocks: 64,
-        }
-    }
-}
+pub use cam_protocol::cache_core::{CacheConfig, ReadaheadConfig};

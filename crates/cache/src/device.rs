@@ -18,9 +18,10 @@ use cam_nvme::spec::Status;
 use cam_nvme::DmaSpace;
 use cam_telemetry::{EventKind, FlightRecorder};
 
+use cam_protocol::cache_core::CacheDecisionCounters;
+
 use crate::cache::{BlockCache, FillTicket, Lookup, SlotWait};
 use crate::config::CacheConfig;
-use crate::readahead::ReadaheadEngine;
 
 /// Fig. 7 channel conventions, shared with `cam_core`.
 const READ_CHANNEL: usize = 0;
@@ -41,13 +42,10 @@ struct ReadBatch {
 
 struct DevState {
     read: Option<ReadBatch>,
-    ra: ReadaheadEngine,
-    /// The single outstanding speculative batch, if any.
+    /// The single outstanding speculative batch, if any. The accuracy
+    /// bookkeeping (hits at issue, last issue size, outstanding flag)
+    /// lives in the shared decision core.
     ra_outstanding: Option<(BatchTicket, Vec<FillTicket>)>,
-    /// `readahead_hits` counter value when the last batch was issued, and
-    /// that batch's size — the accuracy sample fed back to the engine.
-    ra_hits_at_issue: u64,
-    ra_last_issue: u32,
 }
 
 /// The cached device-side API: drop-in `prefetch` / `write_back` /
@@ -64,7 +62,6 @@ pub struct CachedDevice {
     /// Array capacity in blocks — readahead never speculates past the end.
     array_blocks: u64,
     ra_enabled: bool,
-    ra_budget: u32,
     flush_batch: usize,
     recorder: Option<Arc<FlightRecorder>>,
     state: Mutex<DevState>,
@@ -102,15 +99,11 @@ impl CachedDevice {
             block_size: cam.block_size() as u64,
             array_blocks: rig.array_blocks(),
             ra_enabled,
-            ra_budget: cfg.readahead.budget_blocks.max(1),
             flush_batch: cfg.flush_batch.max(1),
             recorder: cam.recorder().cloned(),
             state: Mutex::new(DevState {
                 read: None,
-                ra: ReadaheadEngine::new(cfg.readahead),
                 ra_outstanding: None,
-                ra_hits_at_issue: 0,
-                ra_last_issue: 0,
             }),
         }
     }
@@ -147,47 +140,41 @@ impl CachedDevice {
         }
         self.reap_readahead(&mut st, false);
 
-        let m = self.cache.metrics();
-        let (mut hits, mut misses, mut coalesced) = (0u32, 0u32, 0u32);
+        let before = self.cache.decision_counters();
         let mut fills: Vec<(FillTicket, u64)> = Vec::new();
         let mut waits: Vec<(SlotWait, u64, u64)> = Vec::new();
         let mut direct: Vec<(u64, u64)> = Vec::new();
         for &(lba, dest) in pairs {
             loop {
-                match self.cache.lookup(lba) {
+                match self.cache.lookup_read(lba) {
                     Lookup::Hit(pin) => {
                         self.copy_block(pin.addr(), dest)?;
-                        hits += 1;
                         break;
                     }
                     Lookup::Miss(t) => {
                         fills.push((t, dest));
-                        misses += 1;
                         break;
                     }
                     Lookup::InFlight(w) => {
                         waits.push((w, lba, dest));
-                        coalesced += 1;
                         break;
                     }
                     Lookup::NeedFlush => self.flush_locked()?,
                     Lookup::Busy => {
                         // Shard exhausted by pins/fills: serve this block
-                        // uncached rather than stall the batch.
+                        // uncached rather than stall the batch (the core
+                        // counts the fallback as a miss).
                         direct.push((lba, dest));
-                        misses += 1;
                         break;
                     }
                 }
             }
         }
-        m.hits.add(hits as u64);
-        m.misses.add(misses as u64);
-        m.coalesced.add(coalesced as u64);
-        m.hit_window.add_at(
-            cam_telemetry::clock::now_ns(),
-            hits as u64,
-            (hits + misses + coalesced) as u64,
+        let after = self.cache.decision_counters();
+        let (hits, misses, coalesced) = (
+            (after.hits - before.hits) as u32,
+            (after.misses - before.misses) as u32,
+            (after.coalesced - before.coalesced) as u32,
         );
         if let Some(rec) = &self.recorder {
             rec.emit(EventKind::CacheAccess {
@@ -302,15 +289,13 @@ impl CachedDevice {
         // written; resolve it first so absorb-over-fill is ordered.
         self.synchronize_read_locked(&mut st)?;
         self.reap_readahead(&mut st, false);
-        let mut absorbed = 0u64;
         let mut direct: Vec<(u64, u64)> = Vec::new();
         for &(lba, src) in pairs {
             loop {
-                match self.cache.lookup(lba) {
+                match self.cache.lookup_write(lba) {
                     Lookup::Hit(pin) => {
                         self.copy_block(src, pin.addr())?;
                         pin.mark_dirty();
-                        absorbed += 1;
                         break;
                     }
                     Lookup::Miss(t) => {
@@ -318,7 +303,6 @@ impl CachedDevice {
                         // data, no fill from the array needed.
                         self.copy_block(src, t.addr())?;
                         drop(t.complete(true));
-                        absorbed += 1;
                         break;
                     }
                     Lookup::InFlight(w) => {
@@ -328,7 +312,6 @@ impl CachedDevice {
                         if let Some(pin) = w.wait() {
                             self.copy_block(src, pin.addr())?;
                             pin.mark_dirty();
-                            absorbed += 1;
                             break;
                         }
                     }
@@ -340,7 +323,6 @@ impl CachedDevice {
                 }
             }
         }
-        self.cache.metrics().write_absorbed.add(absorbed);
         if !direct.is_empty() {
             // Write-through fallback for exhausted shards, synchronous so
             // ordering against later absorbed writes holds.
@@ -381,7 +363,6 @@ impl CachedDevice {
             self.dev
                 .submit_scatter(WRITE_CHANNEL, ChannelOp::Write, &lbas, |i| addrs[i], 1)?
                 .wait()?;
-            self.cache.metrics().flushed_blocks.add(lbas.len() as u64);
             if let Some(rec) = &self.recorder {
                 rec.emit(EventKind::CacheFlush {
                     blocks: lbas.len() as u32,
@@ -412,74 +393,57 @@ impl CachedDevice {
             // and any waiter falls back to a demand fetch.
             Err(_) => drop(fills),
         }
+        self.cache.readahead_retired();
     }
 
     /// Feeds the stream detector and issues at most one speculative batch.
+    /// All decisions (accuracy feedback, stride confirmation, candidate
+    /// selection, budget) are the core's; this method only issues the I/O.
     fn maybe_readahead(&self, st: &mut DevState, batch_start: u64) {
         if !self.ra_enabled {
             return;
         }
-        let m = self.cache.metrics();
-        // Close the accuracy loop on the previous issue before predicting.
-        if st.ra_last_issue > 0 {
-            let acc =
-                (m.readahead_hits.get() - st.ra_hits_at_issue) as f64 / st.ra_last_issue as f64;
-            st.ra.feedback(acc);
-            st.ra_last_issue = 0;
-        }
-        let Some((pred_start, window)) = st.ra.observe(batch_start) else {
+        let Some(batch) = self.cache.plan_readahead(batch_start, self.array_blocks) else {
             return;
         };
-        if st.ra_outstanding.is_some() {
-            return; // single outstanding speculative batch
-        }
-        let mut fills: Vec<FillTicket> = Vec::new();
-        let end = pred_start
-            .saturating_add(window as u64)
-            .min(self.array_blocks);
-        for lba in pred_start..end {
-            if fills.len() >= self.ra_budget as usize {
-                break;
-            }
-            if self.cache.contains(lba) {
-                continue;
-            }
-            match self.cache.lookup(lba) {
-                Lookup::Miss(t) => fills.push(t),
-                Lookup::Hit(pin) => drop(pin),
-                Lookup::InFlight(w) => drop(w),
-                // Never flush or stall for speculation.
-                Lookup::NeedFlush | Lookup::Busy => break,
-            }
-        }
-        if fills.is_empty() {
-            return;
-        }
-        let lbas: Vec<u64> = fills.iter().map(|f| f.lba()).collect();
-        let addrs: Vec<u64> = fills.iter().map(|f| f.addr()).collect();
+        let lbas: Vec<u64> = batch.tickets().iter().map(|f| f.lba()).collect();
+        let addrs: Vec<u64> = batch.tickets().iter().map(|f| f.addr()).collect();
         match self
             .dev
             .submit_scatter(READAHEAD_CHANNEL, ChannelOp::Read, &lbas, |i| addrs[i], 1)
         {
             Ok(ticket) => {
-                m.readahead_issued.add(lbas.len() as u64);
-                m.ra_window
-                    .add_at(cam_telemetry::clock::now_ns(), 0, lbas.len() as u64);
-                st.ra_hits_at_issue = m.readahead_hits.get();
-                st.ra_last_issue = lbas.len() as u32;
+                self.cache.commit_readahead(&batch);
                 if let Some(rec) = &self.recorder {
                     rec.emit(EventKind::Readahead {
-                        lba: pred_start,
+                        lba: batch.pred_start(),
                         blocks: lbas.len() as u32,
-                        window,
+                        window: batch.window(),
                     });
                 }
-                st.ra_outstanding = Some((ticket, fills));
+                st.ra_outstanding = Some((ticket, batch.into_tickets()));
             }
-            // Channel busy or batch too large: dropping the fills aborts
-            // them; speculation just skips this round.
-            Err(_) => drop(fills),
+            // Channel busy or batch too large: dropping the batch aborts
+            // its reserved fills; speculation just skips this round.
+            Err(_) => drop(batch),
         }
+    }
+
+    /// Fully quiesces the cached data path: resolves the outstanding
+    /// demand batch (if any) and blocks until the outstanding speculative
+    /// batch is reaped and published. After this, every decision the cache
+    /// will make is independent of I/O timing — the discipline the
+    /// cross-driver fidelity matrix relies on.
+    pub fn quiesce(&self) -> Result<(), CamError> {
+        let mut st = self.state.lock().unwrap();
+        self.synchronize_read_locked(&mut st)?;
+        self.reap_readahead(&mut st, true);
+        Ok(())
+    }
+
+    /// The decision counters of the cache core behind this device.
+    pub fn decision_counters(&self) -> CacheDecisionCounters {
+        self.cache.decision_counters()
     }
 
     /// Host-side copy of one block between pinned addresses (cache slot ↔

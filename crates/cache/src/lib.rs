@@ -25,10 +25,15 @@
 //!
 //! Layering (see `docs/CACHE.md` for the full walk-through):
 //!
-//! * [`BlockCache`] — the state machine: shards, CLOCK eviction, refcount
-//!   pins ([`SlotPin`]), one-owner fills ([`FillTicket`]) and coalesced
-//!   waiters ([`SlotWait`]), dirty tracking ([`BlockCache::take_dirty`]).
-//! * [`ReadaheadEngine`] — pure stream detection + window adaptation.
+//! * `cam_protocol::cache_core::CacheCore` — every cache *decision*
+//!   (CLOCK eviction, coalescing, dirty policy, readahead planning) as a
+//!   pure state machine, shared with the DES driver and fidelity replay.
+//! * [`BlockCache`] — the threaded wrapper: pinned GPU memory, a condvar
+//!   for coalesced waits, refcount pins ([`SlotPin`]), one-owner fills
+//!   ([`FillTicket`]) and waiters ([`SlotWait`]), dirty tracking
+//!   ([`BlockCache::take_dirty`]), metrics synced from the core counters.
+//! * [`ReadaheadEngine`] — pure stream detection + window adaptation
+//!   (re-exported from the protocol core).
 //! * [`CachedDevice`] — the cached `prefetch` / `write_back` data path
 //!   wiring cache misses into single demand batches and speculation onto
 //!   its own channel.
@@ -39,10 +44,9 @@ mod cache;
 mod config;
 mod device;
 mod metrics;
-mod readahead;
 
-pub use cache::{BlockCache, FillTicket, Lookup, SlotPin, SlotWait};
+pub use cache::{BlockCache, FillTicket, Lookup, ReadaheadBatch, SlotPin, SlotWait};
+pub use cam_protocol::cache_core::ReadaheadCore as ReadaheadEngine;
 pub use config::{CacheConfig, ReadaheadConfig};
 pub use device::{CachedBackend, CachedDevice};
 pub use metrics::CacheMetrics;
-pub use readahead::ReadaheadEngine;

@@ -27,7 +27,7 @@ use cam_nvme::{DesSsd, SsdModel};
 use cam_protocol::ChannelOp;
 use cam_simkit::{Dur, EventKind, FlightRecorder, Pipe, Sim, Time};
 
-use crate::cam_des::{run_cam_des, CamDesBatch, CamDesConfig};
+use crate::cam_des::{run_cam_des, CamDesBatch, CamDesConfig, CpuPipeModel};
 
 /// The SSD management being modelled.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -451,6 +451,7 @@ fn run_cam_microbench(
         pipelined: true,
         // +1 uncounted polling thread, per the paper's accounting.
         thread_cost: cam_thread_cost(per),
+        cpu_pipe: CpuPipeModel::calibrated(),
         host_gbps: gpu.pcie_gbps,
         retry: CamDesConfig::inert_retry(),
         fault: None,

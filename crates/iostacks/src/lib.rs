@@ -36,6 +36,7 @@ mod types;
 mod uring;
 
 pub use bam::BamBackend;
+pub use cam_des::CpuPipeModel;
 pub use gds::GdsBackend;
 pub use posix::PosixBackend;
 pub use rig::{Rig, RigConfig};

@@ -31,6 +31,7 @@
 #![deny(unsafe_code)]
 
 mod batch;
+pub mod cache_core;
 mod clock;
 mod health;
 mod inflight;
@@ -39,6 +40,7 @@ mod retry;
 mod worker;
 
 pub use batch::BatchCore;
+pub use cache_core::{CacheCore, CacheDecisionCounters};
 pub use clock::{Clock, VirtualClock};
 pub use health::{HealthConfig, HealthState, HealthTransition, LaneHealth};
 pub use inflight::InflightTable;

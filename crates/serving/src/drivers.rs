@@ -8,7 +8,8 @@ use std::sync::Arc;
 
 use cam_core::{CamConfig, CamContext};
 use cam_iostacks::cam_des::{
-    run_cam_des_source, CamDesBatch, CamDesConfig, CamDesObs, CamDesReport, DesBatchSource,
+    run_cam_des_source, CamDesBatch, CamDesConfig, CamDesObs, CamDesReport, CpuPipeModel,
+    DesBatchSource,
 };
 use cam_iostacks::des::cam_thread_cost;
 use cam_iostacks::{Rig, RigConfig};
@@ -64,6 +65,7 @@ pub fn run_serving_des(core: Arc<Mutex<ServingCore>>, n_ssds: usize) -> (Serving
         queue_depth: CamConfig::default().queue_depth,
         pipelined: true,
         thread_cost: cam_thread_cost(n_ssds as f64),
+        cpu_pipe: CpuPipeModel::calibrated(),
         host_gbps: 21.0,
         retry: CamDesConfig::inert_retry(),
         fault: None,

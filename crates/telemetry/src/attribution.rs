@@ -53,6 +53,12 @@ pub struct LatencyDecomposition {
     pub mean_ns: [f64; Stage::ALL.len()],
     /// Mean nanoseconds per component across the p99-tail batches.
     pub tail_mean_ns: [f64; Stage::ALL.len()],
+    /// Whether the driver produced any nonzero sample for the component.
+    /// A component that is `false` here is *structurally absent* — the
+    /// driver's timeline never separates the two events that bound it
+    /// (e.g. DES doorbell and pickup coincide in virtual time) — and the
+    /// renderers print `n/a`/`null` instead of a misleading `0`.
+    pub present: [bool; Stage::ALL.len()],
 }
 
 impl LatencyDecomposition {
@@ -85,22 +91,30 @@ impl LatencyDecomposition {
         );
         for (i, s) in Stage::ALL.iter().enumerate() {
             let comma = if i > 0 { ", " } else { "" };
-            let _ = write!(
-                out,
-                "{comma}\"{}\": {:.1}",
-                component_name(*s),
-                self.mean_ns[s.index()]
-            );
+            if self.present[s.index()] {
+                let _ = write!(
+                    out,
+                    "{comma}\"{}\": {:.1}",
+                    component_name(*s),
+                    self.mean_ns[s.index()]
+                );
+            } else {
+                let _ = write!(out, "{comma}\"{}\": null", component_name(*s));
+            }
         }
         out.push_str("}, \"p99_tail_mean_ns\": {");
         for (i, s) in Stage::ALL.iter().enumerate() {
             let comma = if i > 0 { ", " } else { "" };
-            let _ = write!(
-                out,
-                "{comma}\"{}\": {:.1}",
-                component_name(*s),
-                self.tail_mean_ns[s.index()]
-            );
+            if self.present[s.index()] {
+                let _ = write!(
+                    out,
+                    "{comma}\"{}\": {:.1}",
+                    component_name(*s),
+                    self.tail_mean_ns[s.index()]
+                );
+            } else {
+                let _ = write!(out, "{comma}\"{}\": null", component_name(*s));
+            }
         }
         let _ = write!(
             out,
@@ -120,15 +134,22 @@ impl LatencyDecomposition {
             "{:<10} {:>14} {:>14} {:>12} {:>14} {:>10}  total (ns)",
             "row", "doorbell_wait", "dispatch", "lane_wait", "ssd_service", "retire"
         );
+        let cell = |stage: Stage, vals: &[f64; Stage::ALL.len()]| {
+            if self.present[stage.index()] {
+                format!("{:.0}", vals[stage.index()])
+            } else {
+                "n/a".to_string()
+            }
+        };
         let row = |label: &str, vals: &[f64; Stage::ALL.len()], total: f64, dom: Stage| {
             format!(
-                "{:<10} {:>14.0} {:>14.0} {:>12.0} {:>14.0} {:>10.0}  {:.0} (dominant: {})",
+                "{:<10} {:>14} {:>14} {:>12} {:>14} {:>10}  {:.0} (dominant: {})",
                 label,
-                vals[Stage::Pickup.index()],
-                vals[Stage::Dispatch.index()],
-                vals[Stage::Submit.index()],
-                vals[Stage::Complete.index()],
-                vals[Stage::Retire.index()],
+                cell(Stage::Pickup, vals),
+                cell(Stage::Dispatch, vals),
+                cell(Stage::Submit, vals),
+                cell(Stage::Complete, vals),
+                cell(Stage::Retire, vals),
                 total,
                 component_name(dom),
             )
@@ -186,12 +207,14 @@ pub fn decompose(batches: &[BatchAttribution]) -> Option<LatencyDecomposition> {
 
     let mut mean_ns = [0.0f64; Stage::ALL.len()];
     let mut tail_mean_ns = [0.0f64; Stage::ALL.len()];
+    let mut present = [false; Stage::ALL.len()];
     let mut mean_total = 0.0f64;
     let mut tail_batches = 0u64;
     for b in batches {
         mean_total += b.total_ns as f64;
         for s in Stage::ALL {
             mean_ns[s.index()] += b.stage_ns[s.index()] as f64;
+            present[s.index()] |= b.stage_ns[s.index()] > 0;
         }
         if b.total_ns >= p99 {
             tail_batches += 1;
@@ -213,6 +236,7 @@ pub fn decompose(batches: &[BatchAttribution]) -> Option<LatencyDecomposition> {
         tail_batches,
         mean_ns,
         tail_mean_ns,
+        present,
     })
 }
 
@@ -301,5 +325,52 @@ mod tests {
     #[test]
     fn empty_input_yields_none() {
         assert!(decompose(&[]).is_none());
+    }
+
+    #[test]
+    fn structurally_absent_components_render_na_not_zero() {
+        // A DES-like timeline: doorbell and pickup coincide and retire
+        // follows the last completion instantly, so neither component
+        // ever produces a sample — distinct from a component that merely
+        // averages small.
+        let batches: Vec<_> = (0..20)
+            .map(|i| {
+                let mut stage_ns = [0u64; Stage::ALL.len()];
+                stage_ns[Stage::Dispatch.index()] = 100;
+                stage_ns[Stage::Submit.index()] = 300 + i;
+                stage_ns[Stage::Complete.index()] = 900;
+                BatchAttribution {
+                    channel: 0,
+                    seq: i,
+                    op: 0,
+                    stage_ns,
+                    total_ns: 1300 + i,
+                }
+            })
+            .collect();
+        let d = decompose(&batches).unwrap();
+        assert!(!d.present[Stage::Pickup.index()]);
+        assert!(!d.present[Stage::Retire.index()]);
+        assert!(d.present[Stage::Dispatch.index()]);
+
+        let table = d.render_table();
+        let mean_row = table.lines().nth(1).expect("mean row");
+        assert_eq!(
+            mean_row.matches("n/a").count(),
+            2,
+            "absent components must print n/a: {mean_row}"
+        );
+        assert!(!mean_row.contains(" 0 "), "no bare zeros: {mean_row}");
+
+        let json = d.to_json();
+        assert!(
+            json.contains("\"doorbell_wait\": null"),
+            "absent mean must be null: {json}"
+        );
+        assert!(json.contains("\"retire\": null"));
+        assert!(json.contains("\"dispatch\": 100.0"));
+        // Still valid JSON with the nulls in place.
+        let parsed = crate::trace::parse_json(&json).expect("valid json");
+        assert!(parsed.get("mean_ns").is_some());
     }
 }
