@@ -28,7 +28,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use cam_core::{CamConfig, CamContext};
+use cam_core::{CamConfig, CamContext, ThreadModel};
 use cam_iostacks::{CpuPipeModel, Rig, RigConfig};
 use cam_telemetry::critical;
 use cam_telemetry::{EventKind, FlightRecorder, Stage};
@@ -132,7 +132,14 @@ pub fn measure_dispatch(rounds_per_size: u64) -> Vec<(u64, u64)> {
         recorder: Some(Arc::clone(&recorder)),
         ..Default::default()
     };
-    let cam = CamContext::attach_observed(&rig, CamConfig::default(), obs);
+    // Pinned to the legacy poller engine: `CpuPipeModel` is fitted on the
+    // poller's Dispatch hop, and the drift gate compares against baselines
+    // captured there. The thread-per-core engine has no separate hop.
+    let cfg = CamConfig {
+        thread_model: ThreadModel::CentralPoller,
+        ..CamConfig::default()
+    };
+    let cam = CamContext::attach_observed(&rig, cfg, obs);
     let dev = cam.device();
     let bs = cam.block_size() as usize;
     let max = *CALIBRATION_SIZES.iter().max().expect("sizes") as usize;

@@ -33,7 +33,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use cam_cache::{CacheConfig, CachedDevice};
-use cam_core::{CamConfig, CamContext, ChannelOp};
+use cam_core::{CamConfig, CamContext, ChannelOp, ThreadModel};
 use cam_iostacks::cam_des::{
     run_cam_des, run_cam_des_cached, CamDesBatch, CamDesConfig, CamDesObs, CpuPipeModel,
 };
@@ -254,6 +254,21 @@ pub fn run_fidelity_experiment_seeded(rounds: u64, seed: u64) -> FidelityReport 
 }
 
 fn run_functional(pipelined: bool, channels: &[Vec<CamDesBatch>]) -> FidelityModeReport {
+    // One worker owning all SSDs, as in the pipeline experiment: any
+    // overlap must come from the reactor, not thread parallelism. Pinned
+    // to the legacy poller engine: the DES mirrors the poller's dispatch
+    // hop, and the decision-counter equality is asserted byte-identical
+    // against it. Thread-per-core planning parity is covered separately by
+    // `thread_per_core_planning_matches_the_plan_replay`.
+    run_functional_with(pipelined, ThreadModel::CentralPoller, 1, channels)
+}
+
+fn run_functional_with(
+    pipelined: bool,
+    thread_model: ThreadModel,
+    workers: usize,
+    channels: &[Vec<CamDesBatch>],
+) -> FidelityModeReport {
     let rig = Rig::new(RigConfig {
         n_ssds: N_SSDS,
         stripe_blocks: STRIPE_BLOCKS,
@@ -269,10 +284,9 @@ fn run_functional(pipelined: bool, channels: &[Vec<CamDesBatch>]) -> FidelityMod
     obs.recorder = Some(Arc::clone(&recorder));
     let cfg = CamConfig {
         n_channels: N_CHANNELS,
-        // One worker owning all SSDs, as in the pipeline experiment: any
-        // overlap must come from the reactor, not thread parallelism.
-        workers: Some(1),
+        workers: Some(workers),
         pipelined,
+        thread_model,
         ..CamConfig::default()
     };
     let cam = CamContext::attach_observed(&rig, cfg, obs);
@@ -517,6 +531,7 @@ fn run_functional_cached(pipelined: bool, batches: &[Vec<u64>]) -> CachedModeRep
             n_channels: CACHED_N_CHANNELS,
             workers: Some(1),
             pipelined,
+            thread_model: ThreadModel::CentralPoller,
             ..CamConfig::default()
         },
         Observability::with_registry(Arc::clone(&registry)),
@@ -766,6 +781,25 @@ mod tests {
             "\"speedup_direction_agrees\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    /// The thread-per-core engine makes *exactly* the planned decisions
+    /// too — sharded pickup, SPSC routing, and parking reorder work in
+    /// time but may not change what is planned, deduped, split, grouped,
+    /// or submitted. Two workers force cross-worker ring handoff (each
+    /// worker plans channels whose SSD groups are owned by the other).
+    #[test]
+    fn thread_per_core_planning_matches_the_plan_replay() {
+        let workload = fidelity_workload(6);
+        let expected = expected_decisions(&workload);
+        for pipelined in [true, false] {
+            let m = run_functional_with(pipelined, ThreadModel::ThreadPerCore, 2, &workload);
+            assert_eq!(
+                m.decisions, expected,
+                "thread-per-core (pipelined={pipelined}) diverged from the plan replay"
+            );
+            assert_eq!(m.batches, expected.batches);
         }
     }
 

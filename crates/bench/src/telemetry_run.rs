@@ -6,7 +6,7 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use cam_core::{CamConfig, CamContext};
+use cam_core::{CamConfig, CamContext, ThreadModel};
 use cam_iostacks::{Rig, RigConfig};
 use cam_telemetry::critical;
 use cam_telemetry::{
@@ -74,7 +74,14 @@ pub fn run_recorded(
     let registry = Arc::new(MetricsRegistry::new());
     let mut obs = Observability::with_registry(Arc::clone(&registry));
     obs.recorder = recorder.clone();
-    let cam = CamContext::attach_observed(&rig, CamConfig::default(), obs);
+    // Pinned to the legacy poller engine: the exported trace (and the CI
+    // smoke assertion on it) names the dedicated `cam-poller` track, which
+    // the thread-per-core engine folds into its workers.
+    let cfg = CamConfig {
+        thread_model: ThreadModel::CentralPoller,
+        ..CamConfig::default()
+    };
+    let cam = CamContext::attach_observed(&rig, cfg, obs);
     let dev = cam.device();
     let bs = cam.block_size() as usize;
     let wbuf = cam.alloc(batch as usize * bs).expect("alloc write buffer");

@@ -247,6 +247,10 @@ pub fn render(
             windows.channel_batch[ch].quantile_at(now, 0.99).to_string(),
         ]);
     }
+    let mut workers = Table::new("workers (rolling window)", &["worker", "park ratio"]);
+    for (worker, milli) in park_ratios(&snap) {
+        workers.row(vec![worker, format!("{:.3}", milli as f64 / 1000.0)]);
+    }
     let mut tenants = Table::new(
         "tenants (rolling window)",
         &[
@@ -275,9 +279,23 @@ pub fn render(
         ]);
     }
     format!(
-        "{lanes}\n{channels}\n{tenants}\ntrace events dropped: {}\n",
+        "{lanes}\n{channels}\n{workers}\n{tenants}\ntrace events dropped: {}\n",
         snap.counter("cam_trace_dropped_total")
     )
+}
+
+/// Every `cam_worker_park_ratio{worker}` gauge in the snapshot, as
+/// `(worker label, milli-ratio)` rows. The thread-per-core engine
+/// refreshes these at least every park bound (50 ms), so even an idle
+/// plane reports a current share of parked time.
+fn park_ratios(snap: &cam_telemetry::MetricsSnapshot) -> Vec<(String, u64)> {
+    snap.gauges
+        .iter()
+        .filter_map(|(name, &v)| {
+            let rest = name.strip_prefix("cam_worker_park_ratio{worker=\"")?;
+            Some((rest.strip_suffix("\"}")?.to_string(), v))
+        })
+        .collect()
 }
 
 /// The `bench/out/health_snapshot.json` payload: the same per-lane / per-channel /
@@ -327,6 +345,16 @@ pub fn snapshot_json(
             "\n"
         });
     }
+    out.push_str("  ],\n  \"workers\": [\n");
+    let parked = park_ratios(&snap);
+    for (i, (worker, milli)) in parked.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"worker\": {worker}, \"park_ratio\": {:.3}}}",
+            *milli as f64 / 1000.0
+        );
+        out.push_str(if i + 1 < parked.len() { ",\n" } else { "\n" });
+    }
     out.push_str("  ],\n  \"tenants\": [\n");
     let tsnap = tenant_reg.snapshot();
     for tenant in 0..SERVE_TENANTS {
@@ -369,6 +397,7 @@ mod tests {
             report.rendered
         );
         assert!(report.rendered.contains("healthy"));
+        assert!(report.rendered.contains("workers (rolling window)"));
         assert!(report.rendered.contains("tenants (rolling window)"));
         assert!(report.rendered.contains("trace events dropped:"));
         let json = &report.snapshot_json;
@@ -379,6 +408,8 @@ mod tests {
             "\"health\": \"recovered\"",
             "\"health\": \"healthy\"",
             "\"burn_short\"",
+            "\"workers\"",
+            "\"park_ratio\"",
             "\"tenants\"",
             "\"hit_rate\"",
             "\"trace_dropped\"",

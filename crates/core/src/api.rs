@@ -12,7 +12,7 @@ use cam_telemetry::{
     Observability, Stage, TelemetrySink,
 };
 
-use crate::engine::{ControlConfig, ControlPlane, ControlStats};
+use crate::engine::{ControlConfig, ControlPlane, ControlStats, ThreadModel};
 use crate::regions::{Channel, ChannelOp, PublishError};
 
 /// Configuration for [`CamContext::attach`] (`CAM_init`).
@@ -45,6 +45,14 @@ pub struct CamConfig {
     /// flight per SSD up to queue depth. Turn off for the blocking
     /// group-at-a-time baseline (benchmarks only).
     pub pipelined: bool,
+    /// Threading model of the control plane. The default
+    /// [`ThreadModel::ThreadPerCore`] runs lcore-style workers that own
+    /// their channels, plan inline, and park when idle;
+    /// [`ThreadModel::CentralPoller`] keeps the legacy poller + MPMC
+    /// fan-out engine (mode-comparison benchmarks, and workloads
+    /// calibrated against the poller's dispatch hop). Protocol decisions
+    /// are identical under both.
+    pub thread_model: ThreadModel,
     /// How long `synchronize_*` and [`BatchTicket::wait`] spin for region 4
     /// before giving up with [`CamError::SyncTimeout`] — a wedged control
     /// plane then surfaces as an error instead of a hung caller. `None` =
@@ -64,6 +72,7 @@ impl Default for CamConfig {
             retry_backoff_ns: 20_000,
             cmd_deadline_ns: None,
             pipelined: true,
+            thread_model: ThreadModel::default(),
             sync_timeout_ns: Some(10_000_000_000),
         }
     }
@@ -190,7 +199,12 @@ impl CamContext {
             .unwrap_or_else(|| rig.n_ssds().div_ceil(2))
             .max(1);
         let registry = Arc::clone(&obs.registry);
-        let metrics = Arc::new(ControlMetrics::new(&registry, cfg.n_channels, rig.n_ssds()));
+        let metrics = Arc::new(ControlMetrics::new(
+            &registry,
+            cfg.n_channels,
+            rig.n_ssds(),
+            max_workers,
+        ));
         // Substrate hooks before the control plane creates queue pairs, so
         // every queue pair inherits the doorbell-batch histogram (and, when
         // a recorder is attached, the doorbell event stream).
@@ -218,6 +232,7 @@ impl CamContext {
                 retry_backoff_ns: cfg.retry_backoff_ns,
                 cmd_deadline_ns: cfg.cmd_deadline_ns,
                 pipelined: cfg.pipelined,
+                thread_model: cfg.thread_model,
             },
             Arc::clone(&metrics),
             &obs,

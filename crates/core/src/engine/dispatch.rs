@@ -1,11 +1,17 @@
-//! The poller: doorbell pickup and dispatch planning.
+//! Doorbell pickup and dispatch planning.
 //!
-//! One persistent thread snapshots each channel whose region-3 doorbell
-//! advanced and hands the batch to [`cam_protocol::plan_batch`] — dedup,
-//! stripe split, per-SSD grouping all happen in the shared protocol layer,
-//! so the DES driver plans identically. The poller's own job is the
-//! threaded-driver glue: timestamps, metrics, events, and shipping one
-//! [`GroupSpec`] per non-empty group to the reactor workers.
+//! [`poll_channel`] is the single pickup path both threaded engines share:
+//! it snapshots a channel whose region-3 doorbell advanced and hands the
+//! batch to [`cam_protocol::plan_batch`] — dedup, stripe split, per-SSD
+//! grouping all happen in the shared protocol layer, so the DES driver
+//! plans identically. The rest is threaded-driver glue: timestamps,
+//! metrics, events, and one [`GroupSpec`] per non-empty group.
+//!
+//! [`poller_loop`] is the legacy central-poller engine: one persistent
+//! thread runs `poll_channel` over every channel and fans the groups out
+//! to the reactor workers over MPMC channels. The thread-per-core engine
+//! (`shard`) instead calls `poll_channel` inline on the channels each
+//! worker owns.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -16,6 +22,97 @@ use crossbeam::channel::Sender;
 
 use super::Shared;
 
+/// Polls channel `ch_idx` once. On a new doorbell (relative to
+/// `*last_seen`, which is advanced), snapshots and plans the batch,
+/// records the pickup metrics/events, and returns one [`GroupSpec`] per
+/// non-empty per-SSD group. Returns `None` when no doorbell is pending;
+/// `Some(vec![])` for an empty batch (retired inline) — still progress.
+pub(super) fn poll_channel(
+    sh: &Shared,
+    ch_idx: usize,
+    last_seen: &mut u64,
+) -> Option<Vec<GroupSpec>> {
+    let ch = &sh.channels[ch_idx];
+    let seq = ch.pending(*last_seen)?;
+    *last_seen = seq;
+    let (op, blocks, reqs) = ch.snapshot();
+    let pickup_ns = sh.clock.now_ns();
+    let doorbell_ns = ch.published_at_ns();
+    // Compute-gap estimate: the GPU-side interval between the
+    // channel's previous retire and this pickup. The retire path
+    // stores its timestamp; swapping it out consumes the sample.
+    let prev_retire = sh.last_retire[ch_idx].swap(0, Ordering::Relaxed);
+    let compute_gap_ns = if prev_retire > 0 {
+        pickup_ns.saturating_sub(prev_retire)
+    } else {
+        0
+    };
+    if reqs.is_empty() {
+        ch.retire(seq, 0);
+        return Some(Vec::new());
+    }
+    let op_idx = op_index(op);
+    sh.metrics
+        .stage(op_idx, Stage::Pickup)
+        .record(pickup_ns.saturating_sub(doorbell_ns));
+    if let Some(rec) = &sh.recorder {
+        // The doorbell fired on the GPU side before this thread saw
+        // it — emit retroactively at the region-3 publish timestamp
+        // so the trace span starts where the batch actually started.
+        // Empty batches never get here, so every doorbell span is
+        // closed by a retire.
+        rec.emit_at(
+            doorbell_ns,
+            EventKind::BatchDoorbell {
+                channel: ch_idx as u16,
+                seq,
+                op: op_idx as u8,
+                requests: reqs.len() as u32,
+            },
+        );
+        rec.emit_at(
+            pickup_ns,
+            EventKind::BatchPickup {
+                channel: ch_idx as u16,
+                seq,
+            },
+        );
+    }
+    let plan = plan_batch(&sh.plan, op, blocks, reqs);
+    if !plan.dups.is_empty() {
+        sh.metrics.dedup_dropped.add(plan.dups.len() as u64);
+    }
+    if plan.stripe_splits > 0 {
+        sh.metrics.stripe_splits.add(plan.stripe_splits);
+    }
+    let batch = Arc::new(BatchCore {
+        channel: ch_idx,
+        seq,
+        op,
+        remaining: AtomicUsize::new(plan.n_groups()),
+        errors: AtomicU64::new(0),
+        requests: plan.requests,
+        dispatched_ns: pickup_ns,
+        compute_gap_ns,
+        doorbell_ns,
+        pickup_ns,
+        dups: plan.dups,
+        blocks,
+    });
+    Some(
+        plan.groups
+            .into_iter()
+            .enumerate()
+            .filter(|(_, reqs)| !reqs.is_empty())
+            .map(|(ssd, reqs)| GroupSpec {
+                ssd,
+                reqs,
+                batch: Arc::clone(&batch),
+            })
+            .collect(),
+    )
+}
+
 pub(super) fn poller_loop(sh: &Shared, senders: &[Sender<GroupSpec>]) {
     if let Some(rec) = &sh.recorder {
         rec.name_current_thread("cam-poller");
@@ -23,93 +120,20 @@ pub(super) fn poller_loop(sh: &Shared, senders: &[Sender<GroupSpec>]) {
     let mut last_seen = vec![0u64; sh.channels.len()];
     while !sh.stop.load(Ordering::Acquire) {
         let mut progress = false;
-        for (ch_idx, ch) in sh.channels.iter().enumerate() {
-            let Some(seq) = ch.pending(last_seen[ch_idx]) else {
+        for ch_idx in 0..sh.channels.len() {
+            let Some(specs) = poll_channel(sh, ch_idx, &mut last_seen[ch_idx]) else {
                 continue;
             };
             progress = true;
-            last_seen[ch_idx] = seq;
-            let (op, blocks, reqs) = ch.snapshot();
-            let pickup_ns = sh.clock.now_ns();
-            let doorbell_ns = ch.published_at_ns();
-            // Compute-gap estimate: the GPU-side interval between the
-            // channel's previous retire and this pickup. The retire path
-            // stores its timestamp; swapping it out consumes the sample.
-            let prev_retire = sh.last_retire[ch_idx].swap(0, Ordering::Relaxed);
-            let compute_gap_ns = if prev_retire > 0 {
-                pickup_ns.saturating_sub(prev_retire)
-            } else {
-                0
-            };
-            if reqs.is_empty() {
-                ch.retire(seq, 0);
-                continue;
-            }
-            let op_idx = op_index(op);
-            sh.metrics
-                .stage(op_idx, Stage::Pickup)
-                .record(pickup_ns.saturating_sub(doorbell_ns));
-            if let Some(rec) = &sh.recorder {
-                // The doorbell fired on the GPU side before this thread saw
-                // it — emit retroactively at the region-3 publish timestamp
-                // so the trace span starts where the batch actually started.
-                // Empty batches never get here, so every doorbell span is
-                // closed by a retire.
-                rec.emit_at(
-                    doorbell_ns,
-                    EventKind::BatchDoorbell {
-                        channel: ch_idx as u16,
-                        seq,
-                        op: op_idx as u8,
-                        requests: reqs.len() as u32,
-                    },
-                );
-                rec.emit_at(
-                    pickup_ns,
-                    EventKind::BatchPickup {
-                        channel: ch_idx as u16,
-                        seq,
-                    },
-                );
-            }
-            let plan = plan_batch(&sh.plan, op, blocks, reqs);
-            if !plan.dups.is_empty() {
-                sh.metrics.dedup_dropped.add(plan.dups.len() as u64);
-            }
-            if plan.stripe_splits > 0 {
-                sh.metrics.stripe_splits.add(plan.stripe_splits);
-            }
-            let batch = Arc::new(BatchCore {
-                channel: ch_idx,
-                seq,
-                op,
-                remaining: AtomicUsize::new(plan.n_groups()),
-                errors: AtomicU64::new(0),
-                requests: plan.requests,
-                dispatched_ns: pickup_ns,
-                compute_gap_ns,
-                doorbell_ns,
-                pickup_ns,
-                dups: plan.dups,
-                blocks,
-            });
             let active = sh
                 .active_workers
                 .load(Ordering::Relaxed)
                 .clamp(1, senders.len());
-            for (ssd, reqs) in plan.groups.into_iter().enumerate() {
-                if reqs.is_empty() {
-                    continue;
-                }
-                let spec = GroupSpec {
-                    ssd,
-                    reqs,
-                    batch: Arc::clone(&batch),
-                };
+            for spec in specs {
                 // An SSD is always handled by the worker `ssd % active`, so
                 // one SSD's queue pairs are never polled by two threads at
                 // once within an active-count epoch.
-                let _ = senders[ssd % active].send(spec);
+                let _ = senders[spec.ssd % active].send(spec);
             }
         }
         if !progress {

@@ -1,17 +1,29 @@
 //! The CPU user-space control plane (§ III-A): the threaded driver over
 //! the pure protocol layer.
 //!
-//! One persistent **polling thread** ([`dispatch`]) watches every channel's
-//! doorbell ("CAM does not require persistent threads on the GPU. Instead,
-//! it requires a persistent thread on the CPU"). When a batch arrives it is
-//! planned by [`cam_protocol::plan_batch`] (dedup, stripe split, per-SSD
-//! grouping) and handed to **worker threads**; each worker ([`reactor`])
+//! The default engine ([`ThreadModel::ThreadPerCore`]) is a set of
+//! lcore-style **run-to-completion workers** ([`shard`]): worker *w* owns
+//! channels `ch % workers` outright, performs doorbell pickup and
+//! [`cam_protocol::plan_batch`] planning inline, routes each per-SSD group
+//! to the worker owning that SSD over bounded SPSC rings ([`ring`]), and
 //! drives a [`cam_protocol::WorkerCore`] state machine over private queue
-//! pairs (SPDK's no-locks-in-the-I/O-path discipline) and executes the
+//! pairs (SPDK's no-locks-in-the-I/O-path discipline), executing the
 //! [`cam_protocol::Command`]s it emits — SQE pushes, doorbell rings,
-//! telemetry records. Batch retirement is pure completion accounting
-//! ([`retire`]): the last group of a batch retires it by writing region 4
-//! and feeds the [`DynamicScaler`] with the batch's compute/I/O times.
+//! telemetry records. When the protocol reports nothing actionable
+//! ([`cam_protocol::ParkHint`]), the worker parks on a [`park::Parker`]
+//! woken by doorbell publishes, ring pushes and stop — idle CPU burn goes
+//! to ~0 instead of a spin loop.
+//!
+//! The legacy engine ([`ThreadModel::CentralPoller`]) keeps the paper's
+//! original shape for comparison benchmarks: one persistent **polling
+//! thread** ([`dispatch`]) watches every channel's doorbell ("CAM does not
+//! require persistent threads on the GPU. Instead, it requires a
+//! persistent thread on the CPU") and fans planned groups out to worker
+//! threads ([`reactor`]) over MPMC channels. Both engines share the same
+//! pickup/planning code ([`dispatch::poll_channel`]), command execution
+//! ([`reactor::execute`]) and retirement ([`retire`]): the last group of a
+//! batch retires it by writing region 4 and feeds the [`DynamicScaler`]
+//! with the batch's compute/I/O times.
 //!
 //! All protocol decisions live in `cam-protocol` and are clock-agnostic;
 //! this module is the *only* place wall-clock time enters — [`WallClock`]
@@ -23,17 +35,18 @@
 //! [`DynamicScaler`]: crate::DynamicScaler
 
 mod dispatch;
+mod park;
 mod reactor;
 mod retire;
+mod ring;
+mod shard;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use cam_nvme::{DmaSpace, NvmeDevice, QueuePair};
-use cam_protocol::{
-    Clock, GroupSpec, HealthConfig, HealthTransition, LaneHealth, PlanConfig, RetryPolicy,
-};
+use cam_protocol::{Clock, GroupSpec, HealthTransition, PlanConfig, RetryPolicy};
 use cam_simkit::Dur;
 use cam_telemetry::{
     ControlMetrics, EventKind, FlightRecorder, Observability, OpsWindows, PostmortemDumper,
@@ -57,6 +70,27 @@ impl Clock for WallClock {
     }
 }
 
+/// Which threaded engine drives the control plane.
+///
+/// Both models execute identical protocol decisions (`cam-protocol` plans,
+/// admits, retries and retires; the fidelity matrix asserts byte-identical
+/// decision counters across them) — they differ only in which thread does
+/// what, and what an idle thread costs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ThreadModel {
+    /// Legacy engine: one central poller thread picks up every channel's
+    /// doorbells, plans batches, and fans groups out to reactor workers
+    /// over MPMC channels. Idle threads spin/sleep-poll. Kept for the
+    /// mode-comparison benchmarks.
+    CentralPoller,
+    /// lcore-style run-to-completion engine: each worker owns channels
+    /// `ch % workers`, picks up and plans inline, exchanges cross-worker
+    /// groups over bounded SPSC rings, and parks on a condvar when the
+    /// protocol reports nothing actionable.
+    #[default]
+    ThreadPerCore,
+}
+
 /// Control-plane configuration (subset of [`CamConfig`]).
 ///
 /// [`CamConfig`]: crate::CamConfig
@@ -78,6 +112,9 @@ pub(crate) struct ControlConfig {
     /// Pipelined reactor (in-flight depth > 1 per SSD across batches) vs.
     /// the blocking group-at-a-time baseline.
     pub pipelined: bool,
+    /// Threading model: run-to-completion shards (default) or the legacy
+    /// central poller.
+    pub thread_model: ThreadModel,
 }
 
 /// A point-in-time snapshot of control-plane counters.
@@ -213,10 +250,15 @@ struct Shared {
     windows: Option<Arc<OpsWindows>>,
     /// Live ops plane: per-channel SLO accounting, when attached.
     slo: Option<Arc<SloTracker>>,
-    /// Per-SSD lane-health state machines. Transitions are gated only on
-    /// protocol decisions (see `cam_protocol::health`), so the sequence a
-    /// workload produces matches the DES driver's on the same seed.
-    lane_health: Vec<Mutex<LaneHealth>>,
+    /// Cross-worker SPSC handoff fabric: `rings[consumer][producer]`.
+    /// Only the thread-per-core engine pushes/pops; the legacy engine
+    /// leaves them empty.
+    rings: Vec<Vec<ring::SpscRing<GroupSpec>>>,
+    /// One parker per worker, woken by doorbell publishes (channel
+    /// wakers), ring pushes, and stop. `Arc`ed individually so channel
+    /// waker closures don't hold `Shared` (which holds the channels —
+    /// that cycle would leak the control plane).
+    parkers: Vec<Arc<park::Parker>>,
 }
 
 /// Publishes a lane-health transition: gauge update plus a typed
@@ -308,8 +350,24 @@ impl ControlPlane {
             last_retire: (0..n_channels).map(|_| AtomicU64::new(0)).collect(),
             windows: obs.windows.clone(),
             slo: obs.slo.clone(),
-            lane_health: (0..n_ssds)
-                .map(|ssd| Mutex::new(LaneHealth::new(ssd, HealthConfig::default())))
+            // Ring capacity: a producer owns ceil(C/W) channels, each with
+            // one outstanding batch fanning out to at most n_ssds groups —
+            // a push can only find the ring full under a transient drain
+            // lag, which the producer rides out by spinning (and draining
+            // its own inbound rings to avoid a mutual-push deadlock).
+            rings: (0..max_workers)
+                .map(|_| {
+                    (0..max_workers)
+                        .map(|_| {
+                            ring::SpscRing::with_capacity(
+                                n_channels.div_ceil(max_workers) * n_ssds,
+                            )
+                        })
+                        .collect()
+                })
+                .collect(),
+            parkers: (0..max_workers)
+                .map(|_| Arc::new(park::Parker::new()))
                 .collect(),
         });
 
@@ -318,6 +376,9 @@ impl ControlPlane {
         // holding the shared state.
         let abort = |shared: &Arc<Shared>, workers: Vec<JoinHandle<()>>, e: std::io::Error| {
             shared.stop.store(true, Ordering::Release);
+            for p in &shared.parkers {
+                p.unpark();
+            }
             for w in workers {
                 let _ = w.join();
             }
@@ -325,42 +386,64 @@ impl ControlPlane {
         };
         let mut senders = Vec::with_capacity(max_workers);
         let mut workers = Vec::with_capacity(max_workers);
-        for wid in 0..max_workers {
-            let (tx, rx) = crossbeam::channel::unbounded::<GroupSpec>();
-            let sh = Arc::clone(&shared);
-            match std::thread::Builder::new()
-                .name(format!("cam-worker{wid}"))
-                .spawn(move || reactor::worker_loop(&sh, wid, rx))
-            {
-                Ok(h) => {
-                    senders.push(tx);
-                    workers.push(h);
+        let mut poller = None;
+        match cfg.thread_model {
+            ThreadModel::ThreadPerCore => {
+                // Doorbell publishes wake the worker owning the channel
+                // (`ch % workers` — the same static shard the workers
+                // poll), so an idle engine burns no CPU waiting for work.
+                for (ch_idx, ch) in shared.channels.iter().enumerate() {
+                    let parker = Arc::clone(&shared.parkers[ch_idx % max_workers]);
+                    ch.set_waker(Arc::new(move || parker.unpark()));
                 }
-                Err(e) => {
-                    drop(tx);
-                    drop(senders); // disconnect worker queues
-                    return Err(abort(&shared, workers, e));
+                for wid in 0..max_workers {
+                    let sh = Arc::clone(&shared);
+                    match std::thread::Builder::new()
+                        .name(format!("cam-worker{wid}"))
+                        .spawn(move || shard::shard_loop(&sh, wid))
+                    {
+                        Ok(h) => workers.push(h),
+                        Err(e) => return Err(abort(&shared, workers, e)),
+                    }
+                }
+            }
+            ThreadModel::CentralPoller => {
+                for wid in 0..max_workers {
+                    let (tx, rx) = crossbeam::channel::unbounded::<GroupSpec>();
+                    let sh = Arc::clone(&shared);
+                    match std::thread::Builder::new()
+                        .name(format!("cam-worker{wid}"))
+                        .spawn(move || reactor::worker_loop(&sh, wid, rx))
+                    {
+                        Ok(h) => {
+                            senders.push(tx);
+                            workers.push(h);
+                        }
+                        Err(e) => {
+                            drop(tx);
+                            drop(senders); // disconnect worker queues
+                            return Err(abort(&shared, workers, e));
+                        }
+                    }
+                }
+                let sh = Arc::clone(&shared);
+                let poller_senders = senders.clone();
+                match std::thread::Builder::new()
+                    .name("cam-poller".to_string())
+                    .spawn(move || dispatch::poller_loop(&sh, &poller_senders))
+                {
+                    Ok(h) => poller = Some(h),
+                    Err(e) => {
+                        drop(senders);
+                        return Err(abort(&shared, workers, e));
+                    }
                 }
             }
         }
-        let poller = {
-            let sh = Arc::clone(&shared);
-            let poller_senders = senders.clone();
-            match std::thread::Builder::new()
-                .name("cam-poller".to_string())
-                .spawn(move || dispatch::poller_loop(&sh, &poller_senders))
-            {
-                Ok(h) => h,
-                Err(e) => {
-                    drop(senders);
-                    return Err(abort(&shared, workers, e));
-                }
-            }
-        };
         Ok(ControlPlane {
             shared,
             senders,
-            poller: Some(poller),
+            poller,
             workers,
         })
     }
@@ -396,22 +479,22 @@ impl ControlPlane {
     pub(crate) fn stop(&mut self) {
         self.shared.stop.store(true, Ordering::Release);
         self.senders.clear(); // disconnect worker queues
+        // Wake every parked (or recv-blocked) worker so shutdown latency
+        // is bounded by the join, not by a park/poll timeout.
+        for p in &self.shared.parkers {
+            p.unpark();
+        }
         if let Some(p) = self.poller.take() {
             let _ = p.join();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
-        // Quiesce: every lane is drained once the workers have joined, so
-        // degraded/overloaded lanes are declared recovered. The DES driver
-        // performs the identical drain at the end of its calendar, keeping
-        // the transition sequences comparable.
-        let now = self.shared.clock.now_ns();
-        for lane in &self.shared.lane_health {
-            if let Some(t) = lane.lock().on_drain() {
-                emit_lane_transition(&self.shared, t, now);
-            }
-        }
+        // Lane quiescence (degraded/overloaded → recovered) is emitted by
+        // each worker as it exits — the lane-health machines are
+        // worker-owned state, and the workers have all joined by now. The
+        // DES driver performs the identical drain at the end of its
+        // calendar, keeping the transition sequences comparable.
     }
 }
 

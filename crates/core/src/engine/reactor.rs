@@ -1,13 +1,19 @@
 //! The threaded worker shell around [`WorkerCore`].
 //!
-//! Each worker thread owns one private queue pair per SSD and a
-//! [`WorkerCore`] protocol state machine. The loop is pure driver glue:
-//! feed accepted groups in, [`pump`](WorkerCore::pump) at the wall clock,
-//! reap CQEs into [`on_cqe`](WorkerCore::on_cqe), and [`execute`] whatever
-//! [`Command`]s come back — SQE pushes, doorbell rings, metrics,
-//! flight-recorder events, batch retirement. Every submission,
-//! retry, and closure *decision* is the protocol's; the DES driver
-//! executes the same commands against a device timing model instead.
+//! [`execute`], [`accept`] and the per-SSD reap path are shared by both
+//! threaded engines: the legacy central-poller workers ([`worker_loop`])
+//! and the thread-per-core shards (`shard`). Each worker thread owns one
+//! private queue pair per SSD, a [`WorkerCore`] protocol state machine,
+//! and its own [`LaneHealth`] machines (worker-owned state — no per-lane
+//! mutex; the lane-health CI workloads run single-worker configurations,
+//! where the sequence is identical to a global machine's). The loop is
+//! pure driver glue: feed accepted groups in, [`pump`](WorkerCore::pump)
+//! at the wall clock, reap CQEs into [`on_cqe`](WorkerCore::on_cqe), and
+//! [`execute`] whatever [`Command`]s come back — SQE pushes, doorbell
+//! rings, metrics, flight-recorder events, batch retirement. Every
+//! submission, retry, and closure *decision* is the protocol's; the DES
+//! driver executes the same commands against a device timing model
+//! instead.
 //!
 //! A `Submit` command is executed infallibly: the protocol admits a
 //! command only when the lane's inflight table (sized to the queue depth)
@@ -20,12 +26,34 @@ use std::time::Duration;
 
 use cam_nvme::spec::{Cqe, Sqe};
 use cam_nvme::QueuePair;
-use cam_protocol::{op_index, ChannelOp, Command, GroupSpec, WorkerCore};
+use cam_protocol::{
+    op_index, ChannelOp, Command, GroupSpec, HealthConfig, LaneHealth, WorkerCore,
+};
 use cam_telemetry::{EventKind, Stage};
 use crossbeam::channel::{Receiver, RecvTimeoutError};
 
 use super::retire::retire_batch;
 use super::Shared;
+
+/// Fresh per-worker lane-health machines, one per SSD.
+pub(super) fn new_lane_health(n_ssds: usize) -> Vec<LaneHealth> {
+    (0..n_ssds)
+        .map(|ssd| LaneHealth::new(ssd, HealthConfig::default()))
+        .collect()
+}
+
+/// Quiesces a worker's lanes at loop exit: every lane is drained once a
+/// worker stops, so degraded/overloaded lanes are declared recovered. The
+/// DES driver performs the identical drain at the end of its calendar,
+/// keeping the transition sequences comparable.
+pub(super) fn drain_lane_health(sh: &Shared, health: &mut [LaneHealth]) {
+    let now = sh.clock.now_ns();
+    for lane in health.iter_mut() {
+        if let Some(t) = lane.on_drain() {
+            super::emit_lane_transition(sh, t, now);
+        }
+    }
+}
 
 pub(super) fn worker_loop(sh: &Shared, wid: usize, rx: Receiver<GroupSpec>) {
     if let Some(rec) = &sh.recorder {
@@ -34,7 +62,13 @@ pub(super) fn worker_loop(sh: &Shared, wid: usize, rx: Receiver<GroupSpec>) {
     let qps: Vec<Arc<QueuePair>> = (0..sh.n_ssds)
         .map(|ssd| Arc::clone(&sh.qps[ssd][wid]))
         .collect();
+    // This thread is the only host-side driver of its queue-pair column
+    // for the process lifetime; claim them so a sharding bug panics.
+    for qp in &qps {
+        qp.bind_host_owner();
+    }
     let mut core = WorkerCore::new(sh.n_ssds, qps[0].depth(), sh.retry);
+    let mut health = new_lane_health(sh.n_ssds);
     let mut out: Vec<Command> = Vec::new();
     let mut cqes: Vec<Cqe> = Vec::new();
     loop {
@@ -47,11 +81,11 @@ pub(super) fn worker_loop(sh: &Shared, wid: usize, rx: Receiver<GroupSpec>) {
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     if sh.stop.load(Ordering::Acquire) {
-                        return;
+                        break;
                     }
                     continue;
                 }
-                Err(RecvTimeoutError::Disconnected) => return,
+                Err(RecvTimeoutError::Disconnected) => break,
             }
         }
         if sh.pipelined {
@@ -66,29 +100,47 @@ pub(super) fn worker_loop(sh: &Shared, wid: usize, rx: Receiver<GroupSpec>) {
         }
         core.pump(sh.clock.now_ns(), &mut out);
         progress |= !out.is_empty();
-        execute(sh, wid, &qps, &mut out);
-        for (ssd, qp) in qps.iter().enumerate() {
-            cqes.clear();
-            if qp.poll_cqes(qp.depth(), &mut cqes) == 0 {
-                continue;
-            }
-            progress = true;
-            let now = sh.clock.now_ns();
-            for cqe in cqes.drain(..) {
-                core.on_cqe(ssd, cqe.cid, cqe.status, now, &mut out);
-            }
-            execute(sh, wid, &qps, &mut out);
-            update_inflight_gauges(sh, ssd, qp);
-        }
+        execute(sh, wid, &qps, &mut health, &mut out);
+        progress |= reap(sh, &qps, &mut core, &mut health, &mut out, &mut cqes, wid);
         if !progress {
             std::thread::yield_now();
         }
     }
+    drain_lane_health(sh, &mut health);
+}
+
+/// One reap pass over every queue pair: drains available CQEs into the
+/// protocol core and executes the resulting commands. Returns whether any
+/// completion arrived.
+pub(super) fn reap(
+    sh: &Shared,
+    qps: &[Arc<QueuePair>],
+    core: &mut WorkerCore,
+    health: &mut [LaneHealth],
+    out: &mut Vec<Command>,
+    cqes: &mut Vec<Cqe>,
+    wid: usize,
+) -> bool {
+    let mut progress = false;
+    for (ssd, qp) in qps.iter().enumerate() {
+        cqes.clear();
+        if qp.poll_cqes(qp.depth(), cqes) == 0 {
+            continue;
+        }
+        progress = true;
+        let now = sh.clock.now_ns();
+        for cqe in cqes.drain(..) {
+            core.on_cqe(ssd, cqe.cid, cqe.status, now, out);
+        }
+        execute(sh, wid, qps, health, out);
+        update_inflight_gauges(sh, ssd, qp, health);
+    }
+    progress
 }
 
 /// Takes ownership of a dispatched group: record the dispatch stage, then
 /// hand it to the protocol core.
-fn accept(sh: &Shared, wid: usize, core: &mut WorkerCore, spec: GroupSpec) {
+pub(super) fn accept(sh: &Shared, wid: usize, core: &mut WorkerCore, spec: GroupSpec) {
     let recv_ns = sh.clock.now_ns();
     let op_idx = op_index(spec.batch.op);
     let dispatch_span = recv_ns.saturating_sub(spec.batch.pickup_ns);
@@ -114,7 +166,13 @@ fn accept(sh: &Shared, wid: usize, core: &mut WorkerCore, spec: GroupSpec) {
 
 /// Executes drained protocol commands against the real queue pairs and the
 /// telemetry registry, in order (submissions precede their doorbell ring).
-fn execute(sh: &Shared, wid: usize, qps: &[Arc<QueuePair>], out: &mut Vec<Command>) {
+pub(super) fn execute(
+    sh: &Shared,
+    wid: usize,
+    qps: &[Arc<QueuePair>],
+    health: &mut [LaneHealth],
+    out: &mut Vec<Command>,
+) {
     for cmd in out.drain(..) {
         match cmd {
             Command::Submit(s) => {
@@ -134,7 +192,7 @@ fn execute(sh: &Shared, wid: usize, qps: &[Arc<QueuePair>], out: &mut Vec<Comman
             }
             Command::RingDoorbell { ssd, .. } => {
                 qps[ssd].ring_doorbell();
-                update_inflight_gauges(sh, ssd, &qps[ssd]);
+                update_inflight_gauges(sh, ssd, &qps[ssd], health);
             }
             Command::GroupSubmitted {
                 batch,
@@ -187,8 +245,7 @@ fn execute(sh: &Shared, wid: usize, qps: &[Arc<QueuePair>], out: &mut Vec<Comman
                         },
                     );
                 }
-                let transition = sh.lane_health[ssd].lock().on_retry();
-                if let Some(t) = transition {
+                if let Some(t) = health[ssd].on_retry() {
                     super::emit_lane_transition(sh, t, now_ns);
                 }
             }
@@ -212,8 +269,7 @@ fn execute(sh: &Shared, wid: usize, qps: &[Arc<QueuePair>], out: &mut Vec<Comman
                         },
                     );
                 }
-                let transition = sh.lane_health[ssd].lock().on_timeout();
-                if let Some(t) = transition {
+                if let Some(t) = health[ssd].on_timeout() {
                     super::emit_lane_transition(sh, t, now_ns);
                 }
             }
@@ -260,13 +316,11 @@ fn execute(sh: &Shared, wid: usize, qps: &[Arc<QueuePair>], out: &mut Vec<Comman
 /// the `cam_inflight{ssd}` gauges, and feeds the lane-health saturation
 /// watermark (which, by design, never gates a health transition — see
 /// `cam_protocol::health`).
-fn update_inflight_gauges(sh: &Shared, ssd: usize, qp: &QueuePair) {
+fn update_inflight_gauges(sh: &Shared, ssd: usize, qp: &QueuePair, health: &mut [LaneHealth]) {
     let cur = qp.in_flight();
     sh.metrics.inflight[ssd].set(cur);
     if cur > sh.metrics.inflight_peak[ssd].get() {
         sh.metrics.inflight_peak[ssd].set(cur);
     }
-    sh.lane_health[ssd]
-        .lock()
-        .observe_depth(cur as usize, qp.depth());
+    health[ssd].observe_depth(cur as usize, qp.depth());
 }

@@ -1,0 +1,219 @@
+//! The thread-per-core run-to-completion worker.
+//!
+//! Worker *w* of *W* owns channels `ch % W` and the per-SSD lanes
+//! `ssd % active` outright: it performs doorbell pickup and planning
+//! inline ([`dispatch::poll_channel`] — no central poller hop), routes
+//! each per-SSD group to the owning worker over the bounded SPSC fabric
+//! (`rings[dst][src]`), and runs the shared reactor machinery
+//! ([`reactor::accept`]/[`reactor::execute`]/[`reactor::reap`]) over its
+//! private queue pairs. Groups for its own SSDs skip the fabric and go
+//! straight into the local inbox.
+//!
+//! Idleness is protocol-driven: when [`WorkerCore::park_hint`] reports
+//! nothing actionable, the worker parks on its [`Parker`] — woken by
+//! doorbell publishes on owned channels (channel wakers), ring pushes
+//! from peer workers, and stop. The parked-time share is exported as
+//! `cam_worker_park_ratio{worker}` (milli-units, windowed), so the
+//! idle-burn win over the legacy spin loop is observable.
+//!
+//! [`Parker`]: super::park::Parker
+//! [`WorkerCore::park_hint`]: cam_protocol::WorkerCore::park_hint
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cam_nvme::spec::Cqe;
+use cam_nvme::QueuePair;
+use cam_protocol::{Command, GroupSpec, ParkHint, WorkerCore};
+use cam_telemetry::{WindowConfig, WindowedCounter};
+
+use super::{dispatch, reactor, Shared};
+
+/// Upper bound on one park: an idle worker re-checks the world (and
+/// refreshes its park-ratio gauge) at least this often, so a hypothetical
+/// lost wakeup degrades to latency, never to a hang.
+const MAX_PARK: Duration = Duration::from_millis(50);
+
+/// Consecutive empty iterations a worker rides out with a plain yield
+/// before actually parking on an `Idle` hint. Under sustained load the
+/// next doorbell or ring push lands within microseconds, and a futex
+/// sleep+wake pair per batch costs more than the work itself; genuine
+/// idleness still parks after ~this many yields, so the idle park ratio
+/// stays high.
+const IDLE_SPIN: u32 = 128;
+
+/// Hot iterations between park-window flushes. Any iteration that
+/// actually parked flushes immediately, so an idle worker's ratio stays
+/// fresh; a busy worker amortizes the window lock over this many loops.
+const FLUSH_ITERS: u32 = 512;
+
+pub(super) fn shard_loop(sh: &Shared, wid: usize) {
+    if let Some(rec) = &sh.recorder {
+        rec.name_current_thread(&format!("cam-worker{wid}"));
+    }
+    let n_workers = sh.parkers.len();
+    let qps: Vec<Arc<QueuePair>> = (0..sh.n_ssds)
+        .map(|ssd| Arc::clone(&sh.qps[ssd][wid]))
+        .collect();
+    // Queue-pair columns are worker-private even across rescale epochs
+    // (ownership moves change *which column* serves an SSD, not who
+    // drives a pair); claim them so a double-poll bug panics at the site.
+    for qp in &qps {
+        qp.bind_host_owner();
+    }
+    let mut core = WorkerCore::new(sh.n_ssds, qps[0].depth(), sh.retry);
+    let mut health = reactor::new_lane_health(sh.n_ssds);
+    // Static channel shard: this worker is the only thread that ever polls
+    // these channels' doorbells.
+    let owned: Vec<usize> = (wid..sh.channels.len()).step_by(n_workers).collect();
+    let mut last_seen = vec![0u64; owned.len()];
+    let mut inbox: VecDeque<GroupSpec> = VecDeque::new();
+    let mut out: Vec<Command> = Vec::new();
+    let mut cqes: Vec<Cqe> = Vec::new();
+    // Park accounting: parked-ns over elapsed-ns per rolling window,
+    // exported ×1000 (the registry's milli-gauge convention, like
+    // `cam_slo_burn_rate`).
+    let park_win = WindowedCounter::new(WindowConfig::default());
+    let mut last_mark = sh.clock.now_ns();
+    let mut idle_streak = 0u32;
+    // Window flushes are batched: the add/sum per iteration would cost
+    // more than a hot iteration's useful work (a lock plus a slot scan).
+    let mut iters_since_flush = 0u32;
+    loop {
+        let stopping = sh.stop.load(Ordering::Acquire);
+        let mut progress = false;
+        if !stopping {
+            // 1. Doorbell pickup on owned channels, planning inline.
+            for (i, &ch_idx) in owned.iter().enumerate() {
+                if let Some(specs) = dispatch::poll_channel(sh, ch_idx, &mut last_seen[i]) {
+                    progress = true;
+                    route_groups(sh, wid, n_workers, specs, &mut inbox);
+                }
+            }
+        }
+        // 2. Drain groups routed here by peer workers.
+        progress |= drain_rings(sh, wid, &mut inbox);
+        // 3. Admission: pipelined takes everything (commands from several
+        //    batches share the queue depth); the blocking baseline runs
+        //    one group at a time — same code path, depth ≤ one group.
+        if sh.pipelined {
+            while let Some(spec) = inbox.pop_front() {
+                reactor::accept(sh, wid, &mut core, spec);
+                progress = true;
+            }
+        } else if core.idle() {
+            if let Some(spec) = inbox.pop_front() {
+                reactor::accept(sh, wid, &mut core, spec);
+                progress = true;
+            }
+        }
+        // 4. Pump submissions, execute effects, reap completions.
+        core.pump(sh.clock.now_ns(), &mut out);
+        progress |= !out.is_empty();
+        reactor::execute(sh, wid, &qps, &mut health, &mut out);
+        progress |= reactor::reap(sh, &qps, &mut core, &mut health, &mut out, &mut cqes, wid);
+
+        if stopping && core.idle() && inbox.is_empty() {
+            break;
+        }
+        // 5. Idle policy from the protocol: park instead of spinning.
+        let mut parked_ns = 0u64;
+        if progress {
+            idle_streak = 0;
+        } else if !stopping {
+            idle_streak = idle_streak.saturating_add(1);
+            match core.park_hint() {
+                ParkHint::Poll => std::thread::yield_now(),
+                ParkHint::Until(t) => {
+                    let now = sh.clock.now_ns();
+                    if t > now {
+                        let before = now;
+                        sh.parkers[wid].park_timeout(
+                            Duration::from_nanos(t - now).min(MAX_PARK),
+                        );
+                        parked_ns = sh.clock.now_ns().saturating_sub(before);
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                ParkHint::Idle if idle_streak < IDLE_SPIN => std::thread::yield_now(),
+                ParkHint::Idle => {
+                    // No token is lost to the publish→park race: a doorbell
+                    // or ring push that lands just before this park leaves
+                    // the token set, so the park returns immediately.
+                    let before = sh.clock.now_ns();
+                    sh.parkers[wid].park_timeout(MAX_PARK);
+                    parked_ns = sh.clock.now_ns().saturating_sub(before);
+                }
+            }
+        }
+        iters_since_flush += 1;
+        if parked_ns > 0 || iters_since_flush >= FLUSH_ITERS {
+            let now = sh.clock.now_ns();
+            park_win.add_at(now, parked_ns, now.saturating_sub(last_mark));
+            last_mark = now;
+            if let Some(ratio) = park_win.ratio_at(now) {
+                sh.metrics.worker_park_ratio[wid].set((ratio * 1000.0) as u64);
+            }
+            iters_since_flush = 0;
+        }
+    }
+    reactor::drain_lane_health(sh, &mut health);
+}
+
+/// Routes freshly planned groups: local SSDs go straight to the inbox,
+/// remote ones over the SPSC fabric (waking the consumer). A full ring is
+/// ridden out by spinning — while also draining our own inbound rings, so
+/// two workers pushing at each other can never deadlock.
+fn route_groups(
+    sh: &Shared,
+    wid: usize,
+    n_workers: usize,
+    specs: Vec<GroupSpec>,
+    inbox: &mut VecDeque<GroupSpec>,
+) {
+    let active = sh
+        .active_workers
+        .load(Ordering::Relaxed)
+        .clamp(1, n_workers);
+    for spec in specs {
+        // An SSD is always handled by the worker `ssd % active`, so one
+        // SSD's queue pairs are never polled by two threads at once within
+        // an active-count epoch.
+        let dst = spec.ssd % active;
+        if dst == wid {
+            inbox.push_back(spec);
+            continue;
+        }
+        let mut spec = spec;
+        loop {
+            match sh.rings[dst][wid].push(spec) {
+                Ok(()) => {
+                    sh.parkers[dst].unpark();
+                    break;
+                }
+                Err(back) => {
+                    spec = back;
+                    sh.parkers[dst].unpark();
+                    drain_rings(sh, wid, inbox);
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Drains every inbound ring into the local inbox; returns whether
+/// anything arrived.
+fn drain_rings(sh: &Shared, wid: usize, inbox: &mut VecDeque<GroupSpec>) -> bool {
+    let mut any = false;
+    for ring in &sh.rings[wid] {
+        while let Some(spec) = ring.pop() {
+            inbox.push_back(spec);
+            any = true;
+        }
+    }
+    any
+}

@@ -76,7 +76,7 @@ mod scaler;
 
 pub use api::{BatchTicket, CamConfig, CamContext, CamDevice, CamError};
 pub use backend::CamBackend;
-pub use engine::ControlStats;
+pub use engine::{ControlStats, ThreadModel};
 pub use pipeline::DoubleBuffer;
 pub use regions::{Channel, ChannelOp, PublishError};
 pub use scaler::DynamicScaler;

@@ -56,6 +56,11 @@ pub struct Channel {
     /// Guards region 1+2 writes: the protocol has a single leading thread,
     /// but a racing misuse must fail with `Busy`, not corrupt the regions.
     publishing: std::sync::atomic::AtomicBool,
+    /// Invoked after every doorbell publish — the control plane installs a
+    /// hook that unparks the worker owning this channel, so an idle
+    /// (parked) thread-per-core engine wakes without polling. `None` until
+    /// installed; the legacy central-poller engine installs nothing.
+    waker: parking_lot::Mutex<Option<std::sync::Arc<dyn Fn() + Send + Sync>>>,
 }
 
 impl Channel {
@@ -74,7 +79,15 @@ impl Channel {
             acked_errors: AtomicU64::new(0),
             published_ns: AtomicU64::new(0),
             publishing: std::sync::atomic::AtomicBool::new(false),
+            waker: parking_lot::Mutex::new(None),
         }
+    }
+
+    /// Installs the post-publish wakeup hook (replacing any previous one).
+    /// Called by the control plane at attach; the hook runs on the
+    /// publishing (GPU-side) thread after the region-3 doorbell store.
+    pub fn set_waker(&self, waker: std::sync::Arc<dyn Fn() + Send + Sync>) {
+        *self.waker.lock() = Some(waker);
     }
 
     /// Maximum requests per batch (region-1 capacity).
@@ -156,6 +169,12 @@ impl Channel {
         let seq = self.doorbell.load(Ordering::Relaxed) + 1;
         self.doorbell.store(seq, Ordering::Release);
         self.publishing.store(false, Ordering::Release);
+        // Wake the owning worker *after* the doorbell is visible: a worker
+        // that wakes and sees nothing simply re-parks (token protocol).
+        let waker = self.waker.lock().clone();
+        if let Some(w) = waker {
+            w();
+        }
         Ok(seq)
     }
 

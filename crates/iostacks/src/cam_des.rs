@@ -937,12 +937,25 @@ struct CachedSource {
     /// the threaded device).
     readahead: bool,
     cur: Option<CachedInflight>,
+    /// Virtual cost of serving one cache hit: the host-side DMA copy from
+    /// the resident slot to the destination buffer (`block_size /
+    /// host_gbps`). The threaded driver pays this on the CPU before the
+    /// miss batch's doorbell; without it the DES would model hits as free
+    /// and overstate cached throughput.
+    hit_dma_ns: u64,
+    /// Earliest virtual instant the pending publications may be taken:
+    /// planning pushes it forward by `hits × hit_dma_ns` (including
+    /// pure-hit batches, whose copies delay the next doorbell). Timing
+    /// only — cache *decisions* are charged nothing and stay
+    /// byte-identical with the threaded driver and the pure replay.
+    ready_ns: u64,
 }
 
 impl CachedSource {
     /// Plans logical batches until one needs device I/O (or none remain).
-    /// All-hit batches resolve entirely inside the core — no DES traffic.
-    fn advance(&mut self) {
+    /// All-hit batches resolve entirely inside the core — no DES traffic
+    /// (but their hit copies still advance the readiness gate).
+    fn advance(&mut self, now_ns: u64) {
         while self.cur.is_none() {
             let Some(lbas) = self.batches.pop_front() else {
                 return;
@@ -953,6 +966,7 @@ impl CachedSource {
             let mut core = self.core.lock().unwrap();
             let plan = core.plan_read_batch(&lbas);
             debug_assert_eq!(plan.flushed, 0, "cached DES runs are read-only");
+            self.ready_ns = self.ready_ns.max(now_ns) + plan.hits * self.hit_dma_ns;
             let ra = if self.readahead {
                 core.plan_readahead(lbas[0], self.array_blocks)
             } else {
@@ -995,21 +1009,26 @@ impl CachedSource {
     }
 
     /// Drops the finished logical batch and plans the next one.
-    fn maybe_next(&mut self) {
+    fn maybe_next(&mut self, now_ns: u64) {
         if let Some(c) = &self.cur {
             if c.demand_open || c.ra_open || c.demand_pub.is_some() || c.ra_pub.is_some() {
                 return;
             }
         }
         self.cur = None;
-        self.advance();
+        self.advance(now_ns);
     }
 }
 
 impl DesBatchSource for CachedSource {
-    fn next_batch(&mut self, channel: usize, _now_ns: u64) -> Option<(CamDesBatch, ChannelOp)> {
+    fn next_batch(&mut self, channel: usize, now_ns: u64) -> Option<(CamDesBatch, ChannelOp)> {
         if self.cur.is_none() {
-            self.advance();
+            self.advance(now_ns);
+        }
+        // The batch's hit copies occupy the host before its doorbells: the
+        // driver re-offers at `next_ready_ns`.
+        if now_ns < self.ready_ns {
+            return None;
         }
         let c = self.cur.as_mut()?;
         let b = match channel {
@@ -1028,7 +1047,7 @@ impl DesBatchSource for CachedSource {
         Some((b, ChannelOp::Read))
     }
 
-    fn on_retire(&mut self, channel: usize, _now_ns: u64, errors: u64) {
+    fn on_retire(&mut self, channel: usize, now_ns: u64, errors: u64) {
         assert_eq!(errors, 0, "cached DES runs are fault-free");
         let c = self.cur.as_mut().expect("retire without an open batch");
         let mut core = self.core.lock().unwrap();
@@ -1048,7 +1067,17 @@ impl DesBatchSource for CachedSource {
             _ => unreachable!("cached DES publishes only channels 0 and 2"),
         }
         drop(core);
-        self.maybe_next();
+        self.maybe_next(now_ns);
+    }
+
+    fn next_ready_ns(&mut self, now_ns: u64) -> Option<u64> {
+        // Only the publication gate is time-driven; everything else is
+        // unblocked by retirements.
+        let pending = self
+            .cur
+            .as_ref()
+            .is_some_and(|c| c.demand_pub.is_some() || c.ra_pub.is_some());
+        (pending && self.ready_ns > now_ns).then_some(self.ready_ns)
     }
 
     fn is_drained(&self) -> bool {
@@ -1082,6 +1111,9 @@ pub fn run_cam_des_cached(
         array_blocks,
         readahead: cache_cfg.readahead.enable,
         cur: None,
+        // One block over the host fabric, in ns (GB/s ≡ bytes/ns).
+        hit_dma_ns: (f64::from(cfg.block_size) / cfg.host_gbps).round() as u64,
+        ready_ns: 0,
     };
     let report = run_cam_des_source(cfg, CACHED_CHANNELS, Box::new(source), recorder, obs);
     let counters = core.lock().unwrap().counters();
@@ -1599,6 +1631,53 @@ mod tests {
         assert_eq!(counters.hits, 32);
         assert_eq!(report.batches, 1, "only the cold pass touches the array");
         assert_eq!(report.commands, 16);
+    }
+
+    #[test]
+    fn cache_hits_charge_host_dma_time() {
+        // Two workloads with *identical device traffic* (8 fresh blocks
+        // per batch): one additionally re-reads the previous batch's
+        // blocks — pure hits, which publish nothing but occupy the host
+        // with slot→buffer DMA copies before the batch's doorbell. The
+        // virtual-time difference must be exactly the hits' copy time,
+        // `hits × block_size / host_gbps` — hits are not free.
+        let mut with_hits = Vec::new();
+        let mut miss_only = Vec::new();
+        for round in 0u64..6 {
+            let base = round * 8;
+            let fresh: Vec<u64> = (base..base + 8).collect();
+            miss_only.push(fresh.clone());
+            let mut lbas = fresh;
+            if round >= 1 {
+                lbas.extend((round - 1) * 8..round * 8); // resident: hits
+            }
+            with_hits.push(lbas);
+        }
+        let mut cache_cfg = cached_cfg();
+        cache_cfg.readahead.enable = false;
+        let run = |batches: Vec<Vec<u64>>| {
+            run_cam_des_cached(
+                cfg(2, true),
+                cache_cfg,
+                4096,
+                batches,
+                None,
+                CamDesObs::default(),
+            )
+        };
+        let (hit_report, hit_counters) = run(with_hits);
+        let (miss_report, miss_counters) = run(miss_only);
+        assert_eq!(hit_counters.hits, 40);
+        assert_eq!(hit_counters.misses, 48);
+        assert_eq!(miss_counters.hits, 0);
+        assert_eq!(miss_counters.misses, 48);
+        assert_eq!(hit_report.commands, miss_report.commands);
+        let hit_dma_ns = (4096.0f64 / 21.0).round() as u64;
+        assert_eq!(
+            hit_report.duration.as_ns(),
+            miss_report.duration.as_ns() + hit_counters.hits * hit_dma_ns,
+            "hit DMA copies must gate the doorbells in virtual time"
+        );
     }
 
     #[test]

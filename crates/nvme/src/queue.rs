@@ -89,6 +89,12 @@ pub struct QueuePair {
     /// Event layer: emits a [`EventKind::QpDoorbell`] per ring once
     /// attached. Same cost model as `doorbell_batch`.
     recorder: OnceLock<Arc<FlightRecorder>>,
+    /// The thread that claimed the host side via
+    /// [`bind_host_owner`](Self::bind_host_owner), if any. Host-side entry
+    /// points assert against it in debug builds, turning a sharding bug
+    /// (two engine workers polling one queue pair) into a panic at the
+    /// violation site instead of silent lock contention.
+    host_owner: OnceLock<std::thread::ThreadId>,
 }
 
 impl QueuePair {
@@ -104,7 +110,37 @@ impl QueuePair {
             stats: QpStats::default(),
             doorbell_batch: OnceLock::new(),
             recorder: OnceLock::new(),
+            host_owner: OnceLock::new(),
         })
+    }
+
+    /// Claims the host side of this queue pair for the calling thread: from
+    /// now on, `push_sqe` / `ring_doorbell` / `poll_cqe` assert (in debug
+    /// builds) that they run on this thread. Idempotent from the owning
+    /// thread; panics if another thread already holds the claim. Backends
+    /// that legitimately drive a pair from changing threads (synchronous
+    /// per-call stacks) simply never claim it.
+    pub fn bind_host_owner(&self) {
+        let me = std::thread::current().id();
+        let owner = *self.host_owner.get_or_init(|| me);
+        assert_eq!(
+            owner, me,
+            "queue pair {} host side is already owned by another thread",
+            self.id
+        );
+    }
+
+    #[inline]
+    fn assert_host_owner(&self) {
+        #[cfg(debug_assertions)]
+        if let Some(owner) = self.host_owner.get() {
+            assert_eq!(
+                *owner,
+                std::thread::current().id(),
+                "queue pair {} host side driven off its owning thread",
+                self.id
+            );
+        }
     }
 
     /// Telemetry: records SQEs-per-doorbell into `hist` from now on.
@@ -142,6 +178,7 @@ impl QueuePair {
     /// Stages an SQE without making it visible. Fails if staging it would
     /// exceed the queue depth in flight once rung.
     pub fn push_sqe(&self, sqe: Sqe) -> Result<(), QueueError> {
+        self.assert_host_owner();
         let mut staged = self.staged.lock();
         if self.in_flight() + staged.len() as u64 >= self.depth as u64 {
             return Err(QueueError::SqFull);
@@ -153,6 +190,7 @@ impl QueuePair {
     /// Publishes all staged SQEs to the device in one doorbell write.
     /// Returns the number published.
     pub fn ring_doorbell(&self) -> usize {
+        self.assert_host_owner();
         let mut staged = self.staged.lock();
         let n = staged.len();
         if n == 0 {
@@ -206,6 +244,7 @@ impl QueuePair {
 
     /// Host side: reaps one completion if available.
     pub fn poll_cqe(&self) -> Option<Cqe> {
+        self.assert_host_owner();
         let cqe = self.cq.pop()?;
         self.stats.completed.fetch_add(1, Ordering::Relaxed);
         Some(cqe)
@@ -311,6 +350,35 @@ mod tests {
         assert_eq!(qp.poll_cqes(4, &mut out), 2);
         assert_eq!(out.len(), 6);
         assert_eq!(qp.in_flight(), 0);
+    }
+
+    #[test]
+    fn host_owner_claim_is_idempotent_and_exclusive() {
+        let qp = QueuePair::new(3, 8);
+        // Unclaimed pairs accept any thread (the synchronous backends).
+        qp.submit(Sqe::read(1, 0, 1, 0)).unwrap();
+        qp.bind_host_owner();
+        qp.bind_host_owner(); // same thread: fine
+        qp.submit(Sqe::read(2, 0, 1, 0)).unwrap();
+        // A second thread cannot take the claim…
+        let other = Arc::clone(&qp);
+        let claim = std::thread::spawn(move || other.bind_host_owner()).join();
+        assert!(claim.is_err(), "foreign claim must panic");
+        // …and (debug builds) cannot drive the host side either.
+        #[cfg(debug_assertions)]
+        {
+            let other = Arc::clone(&qp);
+            let drive = std::thread::spawn(move || {
+                other.push_sqe(Sqe::read(9, 0, 1, 0)).unwrap();
+            })
+            .join();
+            assert!(drive.is_err(), "foreign host-side call must panic");
+        }
+        // The device side stays thread-agnostic.
+        let dev = Arc::clone(&qp);
+        std::thread::spawn(move || while dev.take_sqe().is_some() {})
+            .join()
+            .unwrap();
     }
 
     #[test]

@@ -46,4 +46,4 @@ pub use health::{HealthConfig, HealthState, HealthTransition, LaneHealth};
 pub use inflight::InflightTable;
 pub use plan::{op_index, plan_batch, BatchPlan, ChannelOp, DecisionCounters, PlanConfig};
 pub use retry::{RetryPolicy, Verdict};
-pub use worker::{Command, GroupSpec, SubmitCmd, WorkerCore};
+pub use worker::{Command, GroupSpec, ParkHint, SubmitCmd, WorkerCore};

@@ -138,6 +138,23 @@ pub enum Command {
     },
 }
 
+/// What a driver should do when a [`WorkerCore`] has drained its command
+/// output — the protocol's idleness surface (see
+/// [`park_hint`](WorkerCore::park_hint)). Pure data: the threaded driver
+/// maps it onto a parker/condvar, a virtual-time driver onto calendar
+/// wakeups.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ParkHint {
+    /// Work is actionable now (commands in flight awaiting CQEs, or queued
+    /// commands ready to submit): keep polling.
+    Poll,
+    /// Nothing is actionable before this instant (ns on the driver clock):
+    /// a backoff expiry or deadline. Park with a timeout.
+    Until(u64),
+    /// No queued or in-flight work at all: park until an external wakeup.
+    Idle,
+}
+
 /// One command's worker-side state, from dispatch to final completion.
 struct PendingCmd {
     /// Key into the worker's group slab.
@@ -238,6 +255,39 @@ impl WorkerCore {
                 None => c.earliest_ns,
             })
             .min()
+    }
+
+    /// What an idleness-aware driver should do next, derived purely from
+    /// protocol state (the run-to-completion shell's parking decision).
+    ///
+    /// The rules, in priority order:
+    ///
+    /// 1. Commands in flight ⇒ [`ParkHint::Poll`]. Completions arrive by
+    ///    device-side `post_cqe` with no waker attached, so the driver must
+    ///    keep reaping.
+    /// 2. A queued command that is actionable *now* (`earliest_ns == 0`,
+    ///    i.e. not backing off) ⇒ [`ParkHint::Poll`] — the next
+    ///    [`pump`](WorkerCore::pump) will submit it.
+    /// 3. Only backing-off commands ⇒ [`ParkHint::Until`] the
+    ///    [`next_timer_ns`](WorkerCore::next_timer_ns) instant.
+    /// 4. Nothing queued, nothing in flight ⇒ [`ParkHint::Idle`]: the
+    ///    driver may park until an external wakeup (doorbell publish, ring
+    ///    push, stop).
+    pub fn park_hint(&self) -> ParkHint {
+        if self.lanes.iter().any(|l| !l.inflight.is_empty()) {
+            return ParkHint::Poll;
+        }
+        if self
+            .lanes
+            .iter()
+            .any(|l| l.queue.iter().any(|c| c.earliest_ns == 0))
+        {
+            return ParkHint::Poll;
+        }
+        match self.next_timer_ns() {
+            Some(t) => ParkHint::Until(t),
+            None => ParkHint::Idle,
+        }
     }
 
     /// Accepts a dispatched group at `recv_ns`: stages its commands on the
@@ -710,5 +760,77 @@ mod tests {
         let mut out = Vec::new();
         w.on_cqe(0, 42, Status::Success, 0, &mut out);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn park_hint_tracks_the_lane_lifecycle() {
+        // Fresh worker: nothing anywhere → Idle.
+        let mut w = WorkerCore::new(1, 8, no_retry());
+        assert_eq!(w.park_hint(), ParkHint::Idle);
+
+        // Accepted but not yet pumped: queued commands with earliest 0 →
+        // Poll (the next pump will submit them).
+        let b = batch(1);
+        w.on_group(
+            GroupSpec {
+                ssd: 0,
+                reqs: vec![(0, 0, 1)],
+                batch: Arc::clone(&b),
+            },
+            0,
+        );
+        assert_eq!(w.park_hint(), ParkHint::Poll);
+
+        // Submitted: in flight, CQEs arrive without a waker → Poll.
+        let mut out = Vec::new();
+        w.pump(0, &mut out);
+        assert_eq!(w.inflight(0), 1);
+        assert_eq!(w.park_hint(), ParkHint::Poll);
+
+        // Completed: idle again.
+        let cid = submits(&out)[0].cid;
+        out.clear();
+        w.on_cqe(0, cid, Status::Success, 10, &mut out);
+        assert!(w.idle());
+        assert_eq!(w.park_hint(), ParkHint::Idle);
+    }
+
+    #[test]
+    fn park_hint_surfaces_backoff_timers() {
+        // One transient failure re-queues the command with a future
+        // earliest_ns: no inflight, nothing actionable now → Until(timer).
+        let mut w = WorkerCore::new(
+            1,
+            8,
+            RetryPolicy {
+                max_retries: 2,
+                backoff_base_ns: 1_000,
+                deadline_ns: None,
+            },
+        );
+        let b = batch(1);
+        w.on_group(
+            GroupSpec {
+                ssd: 0,
+                reqs: vec![(0, 0, 1)],
+                batch: b,
+            },
+            0,
+        );
+        let mut out = Vec::new();
+        w.pump(0, &mut out);
+        let cid = submits(&out)[0].cid;
+        out.clear();
+        w.on_cqe(0, cid, Status::TransientMediaError, 100, &mut out);
+        let timer = w.next_timer_ns().expect("backoff armed");
+        assert_eq!(w.park_hint(), ParkHint::Until(timer));
+        assert!(timer > 100);
+
+        // Once the driver pumps past the timer the command resubmits and
+        // the hint returns to Poll.
+        out.clear();
+        w.pump(timer, &mut out);
+        assert_eq!(submits(&out).len(), 1);
+        assert_eq!(w.park_hint(), ParkHint::Poll);
     }
 }

@@ -34,6 +34,7 @@ use crate::span::Stage;
 /// | `cam_inflight_peak` | gauge | `ssd` |
 /// | `cam_lane_health` | gauge | `ssd` |
 /// | `cam_slo_burn_rate` | gauge | `channel` |
+/// | `cam_worker_park_ratio` | gauge | `worker` |
 pub struct ControlMetrics {
     /// Batches retired.
     pub batches: Counter,
@@ -80,6 +81,11 @@ pub struct ControlMetrics {
     /// Per-channel SLO burn rate ×1000 (gauges are integers; 1000 = burning
     /// error budget exactly at the allowed speed).
     pub slo_burn: Vec<Gauge>,
+    /// Per-worker parked-time share over the rolling window, ×1000 (the
+    /// same milli-gauge convention as `cam_slo_burn_rate`; 1000 = the
+    /// worker spent the whole window parked). Only the thread-per-core
+    /// engine parks; the legacy poller engine leaves these at 0.
+    pub worker_park_ratio: Vec<Gauge>,
     /// Per-SSD submit-phase latency (worker dequeue → doorbell rung).
     pub ssd_submit_ns: Vec<HistogramHandle>,
     /// Per-SSD completion-phase latency (doorbell rung → last CQE).
@@ -98,7 +104,7 @@ impl ControlMetrics {
     pub const OPS: [&'static str; 2] = ["read", "write"];
 
     /// Registers (or re-attaches to) every control-plane metric in `reg`.
-    pub fn new(reg: &MetricsRegistry, n_channels: usize, n_ssds: usize) -> Self {
+    pub fn new(reg: &MetricsRegistry, n_channels: usize, n_ssds: usize, n_workers: usize) -> Self {
         let stage = Self::OPS
             .iter()
             .flat_map(|op| {
@@ -145,6 +151,9 @@ impl ControlMetrics {
             slo_burn: (0..n_channels)
                 .map(|ch| reg.gauge(&format!("cam_slo_burn_rate{{channel=\"{ch}\"}}")))
                 .collect(),
+            worker_park_ratio: (0..n_workers)
+                .map(|w| reg.gauge(&format!("cam_worker_park_ratio{{worker=\"{w}\"}}")))
+                .collect(),
             ssd_submit_ns: (0..n_ssds)
                 .map(|i| reg.histogram(&format!("cam_ssd_submit_ns{{ssd=\"{i}\"}}")))
                 .collect(),
@@ -182,7 +191,7 @@ mod tests {
     #[test]
     fn bundle_registers_expected_names() {
         let reg = MetricsRegistry::new();
-        let m = ControlMetrics::new(&reg, 2, 3);
+        let m = ControlMetrics::new(&reg, 2, 3, 2);
         m.batches.inc();
         m.stage(0, Stage::Pickup).record(10);
         m.stage(1, Stage::Retire).record(20);
@@ -209,15 +218,20 @@ mod tests {
             30
         );
         assert_eq!(snap.counter("cam_ssd_submitted_total{ssd=\"2\"}"), 4);
+        m.worker_park_ratio[1].set(950);
+        assert_eq!(
+            reg.snapshot().gauge("cam_worker_park_ratio{worker=\"1\"}"),
+            950
+        );
         // Re-attaching to the same registry shares state.
-        let m2 = ControlMetrics::new(&reg, 2, 3);
+        let m2 = ControlMetrics::new(&reg, 2, 3, 2);
         assert_eq!(m2.batches.get(), 1);
     }
 
     #[test]
     fn every_op_stage_pair_is_distinct() {
         let reg = MetricsRegistry::new();
-        let m = ControlMetrics::new(&reg, 1, 1);
+        let m = ControlMetrics::new(&reg, 1, 1, 1);
         for (op, _) in ControlMetrics::OPS.iter().enumerate() {
             for s in Stage::ALL {
                 m.stage(op, s).record(1);

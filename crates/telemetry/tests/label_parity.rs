@@ -14,10 +14,11 @@ fn json_key(name: &str) -> String {
 #[test]
 fn every_metric_keeps_its_labels_in_both_expositions() {
     let reg = MetricsRegistry::new();
-    let m = ControlMetrics::new(&reg, 2, 2);
+    let m = ControlMetrics::new(&reg, 2, 2, 2);
     m.inflight_peak[0].set(17);
     m.lane_health[1].set(2);
     m.slo_burn[0].set(1500);
+    m.worker_park_ratio[1].set(990);
     let snap = reg.snapshot();
     let json = snap.to_json();
     let prom = snap.to_prometheus();
@@ -52,6 +53,8 @@ fn every_metric_keeps_its_labels_in_both_expositions() {
         "cam_lane_health{ssd=\"1\"}",
         "cam_slo_burn_rate{channel=\"0\"}",
         "cam_slo_burn_rate{channel=\"1\"}",
+        "cam_worker_park_ratio{worker=\"0\"}",
+        "cam_worker_park_ratio{worker=\"1\"}",
     ] {
         assert!(
             snap.gauges.contains_key(want),
@@ -61,13 +64,15 @@ fn every_metric_keeps_its_labels_in_both_expositions() {
     assert!(prom.contains("cam_inflight_peak{ssd=\"0\"} 17\n"));
     assert!(prom.contains("cam_lane_health{ssd=\"1\"} 2\n"));
     assert!(prom.contains("cam_slo_burn_rate{channel=\"0\"} 1500\n"));
+    assert!(prom.contains("cam_worker_park_ratio{worker=\"1\"} 990\n"));
     assert!(json.contains("\"cam_inflight_peak{ssd=\\\"0\\\"}\": 17"));
+    assert!(json.contains("\"cam_worker_park_ratio{worker=\\\"1\\\"}\": 990"));
 }
 
 #[test]
 fn tenant_labels_survive_both_expositions_beside_channel_labels() {
     let reg = MetricsRegistry::new();
-    let control = ControlMetrics::new(&reg, 3, 1);
+    let control = ControlMetrics::new(&reg, 3, 1, 1);
     let tenants = TenantMetrics::new(&reg, 2);
     control.slo_burn[0].set(400);
     tenants.slo_burn[0].set(1200);
